@@ -1,0 +1,62 @@
+// Theorem 8.1 / 8.2 verification: GRETA's time is (at most) quadratic and
+// its space linear in the number of events per window. Prints the raw
+// numbers plus normalized columns — time/n^2 and bytes/n should stay flat
+// or fall as n grows.
+
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "workload/linear_road.h"
+
+namespace greta::bench {
+namespace {
+
+int Run(const Flags& flags) {
+  int64_t min_events = flags.GetInt("min-events", 1000);
+  int64_t max_events = flags.GetInt("max-events", 32000);
+  double selectivity = flags.GetDouble("selectivity", 0.5);
+  Ts within = flags.GetInt("within", 10);
+
+  PrintHeader(
+      "Complexity check (Theorems 8.1 / 8.2)",
+      "GRETA only: Position P+ with a 50% edge predicate, one tumbling "
+      "window; n doubles each row.",
+      "edges grows ~4x per doubling (quadratic, optimal per Thm 8.2), "
+      "time/n^2 stays roughly flat, peak bytes/n stays roughly flat "
+      "(linear space).");
+
+  Table table({"events n", "time", "edges", "edges/n^2", "time/n^2 (ns)",
+               "peak mem", "bytes/n"});
+  for (int64_t n = min_events; n <= max_events; n *= 2) {
+    Catalog catalog;
+    LinearRoadConfig config;
+    config.num_vehicles = 10;
+    config.rate = static_cast<int>(n / within);
+    config.duration = within;
+    Stream stream = GenerateLinearRoadStream(&catalog, config);
+    auto spec = MakeQ3Selectivity(&catalog, within, within, selectivity);
+    if (!spec.ok()) return 1;
+    EngineOptions options;
+    options.counter_mode = CounterMode::kModular;
+    auto engine_or = GretaEngine::Create(&catalog, spec.value(), options);
+    if (!engine_or.ok()) return 1;
+    auto engine = std::move(engine_or).value();
+    RunResult r = RunStream(engine.get(), stream);
+    double dn = static_cast<double>(n);
+    table.AddRow({std::to_string(n), FormatMillis(r.total_seconds * 1e3),
+                  FormatCount(static_cast<double>(r.stats.edges_traversed)),
+                  FormatCount(r.stats.edges_traversed / (dn * dn)),
+                  FormatCount(r.total_seconds * 1e9 / (dn * dn)),
+                  FormatBytes(static_cast<double>(r.peak_memory_bytes)),
+                  FormatCount(r.peak_memory_bytes / dn)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace greta::bench
+
+int main(int argc, char** argv) {
+  return greta::bench::Run(greta::bench::Flags(argc, argv));
+}

@@ -1,0 +1,160 @@
+// Google-benchmark micro-benchmarks of the substrates: BigUInt counters,
+// B+-tree inserts and range scans, template construction, query parsing,
+// pane purge, and single-event GRETA graph insertion.
+
+#include <benchmark/benchmark.h>
+
+#include "common/biguint.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "query/parser.h"
+#include "storage/btree.h"
+#include "storage/pane.h"
+#include "workload/stock.h"
+
+namespace greta {
+namespace {
+
+void BM_BigUIntAddSmall(benchmark::State& state) {
+  BigUInt a(123456789);
+  BigUInt b(987654321);
+  for (auto _ : state) {
+    a.Add(b);
+    benchmark::DoNotOptimize(a.IsZero());
+  }
+}
+BENCHMARK(BM_BigUIntAddSmall);
+
+void BM_BigUIntAddWide(benchmark::State& state) {
+  // ~state.range(0)-bit counters, the regime of exact trend counts.
+  BigUInt a(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    BigUInt copy = a;
+    a.Add(copy);
+  }
+  BigUInt b = a;
+  for (auto _ : state) {
+    a.Add(b);
+    benchmark::DoNotOptimize(a.BitWidth());
+  }
+}
+BENCHMARK(BM_BigUIntAddWide)->Arg(256)->Arg(4096);
+
+void BM_BigUIntToDecimal(benchmark::State& state) {
+  BigUInt a(1);
+  for (int i = 0; i < 512; ++i) {
+    BigUInt copy = a;
+    a.Add(copy);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ToDecimal());
+  }
+}
+BENCHMARK(BM_BigUIntToDecimal);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<int> tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.UniformDouble(0, 1000), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  Random rng(7);
+  BPlusTree<int> tree;
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(rng.UniformDouble(0, 1000), i);
+  }
+  for (auto _ : state) {
+    KeyBounds bounds;
+    bounds.lo = 400;
+    bounds.hi = 410;  // ~1% of keys
+    size_t count = 0;
+    tree.Scan(bounds, [&](int v) {
+      benchmark::DoNotOptimize(v);
+      ++count;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+void BM_PanePurge(benchmark::State& state) {
+  struct V {
+    int64_t payload[4];
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    PaneStore<V> store(10, 2);
+    for (Ts t = 0; t < 1000; ++t) {
+      store.Insert(t, t % 2, static_cast<double>(t), V{});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.PurgeBefore(900));
+  }
+}
+BENCHMARK(BM_PanePurge);
+
+void BM_ParseQ1(benchmark::State& state) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  for (auto _ : state) {
+    auto spec = ParseQuery(
+        "RETURN sector, COUNT(*) PATTERN Stock S+ "
+        "WHERE [company, sector] AND S.price > NEXT(S).price "
+        "GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds",
+        &catalog);
+    benchmark::DoNotOptimize(spec.ok());
+  }
+}
+BENCHMARK(BM_ParseQ1);
+
+void BM_PlanQ1(benchmark::State& state) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  auto spec = MakeQ1(&catalog, 10, 10);
+  GRETA_CHECK(spec.ok());
+  for (auto _ : state) {
+    auto engine = GretaEngine::Create(&catalog, spec.value());
+    benchmark::DoNotOptimize(engine.ok());
+  }
+}
+BENCHMARK(BM_PlanQ1);
+
+void BM_GretaProcessEvent(benchmark::State& state) {
+  Catalog catalog;
+  StockConfig config;
+  config.rate = 1000;
+  config.duration = static_cast<Ts>(state.range(0)) / 1000;
+  Stream stream = GenerateStockStream(&catalog, config);
+  auto spec = MakeQ1(&catalog, 10, 10);
+  GRETA_CHECK(spec.ok());
+  for (auto _ : state) {
+    EngineOptions options;
+    options.counter_mode = CounterMode::kModular;
+    auto engine_or = GretaEngine::Create(&catalog, spec.value(), options);
+    GRETA_CHECK(engine_or.ok());
+    auto engine = std::move(engine_or).value();
+    for (const Event& e : stream.events()) {
+      GRETA_CHECK(engine->Process(e).ok());
+    }
+    GRETA_CHECK(engine->Flush().ok());
+    benchmark::DoNotOptimize(engine->TakeResults());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_GretaProcessEvent)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace greta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// A tour of the query language (Figure 2 grammar and the Section 9
+// extensions): parses a series of queries, prints their compiled form, and
+// evaluates each against a tiny shared stream — including Kleene star,
+// optional sub-patterns, disjunction, conjunction, and negation.
+//
+// Run:  ./build/examples/query_language_tour
+
+#include <cstdio>
+
+#include "common/stream.h"
+#include "core/engine.h"
+#include "query/parser.h"
+
+using namespace greta;
+
+namespace {
+
+void RunOne(Catalog* catalog, const Stream& stream, const char* query) {
+  std::printf("query: %s\n", query);
+  auto spec = ParseQuery(query, catalog);
+  if (!spec.ok()) {
+    std::printf("  -> %s\n\n", spec.status().ToString().c_str());
+    return;
+  }
+  std::printf("  pattern: %s\n",
+              spec.value().pattern->ToString(*catalog).c_str());
+  auto engine_or = GretaEngine::Create(catalog, spec.value());
+  if (!engine_or.ok()) {
+    std::printf("  -> %s\n\n", engine_or.status().ToString().c_str());
+    return;
+  }
+  auto engine = std::move(engine_or).value();
+  for (const Event& e : stream.events()) {
+    if (!engine->Process(e).ok()) return;
+  }
+  (void)engine->Flush();
+  std::vector<ResultRow> rows = engine->TakeResults();
+  if (rows.empty()) std::printf("  (no results)\n");
+  for (const ResultRow& row : rows) {
+    std::printf("  %s\n",
+                FormatRow(row, engine->plan().agg_specs, *catalog).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  for (const char* name : {"A", "B", "C", "D", "E"}) {
+    catalog.DefineType(name, {{"attr", Value::Kind::kDouble}});
+  }
+
+  // The Figure 6 stream: a1 b2 c2 a3 e3 a4 c5 d6 b7 a8 b9.
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(&catalog, type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("B", 2);
+  add("C", 2);
+  add("A", 3);
+  add("E", 3);
+  add("A", 4);
+  add("C", 5);
+  add("D", 6);
+  add("B", 7);
+  add("A", 8);
+  add("B", 9);
+
+  std::printf("stream: a1 b2 c2 a3 e3 a4 c5 d6 b7 a8 b9\n\n");
+
+  // Kleene plus / nested Kleene (Figure 6(a)-(c)).
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN A+");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN SEQ(A+, B)");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN (SEQ(A+, B))+");
+
+  // Aggregation functions (Definition 2).
+  RunOne(&catalog, stream,
+         "RETURN COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), "
+         "AVG(A.attr) PATTERN SEQ(A+, B)");
+
+  // Predicates: vertex and edge (Section 6).
+  RunOne(&catalog, stream,
+         "RETURN COUNT(*) PATTERN A+ WHERE A.attr >= 3");
+  RunOne(&catalog, stream,
+         "RETURN COUNT(*) PATTERN A+ WHERE A.attr < NEXT(A).attr");
+
+  // Windows (an event in several overlapping windows).
+  RunOne(&catalog, stream,
+         "RETURN COUNT(*) PATTERN SEQ(A+, B) WITHIN 10 seconds SLIDE 3 "
+         "seconds");
+
+  // Negation, all three placements (Section 5).
+  RunOne(&catalog, stream,
+         "RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN SEQ(A+, NOT E)");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN SEQ(NOT E, A+)");
+
+  // Section-9 sugar: star, optional, disjunction, conjunction.
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN SEQ(A*, B)");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN SEQ(A?, B)");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN A+ | SEQ(C, D)");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN A+ & SEQ(C, D)");
+
+  // Errors are reported, not thrown.
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN NOT A");
+  RunOne(&catalog, stream, "RETURN COUNT(*) PATTERN Z+");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds the nested Kleene query COUNT(*) over (SEQ(A+, B))+, feeds the
+// Figure 6 stream {a1, b2, a3, a4, b7, ...} and prints the aggregate —
+// without ever constructing the 43 matched trends.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/catalog.h"
+#include "common/stream.h"
+#include "core/engine.h"
+#include "query/parser.h"
+
+using namespace greta;
+
+int main() {
+  // 1. Declare the event schema.
+  Catalog catalog;
+  catalog.DefineType("A", {{"attr", Value::Kind::kDouble}});
+  catalog.DefineType("B", {{"attr", Value::Kind::kDouble}});
+
+  // 2. Parse an event trend aggregation query (Definition 2 clauses).
+  auto spec = ParseQuery(
+      "RETURN COUNT(*), COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), "
+      "AVG(A.attr) "
+      "PATTERN (SEQ(A+, B))+",
+      &catalog);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Build the GRETA engine (exact counters by default).
+  auto engine_or = GretaEngine::Create(&catalog, spec.value());
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "plan error: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_or).value();
+
+  // 4. Stream the events of Figure 12 (attr values 5, 2, 6, 4, 7).
+  Stream stream;
+  auto add = [&](const char* type, Ts time, double attr) {
+    stream.Append(
+        EventBuilder(&catalog, type, time).Set("attr", attr).Build());
+  };
+  add("A", 1, 5.0);
+  add("B", 2, 2.0);
+  add("A", 3, 6.0);
+  add("A", 4, 4.0);
+  add("B", 7, 7.0);
+
+  for (const Event& e : stream.events()) {
+    std::printf("-> %s\n", e.ToString(catalog).c_str());
+    Status s = engine->Process(e);
+    if (!s.ok()) {
+      std::fprintf(stderr, "process error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  (void)engine->Flush();
+
+  // 5. Read the aggregates (Example 1 of the paper: 11 trends, COUNT(A)=20,
+  //    MIN=4, MAX=6, SUM=100, AVG=5).
+  for (const ResultRow& row : engine->TakeResults()) {
+    std::printf("%s\n",
+                FormatRow(row, engine->plan().agg_specs, catalog).c_str());
+  }
+  std::printf("(events stored: %zu, edges traversed: %zu)\n",
+              engine->stats().vertices_stored,
+              engine->stats().edges_traversed);
+  return 0;
+}

@@ -1,0 +1,256 @@
+#include "baselines/explicit_graph.h"
+
+#include <algorithm>
+
+namespace greta {
+
+void InvalidationIndex::Seal() {
+  std::sort(trends_.begin(), trends_.end(),
+            [](const EndStart& a, const EndStart& b) { return a.end < b.end; });
+  Ts running = kMinTs;
+  for (EndStart& t : trends_) {
+    running = std::max(running, t.max_start);
+    t.max_start = running;
+  }
+  sealed_ = true;
+}
+
+Ts InvalidationIndex::MaxStartWithEndBefore(Ts t) const {
+  GRETA_CHECK(sealed_);
+  // Last trend with end < t carries the prefix max start.
+  auto it = std::lower_bound(
+      trends_.begin(), trends_.end(), t,
+      [](const EndStart& a, Ts value) { return a.end < value; });
+  if (it == trends_.begin()) return kMinTs;
+  return std::prev(it)->max_start;
+}
+
+Ts InvalidationIndex::MaxStart() const {
+  GRETA_CHECK(sealed_);
+  return trends_.empty() ? kMinTs : trends_.back().max_start;
+}
+
+Ts InvalidationIndex::MinEnd() const {
+  GRETA_CHECK(sealed_);
+  return trends_.empty() ? kMaxTs : trends_.front().end;
+}
+
+void BuiltGraph::BuildSuccessors() {
+  for (ExVertex& v : vertices) v.succs.clear();
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (int32_t u : vertices[i].preds) {
+      vertices[u].succs.push_back(static_cast<int32_t>(i));
+    }
+  }
+}
+
+size_t BuiltGraph::ApproxBytes() const {
+  size_t bytes = vertices.size() * sizeof(ExVertex);
+  for (const ExVertex& v : vertices) {
+    bytes += (v.preds.capacity() + v.succs.capacity()) * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+namespace {
+
+struct Link {
+  NegationKind kind = NegationKind::kNone;
+  int transition = -1;
+  StateId foll = kInvalidState;
+  const InvalidationIndex* inv = nullptr;
+};
+
+// Replays `events` through one sub-pattern template, materializing vertices
+// and predecessor pointers — the construction step every two-step approach
+// performs before it can enumerate trends.
+bool BuildOne(const GraphPlan& gp, const ExecPlan& exec,
+              const std::vector<const Event*>& events,
+              const std::vector<Link>& links, WorkBudget* budget,
+              BuiltGraph* out) {
+  const GretaTemplate& templ = gp.templ;
+  out->plan = &gp;
+  std::vector<std::vector<int32_t>> by_state(templ.num_states());
+  std::vector<uint64_t> used_transitions;  // skip-till-next bookkeeping
+  SeqNo last_seen = kMinSeq;
+  const bool contiguous = exec.semantics == Semantics::kContiguous;
+  const bool skip_next = exec.semantics == Semantics::kSkipTillNextMatch;
+
+  for (const Event* e : events) {
+    const std::vector<StateId>& states = templ.states_for_type(e->type);
+    if (states.empty()) continue;
+    bool seen = false;
+    for (StateId s : states) {
+      const StatePlan& sp = gp.states[s];
+      bool pass = true;
+      for (const Expr* pred : sp.local_preds) {
+        if (!pred->EvalVertex(*e).Truthy()) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      seen = true;
+
+      // Case-3 negation: later following-state events are not inserted.
+      bool rejected = false;
+      for (const Link& l : links) {
+        if (l.kind == NegationKind::kLeading && l.foll == s &&
+            l.inv->MinEnd() < e->time) {
+          rejected = true;
+          break;
+        }
+      }
+      if (rejected) continue;
+
+      ExVertex v;
+      v.event = e;
+      v.state = s;
+      v.is_start = templ.IsStart(s);
+      v.is_end = templ.IsEnd(s);
+
+      for (StateId p : templ.pred_states(s)) {
+        int t_idx = templ.FindTransition(p, s);
+        const TransitionPlan& tp = gp.transitions[t_idx];
+        Ts barrier = kMinTs;
+        for (const Link& l : links) {
+          bool applies = (l.kind == NegationKind::kBetween &&
+                          l.transition == t_idx) ||
+                         l.kind == NegationKind::kTrailing;
+          if (applies) {
+            barrier =
+                std::max(barrier, l.inv->MaxStartWithEndBefore(e->time));
+          }
+        }
+        for (int32_t ui : by_state[p]) {
+          if (!budget->Charge(1)) return false;
+          const ExVertex& u = out->vertices[ui];
+          if (u.event->time >= e->time) continue;  // Strict order (Def. 1).
+          if (contiguous && u.event->seq != last_seen) continue;
+          if (skip_next && ((used_transitions[ui] >> t_idx) & 1)) continue;
+          bool ok = true;
+          for (const EdgePredicatePlan& ep : tp.preds) {
+            if (!ep.expr->EvalEdge(*u.event, *e).Truthy()) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          if (u.event->time < barrier) continue;  // Cases 1 and 2.
+          v.preds.push_back(ui);
+          if (skip_next) used_transitions[ui] |= uint64_t{1} << t_idx;
+        }
+      }
+
+      if (v.is_start || !v.preds.empty()) {
+        by_state[s].push_back(static_cast<int32_t>(out->vertices.size()));
+        out->vertices.push_back(std::move(v));
+        used_transitions.push_back(0);
+      }
+    }
+    if (seen) last_seen = e->seq;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EnumerateTrends(const BuiltGraph& graph, Ts end_barrier,
+                     WorkBudget* budget,
+                     const std::function<void(const std::vector<int32_t>&)>&
+                         on_trend) {
+  std::vector<int32_t> path;
+  // (vertex, next successor position) frames of an iterative DFS — trends
+  // can be as long as the window, so recursion is unsafe.
+  std::vector<std::pair<int32_t, size_t>> stack;
+  auto emit_if_trend = [&](int32_t v) -> bool {
+    const ExVertex& vx = graph.vertices[v];
+    if (!vx.is_end || vx.event->time < end_barrier) return true;
+    // Two-step trend construction: materializing the trend costs its length.
+    if (!budget->Charge(path.size())) return false;
+    on_trend(path);
+    return true;
+  };
+  for (size_t i = 0; i < graph.vertices.size(); ++i) {
+    if (!graph.vertices[i].is_start) continue;
+    path.clear();
+    stack.clear();
+    path.push_back(static_cast<int32_t>(i));
+    stack.emplace_back(static_cast<int32_t>(i), 0);
+    if (!budget->Charge(1)) return false;
+    if (!emit_if_trend(static_cast<int32_t>(i))) return false;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const ExVertex& vx = graph.vertices[v];
+      if (next < vx.succs.size()) {
+        int32_t w = vx.succs[next++];
+        path.push_back(w);
+        stack.emplace_back(w, 0);
+        if (!budget->Charge(1)) return false;
+        if (!emit_if_trend(w)) return false;
+      } else {
+        stack.pop_back();
+        path.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+bool BuildAlternativeGraphs(const AlternativePlan& alt, const ExecPlan& exec,
+                            const std::vector<const Event*>& events,
+                            WorkBudget* budget,
+                            std::vector<BuiltGraph>* graphs,
+                            std::vector<InvalidationIndex>* indexes) {
+  size_t n = alt.graphs.size();
+  graphs->clear();
+  graphs->resize(n);
+  indexes->clear();
+  indexes->resize(n);
+
+  std::vector<std::vector<Link>> links(n);
+  for (size_t j = 1; j < n; ++j) {
+    const GraphPlan& gp = alt.graphs[j];
+    Link link;
+    link.kind = gp.link_kind;
+    link.foll = gp.foll_state;
+    link.inv = &(*indexes)[j];
+    if (gp.link_kind == NegationKind::kBetween) {
+      link.transition = alt.graphs[gp.parent].templ.FindTransition(
+          gp.prev_state, gp.foll_state);
+    }
+    links[gp.parent].push_back(link);
+  }
+
+  // Deepest negatives first (they have the largest indices; see
+  // SplitPattern), so every invalidation index is sealed before dependents
+  // build against it — the paper's graph dependency order (Section 7).
+  for (size_t step = 0; step < n; ++step) {
+    size_t i = n - 1 - step;
+    if (!BuildOne(alt.graphs[i], exec, events, links[i], budget,
+                  &(*graphs)[i])) {
+      return false;
+    }
+    (*graphs)[i].BuildSuccessors();
+    if (i > 0) {
+      Ts end_barrier = kMinTs;
+      for (const Link& l : links[i]) {
+        if (l.kind == NegationKind::kTrailing) {
+          end_barrier = std::max(end_barrier, l.inv->MaxStart());
+        }
+      }
+      bool ok = EnumerateTrends(
+          (*graphs)[i], end_barrier, budget,
+          [&](const std::vector<int32_t>& path) {
+            const BuiltGraph& g = (*graphs)[i];
+            (*indexes)[i].AddTrend(g.vertices[path.front()].event->time,
+                                   g.vertices[path.back()].event->time);
+          });
+      if (!ok) return false;
+      (*indexes)[i].Seal();
+    }
+  }
+  return true;
+}
+
+}  // namespace greta

@@ -1,0 +1,120 @@
+#ifndef GRETA_BASELINES_EXPLICIT_GRAPH_H_
+#define GRETA_BASELINES_EXPLICIT_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/event.h"
+#include "core/plan.h"
+
+namespace greta {
+
+/// Work/abort accounting shared by the two-step baselines: every edge
+/// insertion, DFS step and trend construction charges units; exceeding the
+/// budget marks the run DNF ("does not finish", mirroring the paper's runs
+/// that exceeded hours).
+class WorkBudget {
+ public:
+  explicit WorkBudget(size_t budget) : remaining_(budget) {}
+
+  /// Returns false once the budget is exhausted.
+  bool Charge(size_t units) {
+    if (exhausted_) return false;
+    if (units > remaining_) {
+      exhausted_ = true;
+      remaining_ = 0;
+      return false;
+    }
+    remaining_ -= units;
+    used_ += units;
+    return true;
+  }
+
+  bool exhausted() const { return exhausted_; }
+  size_t used() const { return used_; }
+
+ private:
+  size_t remaining_;
+  size_t used_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Trends of a negative sub-pattern within one window, compressed to what
+/// the invalidation rules need (Section 5): for a new adjacency (u, v) the
+/// rules ask whether some negative trend (start, end) has
+/// `u.time < start && end < v.time`, which reduces to a prefix-max over
+/// trends sorted by end time.
+class InvalidationIndex {
+ public:
+  void AddTrend(Ts start, Ts end) {
+    trends_.push_back({end, start});
+    sealed_ = false;
+  }
+
+  void Seal();
+
+  /// max{start : (start, end) with end < t}, or kMinTs.
+  Ts MaxStartWithEndBefore(Ts t) const;
+
+  /// max start over all trends (Case-2 window-close filter), or kMinTs.
+  Ts MaxStart() const;
+
+  /// min end over all trends (Case-3 insertion filter), or kMaxTs.
+  Ts MinEnd() const;
+
+  bool empty() const { return trends_.empty(); }
+
+ private:
+  struct EndStart {
+    Ts end;
+    Ts max_start;  // after Seal(): prefix max of start
+  };
+  mutable std::vector<EndStart> trends_;
+  mutable bool sealed_ = true;
+};
+
+/// A vertex of an explicitly materialized event graph: the stacks-with-
+/// pointers structure of SASE [31] (each stored event keeps pointers to its
+/// possible predecessor events) shared by all two-step baselines.
+struct ExVertex {
+  const Event* event = nullptr;
+  StateId state = kInvalidState;
+  bool is_start = false;
+  bool is_end = false;
+  std::vector<int32_t> preds;  // indices of predecessor vertices
+  std::vector<int32_t> succs;  // filled by BuildSuccessors()
+};
+
+/// One sub-pattern's explicit graph for one (partition, window).
+struct BuiltGraph {
+  const GraphPlan* plan = nullptr;
+  std::vector<ExVertex> vertices;  // in insertion order
+
+  void BuildSuccessors();
+  size_t ApproxBytes() const;
+};
+
+/// Builds the explicit graphs of one alternative (positive core first,
+/// negatives after it — construction itself runs deepest-negative-first so
+/// invalidation indexes exist before their dependents are built).
+///
+/// `events` must be the partition's events inside the window, ordered by
+/// sequence number. Returns false when the work budget ran out.
+bool BuildAlternativeGraphs(const AlternativePlan& alt, const ExecPlan& exec,
+                            const std::vector<const Event*>& events,
+                            WorkBudget* budget,
+                            std::vector<BuiltGraph>* graphs,
+                            std::vector<InvalidationIndex>* indexes);
+
+/// Enumerates all trends (START-to-END paths) of `graph`, invoking
+/// `on_trend(path)` with vertex indices for each. Applies the Case-2 trend
+/// end filter when `end_barrier` is set. Returns false on budget
+/// exhaustion. This is the exponential step the two-step approaches pay.
+bool EnumerateTrends(const BuiltGraph& graph, Ts end_barrier,
+                     WorkBudget* budget,
+                     const std::function<void(const std::vector<int32_t>&)>&
+                         on_trend);
+
+}  // namespace greta
+
+#endif  // GRETA_BASELINES_EXPLICIT_GRAPH_H_

@@ -1,0 +1,134 @@
+#ifndef GRETA_BASELINES_TWO_STEP_H_
+#define GRETA_BASELINES_TWO_STEP_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/explicit_graph.h"
+#include "common/memory.h"
+#include "core/engine_interface.h"
+#include "core/plan.h"
+
+namespace greta {
+
+/// Options shared by the two-step baseline engines.
+struct TwoStepOptions {
+  CounterMode counter_mode = CounterMode::kExact;
+  Semantics semantics = Semantics::kSkipTillAnyMatch;
+  /// Abstract work budget (edge checks + DFS steps + trend lengths); the
+  /// engine reports DNF once exhausted, mirroring the paper's baseline runs
+  /// that failed to terminate.
+  size_t work_budget = SIZE_MAX;
+  int max_windows_per_event = 64;
+};
+
+/// Shared shell of the two-step baselines (SASE [31], CET [24], flattened
+/// Flink [4]): buffer events per partition, and at each window close
+/// materialize the event graph, *construct* trends, and aggregate them —
+/// the state of the art this paper's GRETA approach replaces (Figure 1).
+///
+/// Partition routing (grouping + equivalence attributes, broadcast of types
+/// lacking key attributes) matches GretaEngine so results are directly
+/// comparable; see tests/engine_equivalence_test.cc.
+class TwoStepEngine : public EngineInterface {
+ public:
+  Status Process(const Event& e) override;
+  Status Flush() override;
+  std::vector<ResultRow> TakeResults() override;
+  const EngineStats& stats() const override { return stats_; }
+  const AggPlan& agg_plan() const override { return plan_->agg; }
+  std::string name() const override { return name_; }
+
+ protected:
+  TwoStepEngine(const Catalog* catalog, std::unique_ptr<ExecPlan> plan,
+                const TwoStepOptions& options, std::string name);
+
+  /// Subclass hook: aggregate all trends of one alternative for one window.
+  /// `graphs[0]` is the positive core with successors built; negative
+  /// invalidation has already been applied during construction. Returns
+  /// false on budget exhaustion.
+  virtual bool AggregateAlternative(
+      const std::vector<BuiltGraph>& graphs,
+      const std::vector<InvalidationIndex>& indexes, WorkBudget* budget,
+      AggOutputs* out) = 0;
+
+  /// Per-trend accumulation used by subclasses that walk materialized
+  /// trends.
+  void AccumulateTrend(const BuiltGraph& graph,
+                       const std::vector<int32_t>& path,
+                       AggOutputs* out) const;
+
+  /// The Case-2 (trailing negation) filter for the positive core's trends.
+  Ts PositiveEndBarrier(const std::vector<BuiltGraph>& graphs,
+                        const std::vector<InvalidationIndex>& indexes) const;
+
+  const ExecPlan& plan() const { return *plan_; }
+  MemoryTracker* memory() { return &memory_; }
+
+ private:
+  struct ValueVecHash {
+    size_t operator()(const std::vector<Value>& v) const {
+      size_t h = 0x9e3779b97f4a7c15ULL;
+      for (const Value& x : v) h = h * 1099511628211ULL ^ x.Hash();
+      return h;
+    }
+  };
+  struct ValueVecEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+  };
+  struct BroadcastEvent {
+    Event event;
+    std::vector<bool> has_attr;
+    std::vector<Value> key_values;
+  };
+  struct Partition {
+    std::vector<Value> key;
+    std::deque<Event> events;  // relevant events, in sequence order
+  };
+
+  void CloseWindowsUpTo(Ts now);
+  void EmitWindow(WindowId wid);
+  void Route(const Event& e);
+  void Deliver(Partition* p, const Event& e);
+  Partition* GetOrCreatePartition(const std::vector<Value>& key, SeqNo upto);
+  bool BroadcastMatches(const BroadcastEvent& b,
+                        const std::vector<Value>& key) const;
+  // Evaluates one partition's events for one window; false on DNF.
+  bool EvaluatePartitionWindow(Partition* partition, WindowId wid,
+                               AggOutputs* out);
+
+  const Catalog* catalog_;
+  std::unique_ptr<ExecPlan> plan_;
+  TwoStepOptions options_;
+  std::string name_;
+  MemoryTracker memory_;
+  WorkBudget budget_;
+
+  std::unordered_map<std::vector<Value>, std::unique_ptr<Partition>,
+                     ValueVecHash, ValueVecEq>
+      partitions_;
+  std::deque<BroadcastEvent> broadcast_buffer_;
+
+  Ts watermark_ = kMinTs;
+  bool saw_events_ = false;
+  bool flushed_unbounded_ = false;
+  WindowId next_close_ = 0;
+  bool next_close_valid_ = false;
+
+  std::vector<ResultRow> emitted_;
+  EngineStats stats_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_BASELINES_TWO_STEP_H_

@@ -1,0 +1,103 @@
+#include "bench_util/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace greta::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "true";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      std::printf("%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(widths.size());
+  for (size_t w : widths) rule.push_back(std::string(w, '-'));
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::vector<std::unique_ptr<EngineInterface>> MakeAllEngines(
+    const Catalog* catalog, const QuerySpec& spec, size_t baseline_budget,
+    CounterMode mode) {
+  std::vector<std::unique_ptr<EngineInterface>> engines;
+
+  EngineOptions greta_options;
+  greta_options.counter_mode = mode;
+  auto greta = GretaEngine::Create(catalog, spec.Clone(), greta_options);
+  if (greta.ok()) {
+    engines.push_back(std::move(greta).value());
+  } else {
+    std::fprintf(stderr, "GRETA: %s\n", greta.status().ToString().c_str());
+  }
+
+  TwoStepOptions two_step;
+  two_step.counter_mode = mode;
+  two_step.work_budget = baseline_budget;
+
+  auto sase = SaseEngine::Create(catalog, spec.Clone(), two_step);
+  if (sase.ok()) engines.push_back(std::move(sase).value());
+  auto cet = CetEngine::Create(catalog, spec.Clone(), two_step);
+  if (cet.ok()) engines.push_back(std::move(cet).value());
+  auto flink = FlinkFlatEngine::Create(catalog, spec.Clone(), two_step);
+  if (flink.ok()) engines.push_back(std::move(flink).value());
+  return engines;
+}
+
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const std::string& expectation) {
+  std::printf("\n=== %s ===\n%s\nPaper shape: %s\n\n", figure.c_str(),
+              description.c_str(), expectation.c_str());
+}
+
+}  // namespace greta::bench

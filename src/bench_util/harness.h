@@ -1,0 +1,55 @@
+#ifndef GRETA_BENCH_UTIL_HARNESS_H_
+#define GRETA_BENCH_UTIL_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cet.h"
+#include "baselines/flink_flat.h"
+#include "baselines/sase.h"
+#include "bench_util/metrics.h"
+#include "core/engine.h"
+
+namespace greta::bench {
+
+/// Minimal --key=value flag parsing for the benchmark binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Fixed-width text table used to print the figure reproductions.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Builds every engine the paper compares (Section 10.1): GRETA plus the
+/// two-step baselines with a work budget. Returns name/engine pairs; an
+/// engine that fails to build is reported and skipped.
+std::vector<std::unique_ptr<EngineInterface>> MakeAllEngines(
+    const Catalog* catalog, const QuerySpec& spec, size_t baseline_budget,
+    CounterMode mode = CounterMode::kModular);
+
+/// Prints the standard figure banner.
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const std::string& expectation);
+
+}  // namespace greta::bench
+
+#endif  // GRETA_BENCH_UTIL_HARNESS_H_

@@ -1,0 +1,99 @@
+#include "bench_util/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace greta::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string Format(double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+RunResult RunStream(EngineInterface* engine, const Stream& stream) {
+  RunResult result;
+  result.engine = engine->name();
+  Clock::time_point run_start = Clock::now();
+  for (const Event& e : stream.events()) {
+    Clock::time_point call_start = Clock::now();
+    Status s = engine->Process(e);
+    double call_seconds = SecondsSince(call_start);
+    if (!s.ok()) break;
+    std::vector<ResultRow> rows = engine->TakeResults();
+    if (!rows.empty()) {
+      result.rows_emitted += rows.size();
+      result.peak_latency_ms =
+          std::max(result.peak_latency_ms, call_seconds * 1e3);
+    }
+    if (engine->stats().dnf) break;
+  }
+  Clock::time_point flush_start = Clock::now();
+  (void)engine->Flush();
+  double flush_seconds = SecondsSince(flush_start);
+  std::vector<ResultRow> rows = engine->TakeResults();
+  if (!rows.empty()) {
+    result.rows_emitted += rows.size();
+    result.peak_latency_ms =
+        std::max(result.peak_latency_ms, flush_seconds * 1e3);
+  }
+  result.total_seconds = SecondsSince(run_start);
+  result.stats = engine->stats();
+  result.dnf = result.stats.dnf;
+  result.peak_memory_bytes = result.stats.peak_bytes;
+  result.throughput_eps =
+      result.total_seconds > 0.0
+          ? static_cast<double>(stream.size()) / result.total_seconds
+          : 0.0;
+  return result;
+}
+
+std::string FormatCount(double value) {
+  if (value >= 1e9) return Format(value / 1e9, "G");
+  if (value >= 1e6) return Format(value / 1e6, "M");
+  if (value >= 1e3) return Format(value / 1e3, "k");
+  return Format(value, "");
+}
+
+std::string FormatBytes(double bytes) {
+  // Thresholds at 1000x the unit keep the mantissa below 1000 (no "1e+03KB").
+  if (bytes >= 1000.0 * 1024.0 * 1024.0) {
+    return Format(bytes / (1024.0 * 1024.0 * 1024.0), "GB");
+  }
+  if (bytes >= 1000.0 * 1024.0) return Format(bytes / (1024.0 * 1024.0), "MB");
+  if (bytes >= 1000.0) return Format(bytes / 1024.0, "KB");
+  return Format(bytes, "B");
+}
+
+std::string FormatMillis(double ms) {
+  if (ms >= 60000.0) return Format(ms / 60000.0, "min");
+  if (ms >= 1000.0) return Format(ms / 1000.0, "s");
+  return Format(ms, "ms");
+}
+
+std::string RunResult::LatencyCell() const {
+  if (dnf) return "DNF";
+  return FormatMillis(peak_latency_ms);
+}
+
+std::string RunResult::MemoryCell() const {
+  if (dnf) return "DNF";
+  return FormatBytes(static_cast<double>(peak_memory_bytes));
+}
+
+std::string RunResult::ThroughputCell() const {
+  if (dnf) return "DNF";
+  return FormatCount(throughput_eps) + "/s";
+}
+
+}  // namespace greta::bench

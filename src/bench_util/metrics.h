@@ -1,0 +1,45 @@
+#ifndef GRETA_BENCH_UTIL_METRICS_H_
+#define GRETA_BENCH_UTIL_METRICS_H_
+
+#include <string>
+
+#include "common/stream.h"
+#include "core/engine_interface.h"
+
+namespace greta::bench {
+
+/// Metrics of one engine run over one stream (Section 10.1):
+///  - latency: peak time between the arrival of the last event contributing
+///    to a window's aggregate and the emission of that aggregate — under a
+///    backlog replay this is the longest Process/Flush call that emitted at
+///    least one result row;
+///  - throughput: events processed per second of total wall time;
+///  - memory: peak bytes of the engine's runtime data structures.
+struct RunResult {
+  std::string engine;
+  double total_seconds = 0.0;
+  double peak_latency_ms = 0.0;
+  double throughput_eps = 0.0;
+  size_t peak_memory_bytes = 0;
+  size_t rows_emitted = 0;
+  bool dnf = false;
+  EngineStats stats;
+
+  /// "DNF" or a value with a unit, for table cells.
+  std::string LatencyCell() const;
+  std::string MemoryCell() const;
+  std::string ThroughputCell() const;
+};
+
+/// Replays `stream` through `engine` as fast as possible, measuring the
+/// metrics above.
+RunResult RunStream(EngineInterface* engine, const Stream& stream);
+
+/// Human-friendly number formatting ("1.2M", "34.5k", "0.8").
+std::string FormatCount(double value);
+std::string FormatBytes(double bytes);
+std::string FormatMillis(double ms);
+
+}  // namespace greta::bench
+
+#endif  // GRETA_BENCH_UTIL_METRICS_H_

@@ -1,0 +1,180 @@
+#include "common/biguint.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace greta {
+
+namespace {
+
+// Adds a*b + carry_in to out, returning the high carry word. Uses 128-bit
+// intermediate arithmetic (supported by GCC/Clang on x86-64 and AArch64).
+inline uint64_t MulAddCarry(uint64_t a, uint64_t b, uint64_t addend,
+                            uint64_t* out) {
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * b + addend;
+  *out = static_cast<uint64_t>(prod);
+  return static_cast<uint64_t>(prod >> 64);
+}
+
+}  // namespace
+
+BigUInt BigUInt::FromDecimal(std::string_view s) {
+  GRETA_CHECK(!s.empty());
+  BigUInt out;
+  for (char c : s) {
+    GRETA_CHECK(c >= '0' && c <= '9');
+    out.MulUint64(10);
+    out.AddUint64(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+size_t BigUInt::BitWidth() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+void BigUInt::Add(const BigUInt& other) {
+  if (other.limbs_.empty()) return;
+  if (limbs_.size() < other.limbs_.size()) {
+    limbs_.resize(other.limbs_.size(), 0);
+  }
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < other.limbs_.size(); ++i) {
+    uint64_t sum = limbs_[i] + carry;
+    carry = (sum < carry) ? 1 : 0;
+    uint64_t sum2 = sum + other.limbs_[i];
+    carry += (sum2 < sum) ? 1 : 0;
+    limbs_[i] = sum2;
+  }
+  for (; carry != 0 && i < limbs_.size(); ++i) {
+    limbs_[i] += carry;
+    carry = (limbs_[i] == 0) ? 1 : 0;
+  }
+  if (carry != 0) limbs_.push_back(carry);
+}
+
+void BigUInt::AddUint64(uint64_t v) {
+  if (v == 0) return;
+  if (limbs_.empty()) {
+    limbs_.push_back(v);
+    return;
+  }
+  limbs_[0] += v;
+  uint64_t carry = (limbs_[0] < v) ? 1 : 0;
+  for (size_t i = 1; carry != 0 && i < limbs_.size(); ++i) {
+    limbs_[i] += carry;
+    carry = (limbs_[i] == 0) ? 1 : 0;
+  }
+  if (carry != 0) limbs_.push_back(carry);
+}
+
+void BigUInt::Sub(const BigUInt& other) {
+  GRETA_CHECK(Compare(other) >= 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t sub = (i < other.limbs_.size()) ? other.limbs_[i] : 0;
+    uint64_t before = limbs_[i];
+    uint64_t after = before - sub - borrow;
+    // Borrow iff before < sub + borrow, computed without overflow.
+    borrow = (before < sub || (before == sub && borrow != 0)) ? 1 : 0;
+    limbs_[i] = after;
+    if (sub == 0 && borrow == 0 && i >= other.limbs_.size()) break;
+  }
+  Normalize();
+}
+
+void BigUInt::MulUint64(uint64_t v) {
+  if (v == 0 || limbs_.empty()) {
+    limbs_.clear();
+    return;
+  }
+  uint64_t carry = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    carry = MulAddCarry(limbs_[i], v, carry, &limbs_[i]);
+  }
+  if (carry != 0) limbs_.push_back(carry);
+}
+
+BigUInt BigUInt::Mul(const BigUInt& other) const {
+  BigUInt out;
+  if (limbs_.empty() || other.limbs_.empty()) return out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(limbs_[i]) * other.limbs_[j] +
+          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + other.limbs_.size()] += carry;
+  }
+  out.Normalize();
+  return out;
+}
+
+uint64_t BigUInt::DivUint64(uint64_t divisor) {
+  GRETA_CHECK(divisor != 0);
+  unsigned __int128 rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    unsigned __int128 cur = (rem << 64) | limbs_[i];
+    limbs_[i] = static_cast<uint64_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  Normalize();
+  return static_cast<uint64_t>(rem);
+}
+
+int BigUInt::Compare(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+double BigUInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return out;
+}
+
+std::string BigUInt::ToDecimal() const {
+  if (limbs_.empty()) return "0";
+  // Peel off 19 decimal digits at a time (10^19 fits in a 64-bit word).
+  constexpr uint64_t kChunk = 10000000000000000000ULL;
+  BigUInt tmp = *this;
+  std::vector<uint64_t> chunks;
+  while (!tmp.IsZero()) {
+    chunks.push_back(tmp.DivUint64(kChunk));
+  }
+  std::string out = std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(19 - part.size(), '0');
+    out += part;
+  }
+  return out;
+}
+
+void BigUInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+}  // namespace greta

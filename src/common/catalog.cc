@@ -1,0 +1,27 @@
+#include "common/catalog.h"
+
+namespace greta {
+
+AttrId EventTypeDef::FindAttr(std::string_view attr_name) const {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name == attr_name) return static_cast<AttrId>(i);
+  }
+  return kInvalidAttr;
+}
+
+TypeId Catalog::DefineType(std::string_view name,
+                           std::vector<AttributeDef> attrs) {
+  GRETA_CHECK(index_.find(std::string(name)) == index_.end());
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(EventTypeDef{std::string(name), std::move(attrs)});
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+TypeId Catalog::FindType(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return kInvalidType;
+  return it->second;
+}
+
+}  // namespace greta

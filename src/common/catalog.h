@@ -1,0 +1,62 @@
+#ifndef GRETA_COMMON_CATALOG_H_
+#define GRETA_COMMON_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace greta {
+
+/// Declares one attribute of an event type's schema.
+struct AttributeDef {
+  std::string name;
+  Value::Kind kind = Value::Kind::kDouble;
+};
+
+/// Schema of one event type: a name plus an ordered list of attributes.
+struct EventTypeDef {
+  std::string name;
+  std::vector<AttributeDef> attrs;
+
+  /// Returns the attribute index for `attr_name`, or kInvalidAttr.
+  AttrId FindAttr(std::string_view attr_name) const;
+};
+
+/// Registry of event types and their schemas, plus the shared string pool
+/// used to intern string attribute values. One catalog is shared by a query,
+/// its stream, and the engine evaluating it.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers an event type; names must be unique. Returns its id.
+  TypeId DefineType(std::string_view name, std::vector<AttributeDef> attrs);
+
+  /// Returns the type id for `name`, or kInvalidType.
+  TypeId FindType(std::string_view name) const;
+
+  const EventTypeDef& type(TypeId id) const {
+    GRETA_CHECK(id >= 0 && static_cast<size_t>(id) < types_.size());
+    return types_[id];
+  }
+
+  size_t num_types() const { return types_.size(); }
+
+  StringPool* strings() { return &strings_; }
+  const StringPool& strings() const { return strings_; }
+
+ private:
+  std::vector<EventTypeDef> types_;
+  std::unordered_map<std::string, TypeId> index_;
+  StringPool strings_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_CATALOG_H_

@@ -1,0 +1,28 @@
+#ifndef GRETA_COMMON_CHECK_H_
+#define GRETA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. GRETA_CHECK is always on (benchmarks included)
+// because a violated invariant would silently corrupt aggregation results;
+// GRETA_DCHECK compiles away in NDEBUG builds and guards hot paths.
+
+#define GRETA_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "GRETA_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define GRETA_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define GRETA_DCHECK(cond) GRETA_CHECK(cond)
+#endif
+
+#endif  // GRETA_COMMON_CHECK_H_

@@ -1,0 +1,54 @@
+#include "common/event.h"
+
+namespace greta {
+
+std::string Event::ToString(const Catalog& catalog) const {
+  const EventTypeDef& def = catalog.type(type);
+  std::string out = def.name;
+  out += "@";
+  out += std::to_string(time);
+  out += "{";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += def.attrs[i].name;
+    out += "=";
+    out += attrs[i].ToString(&catalog.strings());
+  }
+  out += "}";
+  return out;
+}
+
+EventBuilder::EventBuilder(Catalog* catalog, std::string_view type_name,
+                           Ts time)
+    : catalog_(catalog) {
+  TypeId type = catalog->FindType(type_name);
+  GRETA_CHECK(type != kInvalidType);
+  event_.type = type;
+  event_.time = time;
+  event_.attrs.resize(catalog->type(type).attrs.size());
+}
+
+AttrId EventBuilder::ResolveAttr(std::string_view attr_name) const {
+  AttrId id = catalog_->type(event_.type).FindAttr(attr_name);
+  GRETA_CHECK(id != kInvalidAttr);
+  return id;
+}
+
+EventBuilder& EventBuilder::Set(std::string_view attr_name, double v) {
+  event_.attrs[ResolveAttr(attr_name)] = Value::Double(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::Set(std::string_view attr_name, int64_t v) {
+  event_.attrs[ResolveAttr(attr_name)] = Value::Int(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::Set(std::string_view attr_name,
+                                std::string_view v) {
+  event_.attrs[ResolveAttr(attr_name)] =
+      Value::Str(catalog_->strings()->Intern(v));
+  return *this;
+}
+
+}  // namespace greta

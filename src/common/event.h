@@ -1,0 +1,59 @@
+#ifndef GRETA_COMMON_EVENT_H_
+#define GRETA_COMMON_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/catalog.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace greta {
+
+/// A primitive event: occurrence time, arrival sequence number, event type,
+/// and attribute values positionally matching the type's schema (Section 2).
+struct Event {
+  Ts time = 0;
+  SeqNo seq = 0;
+  TypeId type = kInvalidType;
+  std::vector<Value> attrs;
+
+  const Value& attr(AttrId id) const {
+    GRETA_DCHECK(id >= 0 && static_cast<size_t>(id) < attrs.size());
+    return attrs[id];
+  }
+
+  /// Debug rendering like "A@3{attr=5}".
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Convenience builder for events used in tests and examples:
+///
+///   Event e = EventBuilder(catalog, "Stock", /*time=*/7)
+///                 .Set("price", 12.5)
+///                 .Set("company", "IBM")
+///                 .Build();
+class EventBuilder {
+ public:
+  EventBuilder(Catalog* catalog, std::string_view type_name, Ts time);
+
+  EventBuilder& Set(std::string_view attr_name, double v);
+  EventBuilder& Set(std::string_view attr_name, int64_t v);
+  EventBuilder& Set(std::string_view attr_name, int v) {
+    return Set(attr_name, static_cast<int64_t>(v));
+  }
+  EventBuilder& Set(std::string_view attr_name, std::string_view v);
+
+  /// Returns the built event, leaving the builder in a moved-from state.
+  Event Build() { return std::move(event_); }
+
+ private:
+  AttrId ResolveAttr(std::string_view attr_name) const;
+
+  Catalog* catalog_;
+  Event event_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_EVENT_H_

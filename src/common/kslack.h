@@ -1,0 +1,80 @@
+#ifndef GRETA_COMMON_KSLACK_H_
+#define GRETA_COMMON_KSLACK_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/event.h"
+
+namespace greta {
+
+/// K-slack reorder buffer for out-of-order streams.
+///
+/// The paper assumes in-order arrival and points to buffering techniques
+/// [17, 18] for disordered sources; this is that front-end: events may
+/// arrive up to `slack` time units late and are released in timestamp
+/// order once the watermark (max seen time minus slack) passes them.
+/// Events later than the slack bound are dropped and counted.
+///
+/// Usage:
+///   KSlackBuffer buffer(/*slack=*/5);
+///   for (Event e : wire) {
+///     for (Event& ready : buffer.Push(std::move(e))) engine->Process(ready);
+///   }
+///   for (Event& ready : buffer.Flush()) engine->Process(ready);
+class KSlackBuffer {
+ public:
+  explicit KSlackBuffer(Ts slack) : slack_(slack) {}
+
+  /// Accepts one (possibly out-of-order) event; returns the events that are
+  /// now safe to release, in timestamp order with fresh sequence numbers.
+  std::vector<Event> Push(Event e) {
+    if (e.time < released_up_to_) {
+      ++dropped_;  // Beyond the slack bound: cannot be ordered anymore.
+      return {};
+    }
+    if (e.time > max_seen_) max_seen_ = e.time;
+    e.seq = static_cast<SeqNo>(arrival_counter_++);
+    heap_.push(std::move(e));
+    return Release(max_seen_ - slack_);
+  }
+
+  /// Releases everything still buffered (stream end).
+  std::vector<Event> Flush() { return Release(kMaxTs); }
+
+  /// Events dropped for arriving later than the slack bound.
+  size_t dropped() const { return dropped_; }
+  size_t buffered() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // Stable for equal timestamps.
+    }
+  };
+
+  std::vector<Event> Release(Ts up_to) {
+    std::vector<Event> out;
+    while (!heap_.empty() && heap_.top().time <= up_to) {
+      Event e = heap_.top();
+      heap_.pop();
+      e.seq = next_seq_++;
+      released_up_to_ = e.time;
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  Ts slack_;
+  Ts max_seen_ = kMinTs;
+  Ts released_up_to_ = kMinTs;
+  uint64_t arrival_counter_ = 0;
+  SeqNo next_seq_ = 0;
+  size_t dropped_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_KSLACK_H_

@@ -1,0 +1,4 @@
+#include "common/memory.h"
+
+// MemoryTracker is header-only; this translation unit anchors the library
+// target so every module directory builds at least one object file.

@@ -1,0 +1,53 @@
+#ifndef GRETA_COMMON_MEMORY_H_
+#define GRETA_COMMON_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace greta {
+
+/// Deterministic memory accounting for the benchmark "memory" metric
+/// (Section 10.1: peak bytes of the engine's runtime data structures).
+///
+/// Engines register allocations/releases of their logical data structures
+/// (graph vertices, aggregate cells, stacks, materialized trends); the
+/// tracker records current and peak usage. This is intentionally analytic
+/// rather than RSS-based so runs are reproducible and comparable across
+/// engines and machines. Thread-safe (parallel group processing).
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  void Add(size_t bytes) {
+    size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(size_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  size_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_MEMORY_H_

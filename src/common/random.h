@@ -1,0 +1,49 @@
+#ifndef GRETA_COMMON_RANDOM_H_
+#define GRETA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace greta {
+
+/// Seeded random source shared by workload generators and property tests.
+/// Thin wrapper over std::mt19937_64 with the handful of distributions the
+/// paper's data sets need (Table 2: uniform and Poisson).
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Poisson with the given mean.
+  int64_t Poisson(double mean) {
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double Gaussian(double stddev) {
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_RANDOM_H_

@@ -1,0 +1,11 @@
+#include "common/stream.h"
+
+namespace greta {
+
+void Stream::Append(Event e) {
+  GRETA_CHECK(events_.empty() || e.time >= events_.back().time);
+  e.seq = static_cast<SeqNo>(events_.size());
+  events_.push_back(std::move(e));
+}
+
+}  // namespace greta

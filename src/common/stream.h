@@ -1,0 +1,34 @@
+#ifndef GRETA_COMMON_STREAM_H_
+#define GRETA_COMMON_STREAM_H_
+
+#include <vector>
+
+#include "common/event.h"
+
+namespace greta {
+
+/// An in-order event stream. Append enforces non-decreasing timestamps and
+/// assigns arrival sequence numbers (Section 2: events arrive in-order; an
+/// out-of-order buffer such as K-slack could be layered in front).
+class Stream {
+ public:
+  Stream() = default;
+
+  /// Appends an event; aborts if its timestamp precedes the current tail.
+  void Append(Event e);
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& operator[](size_t i) const { return events_[i]; }
+
+  /// Timestamp of the last appended event; kMinTs if empty.
+  Ts max_time() const { return events_.empty() ? kMinTs : events_.back().time; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_STREAM_H_

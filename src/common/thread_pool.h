@@ -1,0 +1,49 @@
+#ifndef GRETA_COMMON_THREAD_POOL_H_
+#define GRETA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace greta {
+
+/// A fixed-size worker pool used for parallel processing of event trend
+/// groups (Section 7: "the grouping clause partitions the stream into
+/// sub-streams that are processed in parallel independently from each
+/// other"). Tasks are arbitrary closures; WaitIdle() provides the barrier at
+/// stream-transaction boundaries.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_THREAD_POOL_H_

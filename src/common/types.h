@@ -1,0 +1,45 @@
+#ifndef GRETA_COMMON_TYPES_H_
+#define GRETA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace greta {
+
+/// Application (event) time. The paper models time as a linearly ordered set
+/// of time points; we use 64-bit integers (e.g. seconds or milliseconds).
+using Ts = int64_t;
+
+/// Arrival sequence number. Events arrive in-order by timestamp (Section 2 of
+/// the paper); the sequence number refines the timestamp into a total order so
+/// that same-timestamp events keep a deterministic arrival order.
+using SeqNo = int64_t;
+
+/// Identifier of an event type registered in a Catalog.
+using TypeId = int32_t;
+
+/// Index of an attribute within its event type's schema.
+using AttrId = int32_t;
+
+/// Identifier of a state in a GRETA template. States are occurrence-unique:
+/// one event type may map to several states (Section 9 of the paper).
+using StateId = int32_t;
+
+/// Identifier of a sliding window. Window `w` covers application time
+/// `[w * slide, w * slide + within)`.
+using WindowId = int64_t;
+
+/// Identifier of an interned string in a StringPool.
+using StrId = int32_t;
+
+inline constexpr TypeId kInvalidType = -1;
+inline constexpr AttrId kInvalidAttr = -1;
+inline constexpr StateId kInvalidState = -1;
+inline constexpr Ts kMinTs = std::numeric_limits<Ts>::min();
+inline constexpr Ts kMaxTs = std::numeric_limits<Ts>::max();
+inline constexpr SeqNo kMinSeq = std::numeric_limits<SeqNo>::min();
+inline constexpr SeqNo kMaxSeq = std::numeric_limits<SeqNo>::max();
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_TYPES_H_

@@ -1,0 +1,109 @@
+#include "common/value.h"
+
+#include <functional>
+
+namespace greta {
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
+      return int_ == other.int_;
+    }
+    return ToDouble() == other.ToDouble();
+  }
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kStr:
+      return str_ == other.str_;
+    default:
+      return false;  // Numerics handled above.
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
+      if (int_ < other.int_) return -1;
+      if (int_ > other.int_) return 1;
+      return 0;
+    }
+    double a = ToDouble();
+    double b = other.ToDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (kind_ == Kind::kStr && other.kind_ == Kind::kStr) {
+    if (str_ < other.str_) return -1;
+    if (str_ > other.str_) return 1;
+    return 0;
+  }
+  GRETA_DCHECK(kind_ == other.kind_);
+  int a = static_cast<int>(kind_);
+  int b = static_cast<int>(other.kind_);
+  return a - b;
+}
+
+size_t Value::Hash() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case Kind::kInt:
+      return std::hash<int64_t>()(int_);
+    case Kind::kDouble: {
+      // Hash ints and integral doubles identically so mixed-kind group keys
+      // that compare equal also hash equal.
+      double d = dbl_;
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>()(as_int);
+      }
+      return std::hash<double>()(d);
+    }
+    case Kind::kStr:
+      return std::hash<int64_t>()(0x5bd1e995LL ^ str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString(const StringPool* pool) const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      std::string s = std::to_string(dbl_);
+      // Trim trailing zeros for readability, keep one decimal digit.
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        s.erase(std::max(last, dot + 1) + 1);
+      }
+      return s;
+    }
+    case Kind::kStr:
+      if (pool != nullptr) return pool->Lookup(str_);
+      return "str#" + std::to_string(str_);
+  }
+  return "?";
+}
+
+StrId StringPool::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  StrId id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+StrId StringPool::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return -1;
+  return it->second;
+}
+
+}  // namespace greta

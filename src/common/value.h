@@ -1,0 +1,150 @@
+#ifndef GRETA_COMMON_VALUE_H_
+#define GRETA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace greta {
+
+class StringPool;
+
+/// A typed attribute value carried by an event: null, 64-bit integer, double,
+/// or an interned string. Values are small (16 bytes) and trivially copyable.
+///
+/// Numeric comparison coerces int and double to a common domain; strings only
+/// compare against strings (by pool id, which is sufficient for equality; for
+/// ordering the caller must go through the pool).
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kInt, kDouble, kStr };
+
+  Value() : kind_(Kind::kNull), int_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.kind_ = Kind::kDouble;
+    out.dbl_ = v;
+    return out;
+  }
+  static Value Str(StrId id) {
+    Value out;
+    out.kind_ = Kind::kStr;
+    out.str_ = id;
+    return out;
+  }
+  static Value Bool(bool b) { return Int(b ? 1 : 0); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_numeric() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  int64_t AsInt() const {
+    GRETA_DCHECK(kind_ == Kind::kInt);
+    return int_;
+  }
+  double AsDouble() const {
+    GRETA_DCHECK(kind_ == Kind::kDouble);
+    return dbl_;
+  }
+  StrId AsStr() const {
+    GRETA_DCHECK(kind_ == Kind::kStr);
+    return str_;
+  }
+
+  /// Numeric coercion: int -> double, double -> double. Null and strings
+  /// coerce to 0.0 (callers that care should check kinds first).
+  double ToDouble() const {
+    switch (kind_) {
+      case Kind::kInt:
+        return static_cast<double>(int_);
+      case Kind::kDouble:
+        return dbl_;
+      default:
+        return 0.0;
+    }
+  }
+
+  /// Truthiness for predicate results: non-zero numerics are true.
+  bool Truthy() const {
+    switch (kind_) {
+      case Kind::kInt:
+        return int_ != 0;
+      case Kind::kDouble:
+        return dbl_ != 0.0;
+      case Kind::kStr:
+        return true;
+      case Kind::kNull:
+        return false;
+    }
+    return false;
+  }
+
+  /// Structural equality (numerics compare across int/double).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison for numerics and string ids. Returns <0, 0, >0.
+  /// Comparing values of incomparable kinds aborts in debug builds and
+  /// returns kind ordering otherwise.
+  int Compare(const Value& other) const;
+
+  /// Hash suitable for unordered containers and group keys.
+  size_t Hash() const;
+
+  /// Debug rendering; resolves interned strings when a pool is given.
+  std::string ToString(const StringPool* pool = nullptr) const;
+
+ private:
+  Kind kind_;
+  union {
+    int64_t int_;
+    double dbl_;
+    StrId str_;
+  };
+};
+
+/// Interns strings to dense 32-bit ids. Not thread-safe for interning;
+/// lookups of already-interned ids are safe concurrently with each other.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the id for `s`, interning it on first use.
+  StrId Intern(std::string_view s);
+
+  /// Returns the id for `s` or -1 if it has never been interned.
+  StrId Find(std::string_view s) const;
+
+  /// Returns the string for a previously interned id.
+  const std::string& Lookup(StrId id) const {
+    GRETA_CHECK(id >= 0 && static_cast<size_t>(id) < strings_.size());
+    return strings_[id];
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StrId> index_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_VALUE_H_

@@ -1,0 +1,42 @@
+#include "core/combinators.h"
+
+#include "common/check.h"
+
+namespace greta::combinators {
+
+BigUInt Choose2(const BigUInt& n) {
+  if (n.IsZero()) return BigUInt();
+  BigUInt n_minus_1 = n;
+  n_minus_1.Sub(BigUInt(1));
+  BigUInt product = n.Mul(n_minus_1);
+  uint64_t rem = product.DivUint64(2);
+  GRETA_CHECK(rem == 0);
+  return product;
+}
+
+BigUInt CombineDisjunction(const BigUInt& count_pi, const BigUInt& count_pj,
+                           const BigUInt& count_pij) {
+  GRETA_CHECK(count_pi.Compare(count_pij) >= 0);
+  GRETA_CHECK(count_pj.Compare(count_pij) >= 0);
+  BigUInt out = count_pi;
+  out.Add(count_pj);
+  out.Sub(count_pij);
+  return out;
+}
+
+BigUInt CombineConjunction(const BigUInt& count_pi, const BigUInt& count_pj,
+                           const BigUInt& count_pij) {
+  GRETA_CHECK(count_pi.Compare(count_pij) >= 0);
+  GRETA_CHECK(count_pj.Compare(count_pij) >= 0);
+  BigUInt ci = count_pi;
+  ci.Sub(count_pij);
+  BigUInt cj = count_pj;
+  cj.Sub(count_pij);
+  BigUInt out = ci.Mul(cj);
+  out.Add(ci.Mul(count_pij));
+  out.Add(cj.Mul(count_pij));
+  out.Add(Choose2(count_pij));
+  return out;
+}
+
+}  // namespace greta::combinators

@@ -1,0 +1,33 @@
+#ifndef GRETA_CORE_COMBINATORS_H_
+#define GRETA_CORE_COMBINATORS_H_
+
+#include "common/biguint.h"
+
+namespace greta::combinators {
+
+/// Count combination formulas of Section 9 for disjunctive and conjunctive
+/// patterns, given the sub-pattern counts Ci' = COUNT(Pi), Cj' = COUNT(Pj)
+/// and the intersection count Cij = COUNT(Pij) (trends matched by both).
+/// The planner uses the zero-Cij special cases automatically when it can
+/// prove disjointness; these functions cover the general case when the
+/// caller evaluates the intersection pattern Pij itself (e.g. via the
+/// product-DFA construction referenced by the paper [27]).
+
+/// COUNT(Pi | Pj) = Ci + Cj - Cij, with Ci = COUNT(Pi) - Cij etc. folded in:
+/// equivalently COUNT(Pi) + COUNT(Pj) - COUNT(Pij).
+BigUInt CombineDisjunction(const BigUInt& count_pi, const BigUInt& count_pj,
+                           const BigUInt& count_pij);
+
+/// COUNT(Pi & Pj) = Ci*Cj + Ci*Cij + Cj*Cij + C(Cij, 2)
+/// where Ci = COUNT(Pi) - Cij and Cj = COUNT(Pj) - Cij: every trend detected
+/// only by Pi pairs with every trend detected only by Pj, and trends of the
+/// intersection pair with every *other* trend.
+BigUInt CombineConjunction(const BigUInt& count_pi, const BigUInt& count_pj,
+                           const BigUInt& count_pij);
+
+/// Binomial coefficient C(n, 2) = n*(n-1)/2.
+BigUInt Choose2(const BigUInt& n);
+
+}  // namespace greta::combinators
+
+#endif  // GRETA_CORE_COMBINATORS_H_

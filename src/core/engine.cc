@@ -1,0 +1,357 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "storage/window.h"
+
+namespace greta {
+
+StatusOr<std::unique_ptr<GretaEngine>> GretaEngine::Create(
+    const Catalog* catalog, const QuerySpec& spec,
+    const EngineOptions& options) {
+  PlannerOptions popts;
+  popts.counter_mode = options.counter_mode;
+  popts.semantics = options.semantics;
+  popts.max_windows_per_event = options.max_windows_per_event;
+  popts.enable_tree_ranges = options.enable_tree_ranges;
+  popts.enable_pruning = options.enable_pruning;
+  StatusOr<std::unique_ptr<ExecPlan>> plan =
+      BuildPlan(spec, *catalog, popts);
+  if (!plan.ok()) return plan.status();
+  return std::unique_ptr<GretaEngine>(
+      new GretaEngine(catalog, std::move(plan).value(), options));
+}
+
+GretaEngine::GretaEngine(const Catalog* catalog,
+                         std::unique_ptr<ExecPlan> plan,
+                         const EngineOptions& options)
+    : catalog_(catalog), plan_(std::move(plan)), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Status GretaEngine::Process(const Event& e) {
+  if (saw_events_ && e.time < watermark_) {
+    return Status::InvalidArgument(
+        "events must arrive in-order by timestamp (Section 2)");
+  }
+  if (pool_ != nullptr && !batch_.empty() && e.time != batch_ts_) {
+    FlushBatch();
+  }
+  if (!next_close_valid_ && !plan_->window.unbounded()) {
+    next_close_ = FirstWindowOf(e.time, plan_->window);
+    next_close_valid_ = true;
+  }
+  AdvanceTime(e.time);
+  watermark_ = e.time;
+  saw_events_ = true;
+  ++stats_.events_processed;
+
+  if (pool_ != nullptr) {
+    batch_.push_back(e);
+    batch_ts_ = e.time;
+  } else {
+    Route(e);
+  }
+  stats_.peak_bytes = memory_.peak_bytes();
+  return Status::Ok();
+}
+
+void GretaEngine::AdvanceTime(Ts now) { CloseWindowsUpTo(now); }
+
+void GretaEngine::CloseWindowsUpTo(Ts now) {
+  if (plan_->window.unbounded() || !next_close_valid_) return;
+  bool closed_any = false;
+  while (WindowCloseTime(next_close_, plan_->window) <= now) {
+    EmitWindow(next_close_);
+    ++next_close_;
+    closed_any = true;
+  }
+  if (closed_any) {
+    for (auto& [key, partition] : partitions_) {
+      (void)key;
+      for (AltRuntime& alt : partition->alts) {
+        for (std::unique_ptr<GretaGraph>& g : alt.graphs) g->Purge(now);
+      }
+    }
+    // Broadcast events older than one window length can no longer share a
+    // window with any future partition member.
+    while (!broadcast_buffer_.empty() &&
+           broadcast_buffer_.front().event.time + plan_->window.within <=
+               now) {
+      broadcast_buffer_.pop_front();
+    }
+  }
+}
+
+void GretaEngine::EmitWindow(WindowId wid) {
+  std::unordered_map<std::vector<Value>, AggOutputs, ValueVecHash, ValueVecEq>
+      merged;
+  for (auto& [key, partition] : partitions_) {
+    AggOutputs acc;
+    if (plan_->groups.size() <= 1) {
+      // Disjoint alternatives sum (one term group).
+      if (!plan_->groups.empty()) {
+        for (int idx : plan_->groups[0].alternative_indices) {
+          partition->alts[idx].graphs[0]->CollectWindow(wid, &acc);
+        }
+      }
+    } else {
+      // Conjunction: product over term groups of each group's total count
+      // (Section 9; COUNT(*) only, enforced by the planner).
+      BigUInt product(1);
+      bool all_nonzero = true;
+      for (const TermGroupPlan& group : plan_->groups) {
+        AggOutputs group_acc;
+        for (int idx : group.alternative_indices) {
+          partition->alts[idx].graphs[0]->CollectWindow(wid, &group_acc);
+        }
+        if (!group_acc.any || group_acc.count.IsZero()) {
+          all_nonzero = false;
+          break;
+        }
+        product = product.Mul(group_acc.count.ToBig());
+      }
+      if (all_nonzero) {
+        acc.count = Counter::FromBig(product, plan_->mode);
+        acc.any = true;
+      }
+    }
+    if (!acc.any) continue;
+    std::vector<Value> group(key.begin(),
+                             key.begin() + plan_->num_group_attrs);
+    auto [it, inserted] = merged.try_emplace(std::move(group));
+    (void)inserted;
+    it->second.Merge(acc, plan_->agg);
+  }
+
+  std::vector<ResultRow> rows;
+  rows.reserve(merged.size());
+  for (auto& [group, outputs] : merged) {
+    ResultRow row;
+    row.wid = wid;
+    row.group = group;
+    row.aggs = std::move(outputs);
+    rows.push_back(std::move(row));
+  }
+  SortRows(&rows);
+  for (ResultRow& row : rows) {
+    if (result_callback_) result_callback_(row);
+    emitted_.push_back(std::move(row));
+  }
+
+  for (auto& [key, partition] : partitions_) {
+    (void)key;
+    for (AltRuntime& alt : partition->alts) {
+      for (std::unique_ptr<GretaGraph>& g : alt.graphs) g->ForgetWindow(wid);
+      for (std::unique_ptr<NegationLink>& link : alt.links) {
+        link->ForgetWindow(wid);
+      }
+    }
+  }
+}
+
+void GretaEngine::Route(const Event& e) {
+  auto ids_it = plan_->key_attr_ids.find(e.type);
+  if (ids_it == plan_->key_attr_ids.end()) return;  // Irrelevant type.
+  const std::vector<AttrId>& ids = ids_it->second;
+
+  bool full = true;
+  for (AttrId id : ids) full &= (id != kInvalidAttr);
+
+  if (full) {
+    std::vector<Value> key;
+    key.reserve(ids.size());
+    for (AttrId id : ids) key.push_back(e.attr(id));
+    Partition* p = GetOrCreatePartition(key, e.seq);
+    DeliverToPartition(p, e);
+    return;
+  }
+
+  // Broadcast routing: the type lacks some key attributes (e.g. Accident
+  // has a segment but no vehicle in Q3); deliver to every partition that
+  // agrees on the attributes it does carry, now and in the future.
+  BroadcastEvent b;
+  b.event = e;
+  b.has_attr.resize(ids.size());
+  b.key_values.resize(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    b.has_attr[i] = (ids[i] != kInvalidAttr);
+    if (b.has_attr[i]) b.key_values[i] = e.attr(ids[i]);
+  }
+  for (auto& [key, partition] : partitions_) {
+    if (BroadcastMatches(b, key)) DeliverToPartition(partition.get(), e);
+  }
+  broadcast_buffer_.push_back(std::move(b));
+}
+
+bool GretaEngine::BroadcastMatches(const BroadcastEvent& b,
+                                   const std::vector<Value>& key) const {
+  for (size_t i = 0; i < b.has_attr.size(); ++i) {
+    if (b.has_attr[i] && !(b.key_values[i] == key[i])) return false;
+  }
+  return true;
+}
+
+GretaEngine::Partition* GretaEngine::GetOrCreatePartition(
+    const std::vector<Value>& key, SeqNo upto) {
+  auto it = partitions_.find(key);
+  if (it != partitions_.end()) return it->second.get();
+
+  auto partition = std::make_unique<Partition>();
+  partition->key = key;
+  partition->alts.reserve(plan_->alternatives.size());
+  for (const AlternativePlan& alt_plan : plan_->alternatives) {
+    AltRuntime alt;
+    for (const GraphPlan& gp : alt_plan.graphs) {
+      alt.graphs.push_back(
+          std::make_unique<GretaGraph>(&gp, plan_.get(), &memory_));
+    }
+    // Wire negation links: negative graph i reports into the graph it
+    // invalidates (its parent), per its placement case.
+    for (size_t i = 1; i < alt_plan.graphs.size(); ++i) {
+      const GraphPlan& gp = alt_plan.graphs[i];
+      GretaGraph* parent = alt.graphs[gp.parent].get();
+      const GretaTemplate& parent_templ =
+          alt_plan.graphs[gp.parent].templ;
+      int transition = -1;
+      if (gp.link_kind == NegationKind::kBetween) {
+        transition = parent_templ.FindTransition(gp.prev_state, gp.foll_state);
+      }
+      auto link = std::make_unique<NegationLink>(gp.link_kind, transition,
+                                                 gp.foll_state);
+      alt.graphs[i]->SetOutLink(link.get());
+      switch (gp.link_kind) {
+        case NegationKind::kBetween:
+          parent->AttachTransitionLink(transition, link.get());
+          break;
+        case NegationKind::kTrailing:
+          parent->AttachGraphLink(link.get());
+          break;
+        case NegationKind::kLeading:
+          parent->AttachFollowLink(link.get());
+          break;
+        case NegationKind::kNone:
+          GRETA_CHECK(false);
+      }
+      alt.links.push_back(std::move(link));
+    }
+    partition->alts.push_back(std::move(alt));
+  }
+
+  Partition* raw = partition.get();
+  partitions_.emplace(key, std::move(partition));
+  memory_.Add(sizeof(Partition) + key.size() * sizeof(Value));
+
+  // Replay buffered broadcast events that precede the creating event.
+  for (const BroadcastEvent& b : broadcast_buffer_) {
+    if (b.event.seq >= upto) break;
+    if (BroadcastMatches(b, key)) DeliverToPartition(raw, b.event);
+  }
+  return raw;
+}
+
+void GretaEngine::DeliverToPartition(Partition* p, const Event& e) {
+  for (AltRuntime& alt : p->alts) {
+    // Negative graphs first: purely cosmetic (barriers are time-based and
+    // order-independent), but it mirrors the paper's scheduler which runs
+    // graphs a graph depends on first.
+    for (size_t i = alt.graphs.size(); i-- > 0;) {
+      alt.graphs[i]->Insert(e);
+    }
+  }
+}
+
+void GretaEngine::FlushBatch() {
+  if (batch_.empty()) return;
+  // Serial routing builds per-partition batches (partition creation and
+  // broadcast buffering mutate shared state); delivery then runs in
+  // parallel, one task per partition — the paper's parallel processing of
+  // independent event trend groups (Section 7).
+  std::unordered_map<Partition*, std::vector<Event>> per_partition;
+  for (const Event& e : batch_) {
+    auto ids_it = plan_->key_attr_ids.find(e.type);
+    if (ids_it == plan_->key_attr_ids.end()) continue;
+    const std::vector<AttrId>& ids = ids_it->second;
+    bool full = true;
+    for (AttrId id : ids) full &= (id != kInvalidAttr);
+    if (full) {
+      std::vector<Value> key;
+      key.reserve(ids.size());
+      for (AttrId id : ids) key.push_back(e.attr(id));
+      Partition* p = GetOrCreatePartition(key, e.seq);
+      per_partition[p].push_back(e);
+    } else {
+      BroadcastEvent b;
+      b.event = e;
+      b.has_attr.resize(ids.size());
+      b.key_values.resize(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        b.has_attr[i] = (ids[i] != kInvalidAttr);
+        if (b.has_attr[i]) b.key_values[i] = e.attr(ids[i]);
+      }
+      for (auto& [key, partition] : partitions_) {
+        if (BroadcastMatches(b, key)) {
+          per_partition[partition.get()].push_back(e);
+        }
+      }
+      broadcast_buffer_.push_back(std::move(b));
+    }
+  }
+  for (auto& [partition, events] : per_partition) {
+    Partition* p = partition;
+    std::vector<Event>* ev = &events;
+    pool_->Submit([this, p, ev] {
+      for (const Event& e : *ev) DeliverToPartition(p, e);
+    });
+  }
+  pool_->WaitIdle();
+  batch_.clear();
+}
+
+Status GretaEngine::Flush() {
+  if (pool_ != nullptr) FlushBatch();
+  if (!saw_events_) return Status::Ok();
+  if (plan_->window.unbounded()) {
+    if (!flushed_unbounded_) {
+      EmitWindow(0);
+      flushed_unbounded_ = true;
+    }
+  } else if (next_close_valid_) {
+    WindowId last = LastWindowOf(watermark_, plan_->window);
+    while (next_close_ <= last) {
+      EmitWindow(next_close_);
+      ++next_close_;
+    }
+  }
+  RefreshAggregateStats();
+  return Status::Ok();
+}
+
+std::vector<ResultRow> GretaEngine::TakeResults() {
+  RefreshAggregateStats();
+  std::vector<ResultRow> out = std::move(emitted_);
+  emitted_.clear();
+  return out;
+}
+
+void GretaEngine::RefreshAggregateStats() {
+  size_t vertices = 0;
+  size_t edges = 0;
+  for (const auto& [key, partition] : partitions_) {
+    (void)key;
+    for (const AltRuntime& alt : partition->alts) {
+      for (const std::unique_ptr<GretaGraph>& g : alt.graphs) {
+        vertices += g->total_vertices();
+        edges += g->edges_traversed();
+      }
+    }
+  }
+  stats_.vertices_stored = vertices;
+  stats_.edges_traversed = edges;
+  stats_.work_units = edges;
+  stats_.peak_bytes = memory_.peak_bytes();
+}
+
+}  // namespace greta

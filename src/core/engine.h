@@ -1,0 +1,140 @@
+#ifndef GRETA_CORE_ENGINE_H_
+#define GRETA_CORE_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/thread_pool.h"
+#include "core/engine_interface.h"
+#include "core/greta_graph.h"
+#include "core/plan.h"
+
+namespace greta {
+
+/// Engine construction options.
+struct EngineOptions {
+  CounterMode counter_mode = CounterMode::kExact;
+  Semantics semantics = Semantics::kSkipTillAnyMatch;
+  /// >1 enables parallel processing of event trend groups (Section 7);
+  /// events of one timestamp are micro-batched and dispatched per partition.
+  int num_threads = 1;
+  int max_windows_per_event = 64;
+  /// Ablation knob (bench_ablation): disable tree-indexed predecessor range
+  /// queries and fall back to scan + filter.
+  bool enable_tree_ranges = true;
+  /// Ablation knob: disable invalid event pruning (Theorem 5.1).
+  bool enable_pruning = true;
+};
+
+/// The GRETA runtime (Figure 4): filters and partitions the stream on vertex
+/// predicates and grouping attributes, maintains one GRETA graph per
+/// sub-pattern per partition, propagates aggregates along edges during graph
+/// construction, and emits final aggregates incrementally at window close.
+class GretaEngine : public EngineInterface {
+ public:
+  /// Compiles `spec` and builds the runtime. The catalog must outlive the
+  /// engine.
+  static StatusOr<std::unique_ptr<GretaEngine>> Create(
+      const Catalog* catalog, const QuerySpec& spec,
+      const EngineOptions& options = {});
+
+  Status Process(const Event& e) override;
+  Status Flush() override;
+  std::vector<ResultRow> TakeResults() override;
+  const EngineStats& stats() const override { return stats_; }
+  const AggPlan& agg_plan() const override { return plan_->agg; }
+  std::string name() const override { return "GRETA"; }
+
+  const ExecPlan& plan() const { return *plan_; }
+
+  /// Optional push-style delivery: invoked for every result row the moment
+  /// its window closes (before it is queued for TakeResults), e.g. to fire
+  /// the paper's real-time sell signals without polling.
+  void set_result_callback(std::function<void(const ResultRow&)> callback) {
+    result_callback_ = std::move(callback);
+  }
+
+ private:
+  GretaEngine(const Catalog* catalog, std::unique_ptr<ExecPlan> plan,
+              const EngineOptions& options);
+
+  struct AltRuntime {
+    std::vector<std::unique_ptr<GretaGraph>> graphs;
+    std::vector<std::unique_ptr<NegationLink>> links;
+  };
+  struct Partition {
+    std::vector<Value> key;
+    std::vector<AltRuntime> alts;
+  };
+
+  struct ValueVecHash {
+    size_t operator()(const std::vector<Value>& v) const {
+      size_t h = 0x9e3779b97f4a7c15ULL;
+      for (const Value& x : v) h = h * 1099511628211ULL ^ x.Hash();
+      return h;
+    }
+  };
+  struct ValueVecEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+  };
+
+  // A buffered event of a type lacking some key attributes, delivered to
+  // every current and future partition whose key agrees on the attributes
+  // the event does carry.
+  struct BroadcastEvent {
+    Event event;
+    std::vector<bool> has_attr;     // per key attr
+    std::vector<Value> key_values;  // valid where has_attr
+  };
+
+  void AdvanceTime(Ts now);
+  void CloseWindowsUpTo(Ts now);
+  void EmitWindow(WindowId wid);
+  void Route(const Event& e);
+  void DeliverToPartition(Partition* p, const Event& e);
+  Partition* GetOrCreatePartition(const std::vector<Value>& key, SeqNo upto);
+  bool BroadcastMatches(const BroadcastEvent& b,
+                        const std::vector<Value>& key) const;
+  void FlushBatch();
+  void RefreshAggregateStats();
+
+  const Catalog* catalog_;
+  std::unique_ptr<ExecPlan> plan_;
+  EngineOptions options_;
+  MemoryTracker memory_;
+  std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
+
+  std::unordered_map<std::vector<Value>, std::unique_ptr<Partition>,
+                     ValueVecHash, ValueVecEq>
+      partitions_;
+  std::deque<BroadcastEvent> broadcast_buffer_;
+
+  // Micro-batch of the current timestamp (parallel mode only).
+  std::vector<Event> batch_;
+  Ts batch_ts_ = kMinTs;
+
+  Ts watermark_ = kMinTs;
+  bool saw_events_ = false;
+  bool flushed_unbounded_ = false;
+  WindowId next_close_ = 0;
+  bool next_close_valid_ = false;
+
+  std::vector<ResultRow> emitted_;
+  std::function<void(const ResultRow&)> result_callback_;
+  EngineStats stats_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_CORE_ENGINE_H_

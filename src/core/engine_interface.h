@@ -1,0 +1,82 @@
+#ifndef GRETA_CORE_ENGINE_INTERFACE_H_
+#define GRETA_CORE_ENGINE_INTERFACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/status.h"
+#include "core/aggregate.h"
+
+namespace greta {
+
+/// Event selection semantics (Table 1). Skip-till-any-match is the paper's
+/// focus (all matches, exponentially many trends); the restricted semantics
+/// establish fewer edges in the graph (Section 9):
+///  - kSkipTillNextMatch: each stored event extends at most one later event
+///    per transition (it skips only events it cannot match);
+///  - kContiguous: adjacent trend events must be consecutive in the
+///    (partitioned, vertex-filtered) stream seen by the graph.
+enum class Semantics {
+  kSkipTillAnyMatch,
+  kSkipTillNextMatch,
+  kContiguous,
+};
+
+/// One aggregation result: the aggregates of one group in one window.
+struct ResultRow {
+  WindowId wid = 0;
+  std::vector<Value> group;  // values of the GROUP-BY attributes
+  AggOutputs aggs;
+};
+
+/// Counters common to all engines, reported by benchmarks.
+struct EngineStats {
+  size_t events_processed = 0;
+  size_t vertices_stored = 0;
+  size_t edges_traversed = 0;     // aggregate propagation steps (GRETA)
+  size_t trends_constructed = 0;  // materialized trends (two-step baselines)
+  size_t work_units = 0;          // abstract work, for budget enforcement
+  size_t peak_bytes = 0;          // peak data structure footprint
+  bool dnf = false;               // exceeded its work budget ("did not finish")
+};
+
+/// Common interface of the GRETA engine and the two-step baselines (SASE,
+/// CET, Flink-flat), so tests and benchmarks can swap them freely.
+///
+/// Contract: Process() must be called in non-decreasing time order; results
+/// for a window are emitted once the watermark passes its close time (or at
+/// Flush() for whatever remains) and are drained with TakeResults().
+class EngineInterface {
+ public:
+  virtual ~EngineInterface() = default;
+
+  virtual Status Process(const Event& e) = 0;
+  virtual Status Flush() = 0;
+
+  /// Drains emitted rows (ordered by window id, then group values).
+  virtual std::vector<ResultRow> TakeResults() = 0;
+
+  virtual const EngineStats& stats() const = 0;
+  virtual const AggPlan& agg_plan() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Renders rows for humans: "wid=3 group=(Tech) COUNT(*)=43 ...".
+std::string FormatRow(const ResultRow& row, const std::vector<AggSpec>& specs,
+                      const Catalog& catalog);
+
+/// Deterministic ordering used by every engine before emitting.
+void SortRows(std::vector<ResultRow>* rows);
+
+/// True when two result sets agree on counts (exact decimal), min/max/sum
+/// (within tolerance), group keys and windows. Used to cross-validate
+/// engines.
+bool RowsEquivalent(const std::vector<ResultRow>& a,
+                    const std::vector<ResultRow>& b, const AggPlan& plan,
+                    std::string* diff);
+
+}  // namespace greta
+
+#endif  // GRETA_CORE_ENGINE_INTERFACE_H_

@@ -1,0 +1,251 @@
+#include "core/greta_graph.h"
+
+#include <algorithm>
+
+#include "storage/window.h"
+
+namespace greta {
+
+GretaGraph::GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
+                       MemoryTracker* memory)
+    : plan_(plan),
+      exec_(exec),
+      memory_(memory),
+      panes_(PaneSize(exec->window), plan->templ.num_states()),
+      single_window_(MaxWindowsPerEvent(exec->window) == 1) {
+  transition_links_.resize(plan_->templ.transitions().size());
+}
+
+void GretaGraph::AttachTransitionLink(int transition_index,
+                                      NegationLink* link) {
+  GRETA_CHECK(transition_index >= 0 &&
+              static_cast<size_t>(transition_index) <
+                  transition_links_.size());
+  transition_links_[transition_index].push_back(link);
+}
+
+void GretaGraph::AttachGraphLink(NegationLink* link) {
+  graph_links_.push_back(link);
+}
+
+void GretaGraph::AttachFollowLink(NegationLink* link) {
+  follow_links_.push_back(link);
+}
+
+Ts GretaGraph::TransitionBarrier(int transition_index, WindowId wid, Ts now) {
+  Ts barrier = kMinTs;
+  for (NegationLink* link : transition_links_[transition_index]) {
+    barrier = std::max(barrier, link->MaxStartBarrier(wid, now));
+  }
+  for (NegationLink* link : graph_links_) {
+    barrier = std::max(barrier, link->MaxStartBarrier(wid, now));
+  }
+  return barrier;
+}
+
+void GretaGraph::Insert(const Event& e) {
+  const std::vector<StateId>& states = plan_->templ.states_for_type(e.type);
+  if (states.empty()) return;
+  bool seen = false;
+  for (StateId s : states) {
+    seen |= InsertAtState(e, s);
+  }
+  // Contiguous semantics: remember the newest event this graph has seen
+  // (events failing vertex predicates "cannot be matched" and are skipped
+  // under every semantics).
+  if (seen) last_seen_seq_ = e.seq;
+}
+
+bool GretaGraph::InsertAtState(const Event& e, StateId s) {
+  const StatePlan& sp = plan_->states[s];
+  for (const Expr* pred : sp.local_preds) {
+    if (!pred->EvalVertex(e).Truthy()) return false;
+  }
+
+  const WindowSpec& window = exec_->window;
+  WindowId first_wid = FirstWindowOf(e.time, window);
+  WindowId last_wid = LastWindowOf(e.time, window);
+  int k = static_cast<int>(last_wid - first_wid + 1);
+  GRETA_DCHECK(k >= 1 && k <= 64);
+
+  GraphVertex v;
+  v.state = s;
+  v.first_wid = first_wid;
+  v.num_wids = k;
+  v.cells.resize(k);
+
+  // Case-3 negation: windows in which a leading negative sub-pattern has
+  // already finished reject new following-state events entirely.
+  bool any_active = false;
+  for (int i = 0; i < k; ++i) {
+    WindowId wid = first_wid + i;
+    bool active = true;
+    for (NegationLink* link : follow_links_) {
+      if (link->foll_state() != s) continue;
+      if (link->MinEndBarrier(wid, e.time) < e.time) {
+        active = false;
+        break;
+      }
+    }
+    v.cells[i].active = active;
+    any_active |= active;
+  }
+  if (!any_active) return true;
+
+  bool is_start = plan_->templ.IsStart(s);
+  bool found_pred = false;
+
+  const bool skip_till_next =
+      exec_->semantics == Semantics::kSkipTillNextMatch;
+  const bool contiguous = exec_->semantics == Semantics::kContiguous;
+
+  for (StateId p : plan_->templ.pred_states(s)) {
+    int t_idx = plan_->templ.FindTransition(p, s);
+    GRETA_DCHECK(t_idx >= 0);
+    const TransitionPlan& tp = plan_->transitions[t_idx];
+
+    // Negation barriers per shared window (Cases 1 and 2).
+    const bool has_barriers =
+        !transition_links_[t_idx].empty() || !graph_links_.empty();
+    std::vector<Ts> barrier;
+    if (has_barriers) {
+      barrier.resize(k);
+      for (int i = 0; i < k; ++i) {
+        barrier[i] = TransitionBarrier(t_idx, first_wid + i, e.time);
+      }
+    }
+
+    // Key range on the predecessor tree from the sort-key predicates.
+    KeyBounds bounds;
+    for (const EdgePredicatePlan& ep : tp.preds) {
+      if (!ep.drives_sort_key || !ep.range.has_value()) continue;
+      KeyBounds b = ep.range->ComputeBounds(e);
+      if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
+        bounds.lo = b.lo;
+        bounds.lo_strict = b.lo_strict;
+      }
+      if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
+        bounds.hi = b.hi;
+        bounds.hi_strict = b.hi_strict;
+      }
+    }
+
+    Ts lo_time = window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
+    const bool can_prune = exec_->enable_pruning && single_window_ &&
+                           has_barriers &&
+                           plan_->templ.succ_states(p).size() == 1;
+
+    panes_.ScanBucket(lo_time, e.time, static_cast<size_t>(p), bounds,
+                      [&](GraphVertex* u) {
+      if (u->dead) return;
+      if (u->event.time >= e.time) return;  // Strict trend order (Def. 1).
+      if (contiguous && u->event.seq != last_seen_seq_) return;
+      if (skip_till_next && ((u->used_transitions >> t_idx) & 1)) return;
+      // Residual edge predicates (those not enforced by the key range).
+      for (const EdgePredicatePlan& ep : tp.preds) {
+        if (ep.drives_sort_key && ep.range.has_value()) continue;
+        if (!ep.expr->EvalEdge(u->event, e).Truthy()) return;
+      }
+      WindowId lo_w = std::max(first_wid, u->first_wid);
+      WindowId hi_w =
+          std::min(last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+      if (lo_w > hi_w) return;
+      bool contributed = false;
+      bool barred_everywhere = has_barriers;
+      for (WindowId w = lo_w; w <= hi_w; ++w) {
+        const AggCell* uc = u->cell(w);
+        AggCell* vc = v.cell(w);
+        if (!uc->active || !vc->active || uc->count.IsZero()) {
+          barred_everywhere = false;
+          continue;
+        }
+        if (has_barriers && u->event.time < barrier[w - first_wid]) continue;
+        vc->AddPredecessor(*uc, plan_->agg);
+        contributed = true;
+        barred_everywhere = false;
+        ++edges_;
+      }
+      if (contributed) {
+        found_pred = true;
+        if (skip_till_next) u->used_transitions |= uint64_t{1} << t_idx;
+      } else if (barred_everywhere && can_prune && lo_w == u->first_wid &&
+                 hi_w == u->first_wid + u->num_wids - 1) {
+        // Invalid event pruning (Theorem 5.1): u can only ever connect via
+        // this transition and is invalid in all its windows.
+        u->dead = true;
+      }
+    });
+  }
+
+  if (!is_start && !found_pred) return true;  // Not inserted (Algorithm 2).
+
+  for (int i = 0; i < k; ++i) {
+    if (v.cells[i].active) v.cells[i].FinishVertex(e, is_start, plan_->agg);
+  }
+
+  v.event = e;
+  double key = (sp.sort_attr == kInvalidAttr)
+                   ? static_cast<double>(e.time)
+                   : e.attr(sp.sort_attr).ToDouble();
+  GraphVertex* stored =
+      panes_.Insert(e.time, static_cast<size_t>(s), key, std::move(v));
+  memory_->Add(stored->ApproxBytes());
+  ++total_vertices_;
+
+  if (plan_->templ.IsEnd(s)) {
+    const bool incremental_final = graph_links_.empty();
+    for (int i = 0; i < k; ++i) {
+      const AggCell& cell = stored->cells[i];
+      if (!cell.active || cell.count.IsZero()) continue;
+      WindowId wid = first_wid + i;
+      if (incremental_final) {
+        results_[wid].AccumulateEnd(cell, plan_->agg);
+      }
+      if (out_link_ != nullptr) {
+        out_link_->ReportTrendEnd(wid, e.time, cell.max_start);
+      }
+    }
+  }
+  return true;
+}
+
+void GretaGraph::CollectWindow(WindowId wid, AggOutputs* out) {
+  if (graph_links_.empty()) {
+    auto it = results_.find(wid);
+    if (it != results_.end()) out->Merge(it->second, plan_->agg);
+    return;
+  }
+  // Trailing negation (Case 2): only END vertices whose trends finished
+  // after the last negative trend started survive (Figure 8(a)).
+  Ts barrier = kMinTs;
+  for (NegationLink* link : graph_links_) {
+    barrier = std::max(barrier, link->CloseMaxStart(wid));
+  }
+  StateId end_state = plan_->templ.end_state();
+  panes_.ScanBucketAll(static_cast<size_t>(end_state), [&](GraphVertex* u) {
+    if (u->dead || !u->InWindow(wid)) return;
+    const AggCell* cell = u->cell(wid);
+    if (!cell->active || cell->count.IsZero()) return;
+    if (u->event.time < barrier) return;
+    out->AccumulateEnd(*cell, plan_->agg);
+  });
+}
+
+void GretaGraph::ForgetWindow(WindowId wid) { results_.erase(wid); }
+
+void GretaGraph::Purge(Ts watermark) {
+  if (exec_->window.unbounded()) return;
+  Ts cutoff = WindowStartTime(FirstWindowOf(watermark, exec_->window),
+                              exec_->window);
+  panes_.PurgeBefore(cutoff, [this](const GraphVertex& v) {
+    memory_->Release(v.ApproxBytes());
+  });
+}
+
+size_t GretaGraph::ApproxBytes() const {
+  size_t bytes = panes_.ApproxBytes();
+  bytes += results_.size() * (sizeof(WindowId) + sizeof(AggOutputs) + 16);
+  return bytes;
+}
+
+}  // namespace greta

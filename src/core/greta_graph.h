@@ -1,0 +1,105 @@
+#ifndef GRETA_CORE_GRETA_GRAPH_H_
+#define GRETA_CORE_GRETA_GRAPH_H_
+
+#include <vector>
+
+#include "common/memory.h"
+#include "core/negation.h"
+#include "core/plan.h"
+#include "storage/pane.h"
+
+namespace greta {
+
+/// A vertex of the runtime GRETA graph: one matched event at one template
+/// state, carrying one aggregate cell per window it falls into (Definition 3
+/// plus the sliding-window sharing of Section 6). Edges are never stored —
+/// each edge is traversed exactly once while the aggregate of the new event
+/// is computed (Section 7).
+struct GraphVertex {
+  Event event;
+  StateId state = kInvalidState;
+  WindowId first_wid = 0;
+  int num_wids = 0;
+  bool dead = false;              // tombstone (invalid event pruning)
+  uint64_t used_transitions = 0;  // skip-till-next-match bookkeeping
+  std::vector<AggCell> cells;     // one per window, index wid - first_wid
+
+  bool InWindow(WindowId wid) const {
+    return wid >= first_wid && wid < first_wid + num_wids;
+  }
+  AggCell* cell(WindowId wid) { return &cells[wid - first_wid]; }
+  const AggCell* cell(WindowId wid) const { return &cells[wid - first_wid]; }
+
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(GraphVertex) + cells.capacity() * sizeof(AggCell) +
+                   event.attrs.capacity() * sizeof(Value);
+    for (const AggCell& c : cells) {
+      bytes += c.count.ApproxHeapBytes() + c.type_count.ApproxHeapBytes();
+    }
+    return bytes;
+  }
+};
+
+/// Runtime instantiation of one GRETA template for one stream partition
+/// (Section 4.2 / Algorithm 2, generalized to occurrence-unique states and
+/// per-window aggregate cells). Invalidation by negative sub-patterns
+/// arrives through attached NegationLinks (Section 5.2).
+class GretaGraph {
+ public:
+  GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
+             MemoryTracker* memory);
+
+  GretaGraph(const GretaGraph&) = delete;
+  GretaGraph& operator=(const GretaGraph&) = delete;
+
+  /// Wiring (engine setup): barriers affecting this graph.
+  void AttachTransitionLink(int transition_index, NegationLink* link);
+  void AttachGraphLink(NegationLink* link);
+  void AttachFollowLink(NegationLink* link);
+  /// This graph is a negative sub-pattern reporting finished trends.
+  void SetOutLink(NegationLink* link) { out_link_ = link; }
+
+  /// Processes one event (all matching states). Events of types outside the
+  /// template are ignored.
+  void Insert(const Event& e);
+
+  /// Adds this graph's final aggregate for `wid` into `out` (Theorem 4.3:
+  /// the sum over END events). With trailing negation (Case 2) this scans
+  /// the surviving END vertices instead of using the incremental result.
+  void CollectWindow(WindowId wid, AggOutputs* out);
+
+  /// Releases per-window state after the window was emitted.
+  void ForgetWindow(WindowId wid);
+
+  /// Batch-deletes panes no future window can reach (Section 7).
+  void Purge(Ts watermark);
+
+  size_t num_vertices() const { return panes_.size(); }
+  size_t total_vertices() const { return total_vertices_; }
+  size_t edges_traversed() const { return edges_; }
+  size_t ApproxBytes() const;
+
+ private:
+  // Returns true if the event passed this state's vertex predicates.
+  bool InsertAtState(const Event& e, StateId s);
+
+  Ts TransitionBarrier(int transition_index, WindowId wid, Ts now);
+
+  const GraphPlan* plan_;
+  const ExecPlan* exec_;
+  MemoryTracker* memory_;
+  PaneStore<GraphVertex> panes_;
+  std::unordered_map<WindowId, AggOutputs> results_;
+  std::vector<std::vector<NegationLink*>> transition_links_;
+  std::vector<NegationLink*> graph_links_;   // Case 2: all transitions
+  std::vector<NegationLink*> follow_links_;  // Case 3
+  NegationLink* out_link_ = nullptr;
+  SeqNo last_seen_seq_ = kMinSeq;  // contiguous semantics
+  size_t edges_ = 0;
+  size_t total_vertices_ = 0;
+  bool single_window_;  // enables eager invalid-event pruning
+};
+
+}  // namespace greta
+
+#endif  // GRETA_CORE_GRETA_GRAPH_H_

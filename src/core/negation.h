@@ -1,0 +1,142 @@
+#ifndef GRETA_CORE_NEGATION_H_
+#define GRETA_CORE_NEGATION_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace greta {
+
+/// Placement of a negative sub-pattern within its parent (Section 5.1).
+enum class NegationKind {
+  kNone = 0,
+  kBetween = 1,    // Case 1: SEQ(Pi, NOT N, Pj)
+  kTrailing = 2,   // Case 2: SEQ(Pi, NOT N)
+  kLeading = 3,    // Case 3: SEQ(NOT N, Pj)
+};
+
+/// Runtime channel between a negative sub-pattern's graph and the graph it
+/// invalidates (the "Graph Dependencies" of Section 7).
+///
+/// The negative graph reports every finished trend — per window id — as the
+/// pair (end time, latest start time among trends ending there). The latest
+/// start is itself an incremental aggregate propagated through the negative
+/// graph exactly like MIN/MAX (AggCell::max_start), so negation never
+/// enumerates trends either.
+///
+/// The dependent graph queries barriers:
+///  - Case 1/2: MaxStartBarrier(w, now) = the latest start among finished
+///    trends with end < now. A previous-type predecessor u is invalid to
+///    connect when u.time < barrier (Definition 5).
+///  - Case 3: MinEndBarrier(w, now) = the earliest finish; following-type
+///    events with time > barrier are invalid (not inserted for window w).
+///  - Case 2 close: CloseMaxStart(w) includes same-timestamp pending trends;
+///    END vertices with time < barrier are excluded from the final
+///    aggregate.
+///
+/// The pending/committed split implements the strictness of Definition 5
+/// ("events arriving after en.time"): a trend reported at timestamp t only
+/// affects events with a strictly larger timestamp. This also makes the
+/// result independent of the processing order of same-timestamp events,
+/// which is what the paper's time-driven transaction scheduler guarantees.
+class NegationLink {
+ public:
+  NegationLink(NegationKind kind, int transition_index, StateId foll_state)
+      : kind_(kind),
+        transition_index_(transition_index),
+        foll_state_(foll_state) {}
+
+  NegationKind kind() const { return kind_; }
+  /// Case 1: index of the prev->foll transition in the dependent template.
+  int transition_index() const { return transition_index_; }
+  /// Case 3: the following state in the dependent template.
+  StateId foll_state() const { return foll_state_; }
+
+  /// Called by the negative graph when an END vertex finishes trends in
+  /// window `wid` at time `end_ts` whose latest start is `max_start_ts`.
+  void ReportTrendEnd(WindowId wid, Ts end_ts, Ts max_start_ts) {
+    Cell& cell = cells_[wid];
+    Fold(&cell, end_ts);
+    if (max_start_ts > cell.pending_max_start) {
+      cell.pending_max_start = max_start_ts;
+    }
+    if (end_ts < cell.pending_min_end) cell.pending_min_end = end_ts;
+    cell.pending_ts = end_ts;
+    cell.has_pending = true;
+  }
+
+  /// Latest start among trends finished strictly before `now` (kMinTs when
+  /// none): predecessors older than this are invalid (Cases 1 and 2).
+  Ts MaxStartBarrier(WindowId wid, Ts now) {
+    Cell* cell = FindCell(wid);
+    if (cell == nullptr) return kMinTs;
+    Fold(cell, now);
+    return cell->committed_max_start;
+  }
+
+  /// Earliest finish among trends finished strictly before `now` (kMaxTs
+  /// when none): following-type events newer than this are invalid (Case 3).
+  Ts MinEndBarrier(WindowId wid, Ts now) {
+    Cell* cell = FindCell(wid);
+    if (cell == nullptr) return kMaxTs;
+    Fold(cell, now);
+    return cell->committed_min_end;
+  }
+
+  /// Latest start across *all* finished trends of window `wid`, including
+  /// pending ones — used at window close for the Case-2 END filter.
+  Ts CloseMaxStart(WindowId wid) const {
+    auto it = cells_.find(wid);
+    if (it == cells_.end()) return kMinTs;
+    const Cell& cell = it->second;
+    return cell.pending_max_start > cell.committed_max_start
+               ? cell.pending_max_start
+               : cell.committed_max_start;
+  }
+
+  /// Drops per-window state once the window is closed.
+  void ForgetWindow(WindowId wid) { cells_.erase(wid); }
+
+  size_t ApproxBytes() const {
+    return cells_.size() * (sizeof(WindowId) + sizeof(Cell) + 16);
+  }
+
+ private:
+  struct Cell {
+    Ts committed_max_start = kMinTs;
+    Ts committed_min_end = kMaxTs;
+    Ts pending_max_start = kMinTs;
+    Ts pending_min_end = kMaxTs;
+    Ts pending_ts = kMinTs;  // timestamp of the pending report(s)
+    bool has_pending = false;
+  };
+
+  Cell* FindCell(WindowId wid) {
+    auto it = cells_.find(wid);
+    return it == cells_.end() ? nullptr : &it->second;
+  }
+
+  // Commits pending reports older than `now` (strict).
+  static void Fold(Cell* cell, Ts now) {
+    if (cell->pending_ts >= now && cell->has_pending) return;
+    if (cell->pending_max_start > cell->committed_max_start) {
+      cell->committed_max_start = cell->pending_max_start;
+    }
+    if (cell->pending_min_end < cell->committed_min_end) {
+      cell->committed_min_end = cell->pending_min_end;
+    }
+    cell->pending_max_start = kMinTs;
+    cell->pending_min_end = kMaxTs;
+    cell->has_pending = false;
+  }
+
+  NegationKind kind_;
+  int transition_index_;
+  StateId foll_state_;
+  std::unordered_map<WindowId, Cell> cells_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_CORE_NEGATION_H_

@@ -1,0 +1,122 @@
+#ifndef GRETA_CORE_PLAN_H_
+#define GRETA_CORE_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/catalog.h"
+#include "core/aggregate.h"
+#include "core/engine_interface.h"
+#include "core/negation.h"
+#include "predicate/range.h"
+#include "query/query.h"
+#include "query/split.h"
+#include "query/template.h"
+
+namespace greta {
+
+/// One edge predicate compiled onto a template transition.
+struct EdgePredicatePlan {
+  const Expr* expr = nullptr;               // owned by ExecPlan
+  std::optional<RangeExtraction> range;     // tree range form, if extractable
+  bool drives_sort_key = false;  // range query on the from-state's tree key
+};
+
+/// Per-state compilation: vertex predicates and the Vertex-Tree sort key.
+struct StatePlan {
+  TypeId type = kInvalidType;
+  AttrId sort_attr = kInvalidAttr;  // kInvalidAttr: sort by time
+  std::vector<const Expr*> local_preds;
+};
+
+struct TransitionPlan {
+  std::vector<EdgePredicatePlan> preds;
+};
+
+/// Compilation of one sub-pattern (positive core or negative sub-pattern)
+/// into its GRETA template plus predicate attachments. Negative sub-patterns
+/// carry the link metadata that connects them to the graph they invalidate.
+struct GraphPlan {
+  GretaTemplate templ;
+  std::vector<StatePlan> states;            // indexed by StateId
+  std::vector<TransitionPlan> transitions;  // parallel to templ.transitions()
+  bool negative = false;
+  int parent = -1;                 // sub-pattern index this one invalidates
+  NegationKind link_kind = NegationKind::kNone;
+  StateId prev_state = kInvalidState;  // in the parent's template
+  StateId foll_state = kInvalidState;  // in the parent's template
+  AggPlan agg;  // query aggregates (positive) or barrier aux (negative)
+};
+
+/// One disjunction-free alternative: sub-pattern 0 is the positive core,
+/// the rest are negative sub-patterns (possibly nested).
+struct AlternativePlan {
+  std::vector<GraphPlan> graphs;
+};
+
+/// A term group of the final combination. The final COUNT is the product
+/// over groups of the sum over each group's alternatives (Section 9):
+/// a plain pattern is one group; `P1 & P2` contributes one group per side.
+struct TermGroupPlan {
+  std::vector<int> alternative_indices;
+};
+
+/// Fully compiled query, shared (read-only) by every partition's runtime.
+struct ExecPlan {
+  // Pattern machinery.
+  std::vector<AlternativePlan> alternatives;
+  std::vector<TermGroupPlan> groups;
+  AggPlan agg;
+  WindowSpec window;
+  Semantics semantics = Semantics::kSkipTillAnyMatch;
+  CounterMode mode = CounterMode::kExact;
+  bool enable_pruning = true;
+
+  // Partitioning: key attribute names = GROUP-BY attrs then the remaining
+  // equivalence attrs; the first `num_group_attrs` form the output group.
+  std::vector<std::string> key_attrs;
+  size_t num_group_attrs = 0;
+  // Per relevant type: positions of key attrs in its schema (kInvalidAttr
+  // where the type lacks the attribute -> broadcast routing).
+  std::unordered_map<TypeId, std::vector<AttrId>> key_attr_ids;
+
+  std::vector<AggSpec> agg_specs;  // for rendering
+
+  // Keeps predicate expressions and split patterns alive for the plan's
+  // lifetime (StatePlan/TransitionPlan hold raw pointers into these).
+  std::vector<ExprPtr> owned_exprs;
+  std::vector<SplitResult> owned_splits;
+
+  bool HasNegation() const {
+    for (const AlternativePlan& alt : alternatives) {
+      if (alt.graphs.size() > 1) return true;
+    }
+    return false;
+  }
+};
+
+struct PlannerOptions {
+  CounterMode counter_mode = CounterMode::kExact;
+  Semantics semantics = Semantics::kSkipTillAnyMatch;
+  int max_windows_per_event = 64;
+  /// Ablation knob: false disables Vertex-Tree range extraction, turning
+  /// predecessor lookups into full scans with residual filtering
+  /// (bench_ablation compares the two; Section 7 motivates the tree).
+  bool enable_tree_ranges = true;
+  /// Ablation knob: false disables invalid event pruning (Theorem 5.1
+  /// tombstoning); results must be identical either way.
+  bool enable_pruning = true;
+};
+
+/// Compiles a QuerySpec: validates the pattern, expands sugar into disjoint
+/// alternatives, splits off negative sub-patterns, builds templates,
+/// classifies predicates and resolves partitioning attributes.
+StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
+                                              const Catalog& catalog,
+                                              const PlannerOptions& options);
+
+}  // namespace greta
+
+#endif  // GRETA_CORE_PLAN_H_

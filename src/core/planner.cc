@@ -1,0 +1,307 @@
+#include <algorithm>
+#include <set>
+
+#include "core/plan.h"
+#include "predicate/classify.h"
+#include "storage/window.h"
+
+namespace greta {
+
+namespace {
+
+// True when no trend can be matched by both patterns: one pattern requires
+// an event type the other can never contain (Section 9 combination — the
+// planner only sums alternatives it can prove disjoint, so the
+// inclusion-exclusion term Cij is zero by construction).
+bool ProvablyDisjoint(const Pattern& a, const Pattern& b) {
+  auto contains = [](const std::vector<TypeId>& v, TypeId t) {
+    return std::find(v.begin(), v.end(), t) != v.end();
+  };
+  std::vector<TypeId> req_a = a.RequiredTypes();
+  std::vector<TypeId> pos_b = b.CollectTypes(/*include_negated=*/false);
+  for (TypeId t : req_a) {
+    if (!contains(pos_b, t)) return true;
+  }
+  std::vector<TypeId> req_b = b.RequiredTypes();
+  std::vector<TypeId> pos_a = a.CollectTypes(/*include_negated=*/false);
+  for (TypeId t : req_b) {
+    if (!contains(pos_a, t)) return true;
+  }
+  return false;
+}
+
+Status CheckPairwiseDisjoint(const std::vector<PatternPtr>& alts,
+                             const Catalog& catalog) {
+  for (size_t i = 0; i < alts.size(); ++i) {
+    for (size_t j = i + 1; j < alts.size(); ++j) {
+      if (!ProvablyDisjoint(*alts[i], *alts[j])) {
+        return Status::Unsupported(
+            "cannot prove disjunction alternatives disjoint: '" +
+            alts[i]->ToString(catalog) + "' and '" +
+            alts[j]->ToString(catalog) +
+            "' may match the same trend; supply the intersection count via "
+            "combinators::CombineDisjunction instead (Section 9)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Flattens a top-level conjunction chain into its sides.
+void CollectConjuncts(const Pattern& p, std::vector<const Pattern*>* out) {
+  if (p.op() == PatternOp::kAnd) {
+    CollectConjuncts(*p.children()[0], out);
+    CollectConjuncts(*p.children()[1], out);
+  } else {
+    out->push_back(&p);
+  }
+}
+
+// Builds the GraphPlan skeleton (template + link resolution) for one
+// alternative's split result.
+Status BuildGraphPlans(const SplitResult& split, const Catalog& catalog,
+                       const AggPlan& agg, CounterMode mode,
+                       AlternativePlan* alt) {
+  size_t num_subs = 1 + split.negatives.size();
+  alt->graphs.resize(num_subs);
+
+  for (size_t i = 0; i < num_subs; ++i) {
+    GraphPlan& gp = alt->graphs[i];
+    const Pattern& pattern =
+        (i == 0) ? *split.positive : *split.negatives[i - 1].pattern;
+    StatusOr<GretaTemplate> templ = BuildTemplate(pattern, catalog);
+    if (!templ.ok()) return templ.status();
+    gp.templ = std::move(templ).value();
+    gp.negative = (i != 0);
+    gp.agg = gp.negative ? AggPlan::ForNegative(mode) : agg;
+    gp.states.resize(gp.templ.num_states());
+    for (const TemplateState& s : gp.templ.states()) {
+      gp.states[s.id].type = s.type;
+    }
+    gp.transitions.resize(gp.templ.transitions().size());
+  }
+
+  // Resolve negation links against the parent templates.
+  for (size_t i = 0; i < split.negatives.size(); ++i) {
+    const NegativeSubPattern& neg = split.negatives[i];
+    GraphPlan& gp = alt->graphs[i + 1];
+    gp.parent = neg.parent;
+    const GretaTemplate& parent_templ = alt->graphs[neg.parent].templ;
+    if (neg.prev_atom != nullptr) {
+      gp.prev_state = parent_templ.NodeEndState(neg.prev_atom);
+    }
+    if (neg.foll_atom != nullptr) {
+      gp.foll_state = parent_templ.NodeStartState(neg.foll_atom);
+    }
+    if (gp.prev_state != kInvalidState && gp.foll_state != kInvalidState) {
+      gp.link_kind = NegationKind::kBetween;
+      if (parent_templ.FindTransition(gp.prev_state, gp.foll_state) < 0) {
+        return Status::Internal(
+            "no parent transition between the previous and following states "
+            "of a negative sub-pattern");
+      }
+    } else if (gp.prev_state != kInvalidState) {
+      gp.link_kind = NegationKind::kTrailing;
+    } else if (gp.foll_state != kInvalidState) {
+      gp.link_kind = NegationKind::kLeading;
+    } else {
+      return Status::InvalidArgument(
+          "negation without a preceding or following positive sub-pattern");
+    }
+  }
+  return Status::Ok();
+}
+
+// Attaches classified predicates and picks Vertex-Tree sort keys.
+Status AttachPredicates(const std::vector<ClassifiedPredicate>& preds,
+                        bool enable_tree_ranges, AlternativePlan* alt) {
+  for (GraphPlan& gp : alt->graphs) {
+    // Vertex predicates.
+    for (const ClassifiedPredicate& cp : preds) {
+      if (cp.cls != PredicateClass::kLocal) continue;
+      for (const TemplateState& s : gp.templ.states()) {
+        if (s.type == cp.base_type) {
+          gp.states[s.id].local_preds.push_back(cp.expr);
+        }
+      }
+    }
+    // Edge predicates per transition.
+    const auto& transitions = gp.templ.transitions();
+    for (size_t t = 0; t < transitions.size(); ++t) {
+      StateId from = transitions[t].from;
+      StateId to = transitions[t].to;
+      for (const ClassifiedPredicate& cp : preds) {
+        if (cp.cls != PredicateClass::kEdge) continue;
+        if (gp.states[from].type != cp.base_type ||
+            gp.states[to].type != cp.next_type) {
+          continue;
+        }
+        EdgePredicatePlan ep;
+        ep.expr = cp.expr;
+        if (enable_tree_ranges) {
+          ep.range = RangeExtraction::FromPredicate(*cp.expr);
+        }
+        gp.transitions[t].preds.push_back(std::move(ep));
+      }
+    }
+    // Sort keys: for each state, the key attr of the first extractable edge
+    // predicate on any outgoing transition wins ("sorted by the most
+    // selective predicate", Section 7).
+    for (size_t t = 0; t < transitions.size(); ++t) {
+      StateId from = transitions[t].from;
+      for (EdgePredicatePlan& ep : gp.transitions[t].preds) {
+        if (!ep.range.has_value()) continue;
+        AttrId key = ep.range->key_attr();
+        if (gp.states[from].sort_attr == kInvalidAttr) {
+          gp.states[from].sort_attr = key;
+        }
+        ep.drives_sort_key = (gp.states[from].sort_attr == key);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
+                                              const Catalog& catalog,
+                                              const PlannerOptions& options) {
+  if (spec.pattern == nullptr) {
+    return Status::InvalidArgument("query has no pattern");
+  }
+  Status valid = ValidatePattern(*spec.pattern);
+  if (!valid.ok()) return valid;
+
+  auto plan = std::make_unique<ExecPlan>();
+  plan->window = spec.window;
+  plan->semantics = options.semantics;
+  plan->mode = options.counter_mode;
+  plan->enable_pruning = options.enable_pruning;
+  plan->agg_specs = spec.aggs;
+
+  if (!spec.window.unbounded() &&
+      MaxWindowsPerEvent(spec.window) > options.max_windows_per_event) {
+    return Status::Unsupported(
+        "an event would fall into more than " +
+        std::to_string(options.max_windows_per_event) +
+        " windows; increase SLIDE or PlannerOptions::max_windows_per_event");
+  }
+
+  StatusOr<AggPlan> agg = AggPlan::FromSpecs(spec.aggs, options.counter_mode);
+  if (!agg.ok()) return agg.status();
+  plan->agg = agg.value();
+
+  // Top-level conjunction splits into term groups (Section 9); everything
+  // else is a single group whose alternatives are summed.
+  std::vector<const Pattern*> sides;
+  CollectConjuncts(*spec.pattern, &sides);
+  if (sides.size() > 1) {
+    if (plan->agg.need_type_count || plan->agg.need_min ||
+        plan->agg.need_max || plan->agg.need_sum) {
+      return Status::Unsupported(
+          "conjunctive patterns support COUNT(*) only (Section 9 pairs "
+          "trends; per-event aggregates are not defined on pairs)");
+    }
+    for (size_t i = 0; i < sides.size(); ++i) {
+      for (size_t j = i + 1; j < sides.size(); ++j) {
+        if (!ProvablyDisjoint(*sides[i], *sides[j])) {
+          return Status::Unsupported(
+              "cannot prove conjunction sides disjoint; use "
+              "combinators::CombineConjunction with an explicit intersection "
+              "count (Section 9)");
+        }
+      }
+    }
+  }
+
+  // Classify WHERE conjuncts once; the plan owns clones of the expressions.
+  std::vector<ClassifiedPredicate> classified;
+  for (const ExprPtr& conjunct : spec.where) {
+    plan->owned_exprs.push_back(conjunct->Clone());
+    StatusOr<ClassifiedPredicate> cp =
+        ClassifyPredicate(*plan->owned_exprs.back());
+    if (!cp.ok()) return cp.status();
+    if (cp.value().cls == PredicateClass::kConstant) {
+      Event dummy;
+      if (!plan->owned_exprs.back()->EvalVertex(dummy).Truthy()) {
+        // Constant-false WHERE: the query matches nothing.
+        plan->alternatives.clear();
+        plan->groups.clear();
+        return plan;
+      }
+      continue;
+    }
+    classified.push_back(cp.value());
+  }
+
+  for (const Pattern* side : sides) {
+    StatusOr<std::vector<PatternPtr>> alts = ExpandSugar(*side);
+    if (!alts.ok()) return alts.status();
+    Status disjoint = CheckPairwiseDisjoint(alts.value(), catalog);
+    if (!disjoint.ok()) return disjoint;
+
+    TermGroupPlan group;
+    for (PatternPtr& alt_pattern : alts.value()) {
+      StatusOr<SplitResult> split = SplitPattern(*alt_pattern);
+      if (!split.ok()) return split.status();
+      plan->owned_splits.push_back(std::move(split).value());
+      const SplitResult& owned = plan->owned_splits.back();
+
+      AlternativePlan alt;
+      Status built = BuildGraphPlans(owned, catalog, plan->agg,
+                                     options.counter_mode, &alt);
+      if (!built.ok()) return built;
+      Status attached =
+          AttachPredicates(classified, options.enable_tree_ranges, &alt);
+      if (!attached.ok()) return attached;
+      group.alternative_indices.push_back(
+          static_cast<int>(plan->alternatives.size()));
+      plan->alternatives.push_back(std::move(alt));
+    }
+    plan->groups.push_back(std::move(group));
+  }
+
+  // Partition keys: GROUP-BY attrs first, then remaining equivalence attrs.
+  plan->key_attrs = spec.group_by;
+  plan->num_group_attrs = spec.group_by.size();
+  for (const std::string& attr : spec.equivalence) {
+    if (std::find(plan->key_attrs.begin(), plan->key_attrs.end(), attr) ==
+        plan->key_attrs.end()) {
+      plan->key_attrs.push_back(attr);
+    }
+  }
+
+  // Resolve key attr positions per relevant type.
+  std::set<TypeId> relevant;
+  for (const AlternativePlan& alt : plan->alternatives) {
+    for (const GraphPlan& gp : alt.graphs) {
+      for (const TemplateState& s : gp.templ.states()) relevant.insert(s.type);
+    }
+  }
+  for (TypeId type : relevant) {
+    std::vector<AttrId> ids;
+    for (const std::string& attr : plan->key_attrs) {
+      ids.push_back(catalog.type(type).FindAttr(attr));
+    }
+    plan->key_attr_ids[type] = std::move(ids);
+  }
+  // Every key attr must exist on at least one relevant type.
+  for (size_t i = 0; i < plan->key_attrs.size(); ++i) {
+    bool found = false;
+    for (const auto& [type, ids] : plan->key_attr_ids) {
+      (void)type;
+      if (ids[i] != kInvalidAttr) found = true;
+    }
+    if (!found) {
+      return Status::InvalidArgument("grouping/equivalence attribute '" +
+                                     plan->key_attrs[i] +
+                                     "' exists on no event type used by the "
+                                     "pattern");
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace greta

@@ -1,0 +1,49 @@
+#include "predicate/classify.h"
+
+namespace greta {
+
+StatusOr<ClassifiedPredicate> ClassifyPredicate(const Expr& expr) {
+  std::vector<AttrRef> base;
+  std::vector<AttrRef> next;
+  expr.CollectRefs(&base, &next);
+
+  ClassifiedPredicate out;
+  out.expr = &expr;
+
+  for (const AttrRef& r : base) {
+    if (out.base_type == kInvalidType) {
+      out.base_type = r.type;
+    } else if (out.base_type != r.type) {
+      return Status::Unsupported(
+          "predicate references two different event types without NEXT; "
+          "only single-type (vertex) and adjacent-pair (edge) predicates "
+          "are evaluable (Section 6)");
+    }
+  }
+  for (const AttrRef& r : next) {
+    if (out.next_type == kInvalidType) {
+      out.next_type = r.type;
+    } else if (out.next_type != r.type) {
+      return Status::Unsupported(
+          "predicate references NEXT of two different event types");
+    }
+  }
+
+  if (base.empty() && next.empty()) {
+    out.cls = PredicateClass::kConstant;
+    return out;
+  }
+  if (next.empty()) {
+    out.cls = PredicateClass::kLocal;
+    return out;
+  }
+  if (base.empty()) {
+    return Status::Unsupported(
+        "predicate references NEXT without referencing the previous event; "
+        "rewrite it as a vertex predicate on the referenced type");
+  }
+  out.cls = PredicateClass::kEdge;
+  return out;
+}
+
+}  // namespace greta

@@ -1,0 +1,36 @@
+#ifndef GRETA_PREDICATE_CLASSIFY_H_
+#define GRETA_PREDICATE_CLASSIFY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/expr.h"
+
+namespace greta {
+
+/// Classification of WHERE conjuncts (Section 6): vertex (local) predicates
+/// filter single events; edge predicates constrain adjacent event pairs and
+/// are evaluated during graph construction. (Equivalence predicates are a
+/// separate clause — they partition the stream and are carried on the query
+/// spec, not as expressions.)
+enum class PredicateClass {
+  kConstant,  // no attribute references
+  kLocal,     // references exactly one event type, no NEXT
+  kEdge,      // references one base type and one NEXT type
+};
+
+struct ClassifiedPredicate {
+  PredicateClass cls = PredicateClass::kConstant;
+  TypeId base_type = kInvalidType;  // kLocal and kEdge
+  TypeId next_type = kInvalidType;  // kEdge only
+  const Expr* expr = nullptr;
+};
+
+/// Classifies one conjunct. Errors on shapes the engine cannot evaluate
+/// (references to two different base types, NEXT of several types, a NEXT
+/// reference without a base reference, etc.).
+StatusOr<ClassifiedPredicate> ClassifyPredicate(const Expr& expr);
+
+}  // namespace greta
+
+#endif  // GRETA_PREDICATE_CLASSIFY_H_

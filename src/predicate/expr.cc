@@ -1,0 +1,253 @@
+#include "predicate/expr.h"
+
+#include "common/check.h"
+
+namespace greta {
+
+namespace {
+
+Value Arith(ExprOp op, const Value& a, const Value& b) {
+  bool both_int =
+      a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kInt;
+  switch (op) {
+    case ExprOp::kAdd:
+      if (both_int) return Value::Int(a.AsInt() + b.AsInt());
+      return Value::Double(a.ToDouble() + b.ToDouble());
+    case ExprOp::kSub:
+      if (both_int) return Value::Int(a.AsInt() - b.AsInt());
+      return Value::Double(a.ToDouble() - b.ToDouble());
+    case ExprOp::kMul:
+      if (both_int) return Value::Int(a.AsInt() * b.AsInt());
+      return Value::Double(a.ToDouble() * b.ToDouble());
+    case ExprOp::kDiv: {
+      double denom = b.ToDouble();
+      // Division by zero yields null, which is falsy in comparisons.
+      if (denom == 0.0) return Value::Null();
+      return Value::Double(a.ToDouble() / denom);
+    }
+    case ExprOp::kMod: {
+      if (both_int) {
+        int64_t denom = b.AsInt();
+        if (denom == 0) return Value::Null();
+        return Value::Int(a.AsInt() % denom);
+      }
+      return Value::Null();
+    }
+    default:
+      GRETA_CHECK(false);
+      return Value::Null();
+  }
+}
+
+Value Compare(ExprOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Bool(false);
+  if (op == ExprOp::kEq) return Value::Bool(a == b);
+  if (op == ExprOp::kNe) return Value::Bool(!(a == b));
+  int c = a.Compare(b);
+  switch (op) {
+    case ExprOp::kLt:
+      return Value::Bool(c < 0);
+    case ExprOp::kLe:
+      return Value::Bool(c <= 0);
+    case ExprOp::kGt:
+      return Value::Bool(c > 0);
+    case ExprOp::kGe:
+      return Value::Bool(c >= 0);
+    default:
+      GRETA_CHECK(false);
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+ExprPtr Expr::Const(Value v) {
+  ExprPtr e(new Expr());
+  e->op_ = ExprOp::kConst;
+  e->const_ = v;
+  return e;
+}
+
+ExprPtr Expr::Attr(TypeId type, AttrId attr) {
+  GRETA_CHECK(type != kInvalidType && attr != kInvalidAttr);
+  ExprPtr e(new Expr());
+  e->op_ = ExprOp::kAttr;
+  e->ref_ = AttrRef{type, attr};
+  return e;
+}
+
+ExprPtr Expr::NextAttr(TypeId type, AttrId attr) {
+  GRETA_CHECK(type != kInvalidType && attr != kInvalidAttr);
+  ExprPtr e(new Expr());
+  e->op_ = ExprOp::kNextAttr;
+  e->ref_ = AttrRef{type, attr};
+  return e;
+}
+
+ExprPtr Expr::Binary(ExprOp op, ExprPtr lhs, ExprPtr rhs) {
+  GRETA_CHECK(op != ExprOp::kConst && op != ExprOp::kAttr &&
+              op != ExprOp::kNextAttr);
+  GRETA_CHECK(lhs != nullptr && rhs != nullptr);
+  ExprPtr e(new Expr());
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return Const(const_);
+    case ExprOp::kAttr:
+      return Attr(ref_.type, ref_.attr);
+    case ExprOp::kNextAttr:
+      return NextAttr(ref_.type, ref_.attr);
+    default:
+      return Binary(op_, lhs_->Clone(), rhs_->Clone());
+  }
+}
+
+Value Expr::EvalVertex(const Event& e) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return const_;
+    case ExprOp::kAttr:
+      GRETA_DCHECK(e.type == ref_.type);
+      return e.attr(ref_.attr);
+    case ExprOp::kNextAttr:
+      GRETA_CHECK(false);  // Vertex predicates have no NEXT references.
+      return Value::Null();
+    case ExprOp::kAnd: {
+      Value l = lhs_->EvalVertex(e);
+      if (!l.Truthy()) return Value::Bool(false);
+      return Value::Bool(rhs_->EvalVertex(e).Truthy());
+    }
+    case ExprOp::kOr: {
+      Value l = lhs_->EvalVertex(e);
+      if (l.Truthy()) return Value::Bool(true);
+      return Value::Bool(rhs_->EvalVertex(e).Truthy());
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return Compare(op_, lhs_->EvalVertex(e), rhs_->EvalVertex(e));
+    default:
+      return Arith(op_, lhs_->EvalVertex(e), rhs_->EvalVertex(e));
+  }
+}
+
+Value Expr::EvalEdge(const Event& prev, const Event& next) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return const_;
+    case ExprOp::kAttr:
+      GRETA_DCHECK(prev.type == ref_.type);
+      return prev.attr(ref_.attr);
+    case ExprOp::kNextAttr:
+      GRETA_DCHECK(next.type == ref_.type);
+      return next.attr(ref_.attr);
+    case ExprOp::kAnd: {
+      if (!lhs_->EvalEdge(prev, next).Truthy()) return Value::Bool(false);
+      return Value::Bool(rhs_->EvalEdge(prev, next).Truthy());
+    }
+    case ExprOp::kOr: {
+      if (lhs_->EvalEdge(prev, next).Truthy()) return Value::Bool(true);
+      return Value::Bool(rhs_->EvalEdge(prev, next).Truthy());
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return Compare(op_, lhs_->EvalEdge(prev, next),
+                     rhs_->EvalEdge(prev, next));
+    default:
+      return Arith(op_, lhs_->EvalEdge(prev, next),
+                   rhs_->EvalEdge(prev, next));
+  }
+}
+
+void Expr::CollectRefs(std::vector<AttrRef>* base,
+                       std::vector<AttrRef>* next) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return;
+    case ExprOp::kAttr:
+      base->push_back(ref_);
+      return;
+    case ExprOp::kNextAttr:
+      next->push_back(ref_);
+      return;
+    default:
+      lhs_->CollectRefs(base, next);
+      rhs_->CollectRefs(base, next);
+      return;
+  }
+}
+
+std::string Expr::ToString(const Catalog& catalog) const {
+  auto op_str = [](ExprOp op) -> const char* {
+    switch (op) {
+      case ExprOp::kAdd:
+        return "+";
+      case ExprOp::kSub:
+        return "-";
+      case ExprOp::kMul:
+        return "*";
+      case ExprOp::kDiv:
+        return "/";
+      case ExprOp::kMod:
+        return "%";
+      case ExprOp::kEq:
+        return "=";
+      case ExprOp::kNe:
+        return "!=";
+      case ExprOp::kLt:
+        return "<";
+      case ExprOp::kLe:
+        return "<=";
+      case ExprOp::kGt:
+        return ">";
+      case ExprOp::kGe:
+        return ">=";
+      case ExprOp::kAnd:
+        return "AND";
+      case ExprOp::kOr:
+        return "OR";
+      default:
+        return "?";
+    }
+  };
+  switch (op_) {
+    case ExprOp::kConst:
+      return const_.ToString(&catalog.strings());
+    case ExprOp::kAttr:
+      return catalog.type(ref_.type).name + "." +
+             catalog.type(ref_.type).attrs[ref_.attr].name;
+    case ExprOp::kNextAttr:
+      return "NEXT(" + catalog.type(ref_.type).name + ")." +
+             catalog.type(ref_.type).attrs[ref_.attr].name;
+    default:
+      return "(" + lhs_->ToString(catalog) + " " + op_str(op_) + " " +
+             rhs_->ToString(catalog) + ")";
+  }
+}
+
+ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (ExprPtr& c : conjuncts) {
+    if (out == nullptr) {
+      out = std::move(c);
+    } else {
+      out = Expr::Binary(ExprOp::kAnd, std::move(out), std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace greta

@@ -1,0 +1,93 @@
+#ifndef GRETA_PREDICATE_EXPR_H_
+#define GRETA_PREDICATE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/catalog.h"
+#include "common/event.h"
+#include "common/value.h"
+
+namespace greta {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Operators of the predicate expression grammar (Figure 2).
+enum class ExprOp {
+  kConst,     // literal
+  kAttr,      // EventType.attr           (the earlier event of an edge)
+  kNextAttr,  // NEXT(EventType).attr     (the later event of an edge)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+/// An attribute reference inside a predicate.
+struct AttrRef {
+  TypeId type = kInvalidType;
+  AttrId attr = kInvalidAttr;
+  bool operator==(const AttrRef& o) const {
+    return type == o.type && attr == o.attr;
+  }
+};
+
+/// Immutable predicate expression tree over event attributes (WHERE clause,
+/// Figure 2). `EventType.attr` references the event itself (vertex
+/// predicates) or the earlier event of an adjacency (edge predicates);
+/// `NEXT(EventType).attr` references the later event of an adjacency.
+class Expr {
+ public:
+  static ExprPtr Const(Value v);
+  static ExprPtr Attr(TypeId type, AttrId attr);
+  static ExprPtr NextAttr(TypeId type, AttrId attr);
+  static ExprPtr Binary(ExprOp op, ExprPtr lhs, ExprPtr rhs);
+
+  ExprOp op() const { return op_; }
+  const Value& const_value() const { return const_; }
+  const AttrRef& attr_ref() const { return ref_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
+
+  ExprPtr Clone() const;
+
+  /// Evaluates a vertex predicate on a single event. kNextAttr aborts.
+  Value EvalVertex(const Event& e) const;
+
+  /// Evaluates an edge predicate on an adjacency: kAttr reads `prev`,
+  /// kNextAttr reads `next`.
+  Value EvalEdge(const Event& prev, const Event& next) const;
+
+  /// Collects kAttr references into `base` and kNextAttr into `next`.
+  void CollectRefs(std::vector<AttrRef>* base,
+                   std::vector<AttrRef>* next) const;
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  Expr() = default;
+
+  ExprOp op_ = ExprOp::kConst;
+  Value const_;
+  AttrRef ref_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// Builds `lhs AND rhs` from a conjunct list; returns nullptr for empty.
+ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts);
+
+}  // namespace greta
+
+#endif  // GRETA_PREDICATE_EXPR_H_

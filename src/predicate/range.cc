@@ -1,0 +1,176 @@
+#include "predicate/range.h"
+
+#include "common/check.h"
+
+namespace greta {
+
+namespace {
+
+// A linear function a*x + b of the previous event's attribute `attr`
+// (attr == kInvalidAttr means the expression is a constant: 0*x + b).
+struct Linear {
+  AttrId attr = kInvalidAttr;
+  double a = 0.0;
+  double b = 0.0;
+
+  bool has_attr() const { return attr != kInvalidAttr; }
+};
+
+// Returns the linear form of `e` over the previous event, or nullopt when
+// `e` is not linear (contains NEXT references, non-constant factors, ...).
+std::optional<Linear> LinearInPrev(const Expr& e) {
+  switch (e.op()) {
+    case ExprOp::kConst: {
+      if (!e.const_value().is_numeric()) return std::nullopt;
+      return Linear{kInvalidAttr, 0.0, e.const_value().ToDouble()};
+    }
+    case ExprOp::kAttr:
+      return Linear{e.attr_ref().attr, 1.0, 0.0};
+    case ExprOp::kNextAttr:
+      return std::nullopt;
+    case ExprOp::kAdd:
+    case ExprOp::kSub: {
+      auto l = LinearInPrev(e.lhs());
+      auto r = LinearInPrev(e.rhs());
+      if (!l || !r) return std::nullopt;
+      if (l->has_attr() && r->has_attr()) {
+        if (l->attr != r->attr) return std::nullopt;
+      }
+      double sign = (e.op() == ExprOp::kAdd) ? 1.0 : -1.0;
+      Linear out;
+      out.attr = l->has_attr() ? l->attr : r->attr;
+      out.a = l->a + sign * r->a;
+      out.b = l->b + sign * r->b;
+      return out;
+    }
+    case ExprOp::kMul: {
+      auto l = LinearInPrev(e.lhs());
+      auto r = LinearInPrev(e.rhs());
+      if (!l || !r) return std::nullopt;
+      if (l->has_attr() && r->has_attr()) return std::nullopt;  // quadratic
+      if (r->has_attr()) std::swap(l, r);
+      // l may have the attr; r is constant.
+      return Linear{l->attr, l->a * r->b, l->b * r->b};
+    }
+    case ExprOp::kDiv: {
+      auto l = LinearInPrev(e.lhs());
+      auto r = LinearInPrev(e.rhs());
+      if (!l || !r) return std::nullopt;
+      if (r->has_attr() || r->b == 0.0) return std::nullopt;
+      return Linear{l->attr, l->a / r->b, l->b / r->b};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// True when `e` references only the next event and constants.
+bool NextOnly(const Expr& e) {
+  std::vector<AttrRef> base;
+  std::vector<AttrRef> next;
+  e.CollectRefs(&base, &next);
+  return base.empty();
+}
+
+std::optional<RangeExtraction::Cmp> AsCmp(ExprOp op, bool mirrored) {
+  using Cmp = RangeExtraction::Cmp;
+  switch (op) {
+    case ExprOp::kLt:
+      return mirrored ? Cmp::kGt : Cmp::kLt;
+    case ExprOp::kLe:
+      return mirrored ? Cmp::kGe : Cmp::kLe;
+    case ExprOp::kGt:
+      return mirrored ? Cmp::kLt : Cmp::kGt;
+    case ExprOp::kGe:
+      return mirrored ? Cmp::kLe : Cmp::kGe;
+    case ExprOp::kEq:
+      return Cmp::kEq;
+    default:
+      return std::nullopt;
+  }
+}
+
+RangeExtraction::Cmp FlipForNegativeScale(RangeExtraction::Cmp cmp) {
+  using Cmp = RangeExtraction::Cmp;
+  switch (cmp) {
+    case Cmp::kLt:
+      return Cmp::kGt;
+    case Cmp::kLe:
+      return Cmp::kGe;
+    case Cmp::kGt:
+      return Cmp::kLt;
+    case Cmp::kGe:
+      return Cmp::kLe;
+    case Cmp::kEq:
+      return Cmp::kEq;
+  }
+  return cmp;
+}
+
+}  // namespace
+
+KeyBounds RangeExtraction::ComputeBounds(const Event& next) const {
+  KeyBounds out;
+  Value rhs = rhs_->EvalEdge(/*prev=*/next, /*next=*/next);
+  // rhs_ is next-only, so passing `next` for both sides is safe; the prev
+  // argument is never read.
+  if (!rhs.is_numeric()) {
+    // Non-numeric bound: empty range (the residual filter would reject
+    // every candidate anyway).
+    out.lo = 1.0;
+    out.hi = 0.0;
+    return out;
+  }
+  double bound = (rhs.ToDouble() - b_) / a_;
+  Cmp cmp = (a_ < 0.0) ? FlipForNegativeScale(cmp_) : cmp_;
+  switch (cmp) {
+    case Cmp::kLt:
+      out.hi = bound;
+      out.hi_strict = true;
+      break;
+    case Cmp::kLe:
+      out.hi = bound;
+      break;
+    case Cmp::kGt:
+      out.lo = bound;
+      out.lo_strict = true;
+      break;
+    case Cmp::kGe:
+      out.lo = bound;
+      break;
+    case Cmp::kEq:
+      out.lo = bound;
+      out.hi = bound;
+      break;
+  }
+  return out;
+}
+
+std::optional<RangeExtraction> RangeExtraction::FromPredicate(
+    const Expr& edge_pred) {
+  auto cmp = AsCmp(edge_pred.op(), /*mirrored=*/false);
+  if (!cmp) return std::nullopt;
+
+  // Try `linear(prev) CMP next_only`, then the mirrored orientation.
+  for (int orientation = 0; orientation < 2; ++orientation) {
+    const Expr& prev_side =
+        (orientation == 0) ? edge_pred.lhs() : edge_pred.rhs();
+    const Expr& next_side =
+        (orientation == 0) ? edge_pred.rhs() : edge_pred.lhs();
+    auto linear = LinearInPrev(prev_side);
+    if (!linear || !linear->has_attr() || linear->a == 0.0) continue;
+    if (!NextOnly(next_side)) continue;
+    auto oriented_cmp = AsCmp(edge_pred.op(), /*mirrored=*/orientation == 1);
+    GRETA_CHECK(oriented_cmp.has_value());
+    RangeExtraction out;
+    out.key_attr_ = linear->attr;
+    out.cmp_ = *oriented_cmp;
+    out.a_ = linear->a;
+    out.b_ = linear->b;
+    out.rhs_ = std::shared_ptr<const Expr>(next_side.Clone().release());
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace greta

@@ -1,0 +1,58 @@
+#ifndef GRETA_PREDICATE_RANGE_H_
+#define GRETA_PREDICATE_RANGE_H_
+
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "predicate/expr.h"
+
+namespace greta {
+
+/// A key range over the previous event's sort attribute, computed from one
+/// edge predicate and the new event. Used by the GRETA runtime to turn the
+/// predecessor scan into a Vertex-Tree range query (Section 7: "we utilize a
+/// tree index that enables efficient range queries ... events are sorted by
+/// the most selective predicate").
+struct KeyBounds {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_strict = false;
+  bool hi_strict = false;
+
+  bool Contains(double key) const {
+    if (lo_strict ? key <= lo : key < lo) return false;
+    if (hi_strict ? key >= hi : key > hi) return false;
+    return true;
+  }
+};
+
+/// Compiled form of an edge predicate of the shape
+///     a * prev.attr + b   CMP   f(next)
+/// (or mirrored), where f references only the next event and constants.
+/// ComputeBounds() resolves it to a key range once the next event is known.
+class RangeExtraction {
+ public:
+  enum class Cmp { kLt, kLe, kGt, kGe, kEq };
+
+  /// Attribute of the *previous* event serving as the tree sort key.
+  AttrId key_attr() const { return key_attr_; }
+
+  /// Resolves the bounds for a concrete next event.
+  KeyBounds ComputeBounds(const Event& next) const;
+
+  /// Attempts extraction; nullopt when the predicate is not of an
+  /// extractable shape (the runtime then falls back to scan + filter).
+  static std::optional<RangeExtraction> FromPredicate(const Expr& edge_pred);
+
+ private:
+  AttrId key_attr_ = kInvalidAttr;
+  Cmp cmp_ = Cmp::kEq;
+  double a_ = 1.0;
+  double b_ = 0.0;
+  std::shared_ptr<const Expr> rhs_;  // next-only expression
+};
+
+}  // namespace greta
+
+#endif  // GRETA_PREDICATE_RANGE_H_

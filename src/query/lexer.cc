@@ -1,0 +1,95 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace greta {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  if (kind != TokenKind::kIdent || text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    out.push_back(Token{kind, std::move(text), offset});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) ||
+              source[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, std::string(source.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < source.size()) {
+        char d = source[j];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (d == '.' && !seen_dot && j + 1 < source.size() &&
+                   std::isdigit(static_cast<unsigned char>(source[j + 1]))) {
+          seen_dot = true;
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, std::string(source.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < source.size() && source[j] != '\'') ++j;
+      if (j == source.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kString, std::string(source.substr(i + 1, j - i - 1)),
+           start);
+      i = j + 1;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < source.size()) {
+      std::string_view two = source.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        push(TokenKind::kSymbol, two == "<>" ? "!=" : std::string(two), start);
+        i += 2;
+        continue;
+      }
+    }
+    static constexpr std::string_view kSingles = "()[],.+*?%/=<>|&-";
+    if (kSingles.find(c) != std::string_view::npos) {
+      push(TokenKind::kSymbol, std::string(1, c), start);
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back(Token{TokenKind::kEnd, "", source.size()});
+  return out;
+}
+
+}  // namespace greta

@@ -1,0 +1,40 @@
+#ifndef GRETA_QUERY_LEXER_H_
+#define GRETA_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace greta {
+
+/// Token kinds of the query language (Figure 2 grammar plus the clauses of
+/// Definition 2).
+enum class TokenKind {
+  kIdent,    // identifiers and keywords (keywords matched case-insensitively)
+  kNumber,   // integer or decimal literal
+  kString,   // 'single quoted'
+  kSymbol,   // one of ( ) [ ] , . + * ? % / = < > <= >= != <> | & -
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the source, for error messages
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword check against an identifier token.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes a query string. Errors report the byte offset of the offending
+/// character.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace greta
+
+#endif  // GRETA_QUERY_LEXER_H_

@@ -1,0 +1,523 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "query/lexer.h"
+
+namespace greta {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Every Parse* method
+/// returns an error Status on malformed input; nothing throws.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Catalog* catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  StatusOr<QuerySpec> Run() {
+    QuerySpec spec;
+    if (!Keyword("RETURN")) return Err("expected RETURN");
+    // The RETURN list mixes grouping attributes and aggregates; aggregates
+    // are recognized by their function keyword.
+    std::vector<std::string> return_idents;
+    for (;;) {
+      if (PeekAggKeyword()) {
+        StatusOr<AggSpec> agg = ParseAgg();
+        if (!agg.ok()) return agg.status();
+        spec.aggs.push_back(std::move(agg).value());
+      } else if (Peek().kind == TokenKind::kIdent) {
+        return_idents.push_back(Next().text);
+      } else {
+        return Err("expected aggregate or attribute in RETURN list");
+      }
+      if (!Symbol(",")) break;
+    }
+    if (spec.aggs.empty()) {
+      return Err("RETURN list needs at least one aggregate");
+    }
+
+    if (!Keyword("PATTERN")) return Err("expected PATTERN");
+    StatusOr<PatternPtr> pattern = ParseOrPattern();
+    if (!pattern.ok()) return pattern.status();
+    spec.pattern = std::move(pattern).value();
+
+    if (Keyword("WHERE")) {
+      Status s = ParseWhere(&spec);
+      if (!s.ok()) return s;
+    }
+
+    if (Keyword("GROUP")) {
+      (void)Symbol("-");
+      if (!Keyword("BY")) return Err("expected BY after GROUP");
+      for (;;) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected attribute name in GROUP-BY");
+        }
+        spec.group_by.push_back(Next().text);
+        if (!Symbol(",")) break;
+      }
+    }
+
+    if (Keyword("WITHIN")) {
+      StatusOr<Ts> within = ParseDuration();
+      if (!within.ok()) return within.status();
+      Ts slide = within.value();
+      if (Keyword("SLIDE")) {
+        StatusOr<Ts> s = ParseDuration();
+        if (!s.ok()) return s.status();
+        slide = s.value();
+      }
+      if (slide <= 0) return Err("SLIDE must be positive");
+      spec.window = WindowSpec::Sliding(within.value(), slide);
+    }
+
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+
+    // Plain identifiers in RETURN must be grouping attributes.
+    for (const std::string& ident : return_idents) {
+      if (std::find(spec.group_by.begin(), spec.group_by.end(), ident) ==
+          spec.group_by.end()) {
+        return Status::ParseError("RETURN attribute '" + ident +
+                                  "' is not listed in GROUP-BY");
+      }
+    }
+
+    // Resolve deferred aggregate targets now that aliases are known.
+    for (const PendingTarget& t : pending_targets_) {
+      AggSpec& agg = spec.aggs[t.agg_index];
+      StatusOr<TypeId> type = ResolveTypeName(t.type_name);
+      if (!type.ok()) return type.status();
+      agg.type = type.value();
+      if (!t.attr_name.empty()) {
+        AttrId attr = catalog_->type(agg.type).FindAttr(t.attr_name);
+        if (attr == kInvalidAttr) {
+          return Status::ParseError("unknown attribute '" + t.attr_name +
+                                    "' of type " +
+                                    catalog_->type(agg.type).name);
+        }
+        agg.attr = attr;
+      }
+    }
+    return spec;
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Symbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Keyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError(msg + " (near offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  bool PeekAggKeyword() const {
+    const Token& t = Peek();
+    return t.IsKeyword("COUNT") || t.IsKeyword("MIN") || t.IsKeyword("MAX") ||
+           t.IsKeyword("SUM") || t.IsKeyword("AVG");
+  }
+
+  // ---- RETURN clause --------------------------------------------------
+
+  // Aggregate targets may use aliases declared later in the PATTERN clause,
+  // so resolution of the (type, attr) pair is deferred; the raw names are
+  // parked in `display` until ResolveAggTarget.
+  StatusOr<AggSpec> ParseAgg() {
+    Token fn = Next();
+    AggSpec agg;
+    if (fn.IsKeyword("COUNT")) {
+      if (!Symbol("(")) return Err("expected ( after COUNT");
+      if (Symbol("*")) {
+        agg.kind = AggKind::kCountStar;
+        agg.display = "COUNT(*)";
+      } else if (Peek().kind == TokenKind::kIdent) {
+        agg.kind = AggKind::kCountType;
+        pending_targets_.push_back(
+            PendingTarget{spec_agg_index_, Next().text, ""});
+        agg.display = "COUNT(" + pending_targets_.back().type_name + ")";
+      } else {
+        return Err("expected * or event type in COUNT");
+      }
+      if (!Symbol(")")) return Err("expected ) after COUNT argument");
+    } else {
+      if (fn.IsKeyword("MIN")) agg.kind = AggKind::kMin;
+      if (fn.IsKeyword("MAX")) agg.kind = AggKind::kMax;
+      if (fn.IsKeyword("SUM")) agg.kind = AggKind::kSum;
+      if (fn.IsKeyword("AVG")) agg.kind = AggKind::kAvg;
+      if (!Symbol("(")) return Err("expected ( after aggregate function");
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected EventType.attribute in aggregate");
+      }
+      std::string type_name = Next().text;
+      if (!Symbol(".")) return Err("expected . in aggregate target");
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected attribute name in aggregate");
+      }
+      std::string attr = Next().text;
+      if (!Symbol(")")) return Err("expected ) after aggregate target");
+      pending_targets_.push_back(
+          PendingTarget{spec_agg_index_, type_name, attr});
+      std::string upper;
+      for (char c : fn.text) {
+        upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      agg.display = upper + "(" + type_name + "." + attr + ")";
+    }
+    ++spec_agg_index_;
+    return agg;
+  }
+
+  // ---- PATTERN clause -------------------------------------------------
+
+  StatusOr<PatternPtr> ParseOrPattern() {
+    StatusOr<PatternPtr> lhs = ParseAndPattern();
+    if (!lhs.ok()) return lhs;
+    PatternPtr out = std::move(lhs).value();
+    while (Symbol("|")) {
+      StatusOr<PatternPtr> rhs = ParseAndPattern();
+      if (!rhs.ok()) return rhs;
+      out = Pattern::Or(std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  StatusOr<PatternPtr> ParseAndPattern() {
+    StatusOr<PatternPtr> lhs = ParsePostfixPattern();
+    if (!lhs.ok()) return lhs;
+    PatternPtr out = std::move(lhs).value();
+    while (Symbol("&")) {
+      StatusOr<PatternPtr> rhs = ParsePostfixPattern();
+      if (!rhs.ok()) return rhs;
+      out = Pattern::And(std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  StatusOr<PatternPtr> ParsePostfixPattern() {
+    StatusOr<PatternPtr> prim = ParsePrimaryPattern();
+    if (!prim.ok()) return prim;
+    PatternPtr out = std::move(prim).value();
+    for (;;) {
+      if (Symbol("+")) {
+        out = Pattern::Plus(std::move(out));
+      } else if (Symbol("*")) {
+        out = Pattern::Star(std::move(out));
+      } else if (Symbol("?")) {
+        out = Pattern::Opt(std::move(out));
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  StatusOr<PatternPtr> ParsePrimaryPattern() {
+    if (Keyword("SEQ")) {
+      if (!Symbol("(")) return Err("expected ( after SEQ");
+      std::vector<PatternPtr> children;
+      for (;;) {
+        StatusOr<PatternPtr> child = ParseOrPattern();
+        if (!child.ok()) return child;
+        children.push_back(std::move(child).value());
+        if (!Symbol(",")) break;
+      }
+      if (!Symbol(")")) return Err("expected ) to close SEQ");
+      if (children.size() < 2) {
+        return Err("SEQ needs at least two sub-patterns");
+      }
+      return Pattern::Seq(std::move(children));
+    }
+    if (Keyword("NOT")) {
+      StatusOr<PatternPtr> child = ParsePostfixPattern();
+      if (!child.ok()) return child;
+      return Pattern::Not(std::move(child).value());
+    }
+    if (Symbol("(")) {
+      StatusOr<PatternPtr> inner = ParseOrPattern();
+      if (!inner.ok()) return inner;
+      if (!Symbol(")")) return Err("expected )");
+      return inner;
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      std::string type_name = Next().text;
+      TypeId type = catalog_->FindType(type_name);
+      if (type == kInvalidType) {
+        return Status::ParseError("unknown event type '" + type_name + "'");
+      }
+      // Optional alias: an identifier that is not a clause keyword.
+      if (Peek().kind == TokenKind::kIdent && !PeekClauseKeyword()) {
+        std::string alias = Next().text;
+        aliases_[alias] = type;
+      }
+      return Pattern::Atom(type);
+    }
+    return Err("expected pattern");
+  }
+
+  bool PeekClauseKeyword() const {
+    const Token& t = Peek();
+    return t.IsKeyword("WHERE") || t.IsKeyword("GROUP") ||
+           t.IsKeyword("WITHIN") || t.IsKeyword("SLIDE") ||
+           t.IsKeyword("RETURN") || t.IsKeyword("PATTERN") ||
+           t.IsKeyword("SEQ") || t.IsKeyword("NOT");
+  }
+
+  StatusOr<TypeId> ResolveTypeName(const std::string& name) const {
+    auto it = aliases_.find(name);
+    if (it != aliases_.end()) return it->second;
+    TypeId type = catalog_->FindType(name);
+    if (type == kInvalidType) {
+      return Status::ParseError("unknown event type or alias '" + name + "'");
+    }
+    return type;
+  }
+
+  // ---- WHERE clause ---------------------------------------------------
+
+  Status ParseWhere(QuerySpec* spec) {
+    // Top level is a conjunction; equivalence clauses [a, b] are peeled off
+    // into spec->equivalence, everything else into spec->where.
+    for (;;) {
+      if (Symbol("[")) {
+        for (;;) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Err("expected attribute in equivalence clause");
+          }
+          std::string first = Next().text;
+          std::string attr = first;
+          if (Symbol(".")) {
+            if (Peek().kind != TokenKind::kIdent) {
+              return Err("expected attribute after . in equivalence clause");
+            }
+            attr = Next().text;  // Type qualification is only a hint.
+          }
+          spec->equivalence.push_back(attr);
+          if (!Symbol(",")) break;
+        }
+        if (!Symbol("]")) return Err("expected ] to close equivalence clause");
+      } else {
+        StatusOr<ExprPtr> conjunct = ParseExprOr();
+        if (!conjunct.ok()) return conjunct.status();
+        spec->where.push_back(std::move(conjunct).value());
+      }
+      if (!Keyword("AND")) break;
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<ExprPtr> ParseExprOr() {
+    StatusOr<ExprPtr> lhs = ParseExprCmp();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (Keyword("OR")) {
+      StatusOr<ExprPtr> rhs = ParseExprCmp();
+      if (!rhs.ok()) return rhs;
+      out = Expr::Binary(ExprOp::kOr, std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  StatusOr<ExprPtr> ParseExprCmp() {
+    StatusOr<ExprPtr> lhs = ParseExprAdd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    ExprOp op;
+    if (Symbol("=")) {
+      op = ExprOp::kEq;
+    } else if (Symbol("!=")) {
+      op = ExprOp::kNe;
+    } else if (Symbol("<=")) {
+      op = ExprOp::kLe;
+    } else if (Symbol(">=")) {
+      op = ExprOp::kGe;
+    } else if (Symbol("<")) {
+      op = ExprOp::kLt;
+    } else if (Symbol(">")) {
+      op = ExprOp::kGt;
+    } else {
+      return out;
+    }
+    StatusOr<ExprPtr> rhs = ParseExprAdd();
+    if (!rhs.ok()) return rhs;
+    return Expr::Binary(op, std::move(out), std::move(rhs).value());
+  }
+
+  StatusOr<ExprPtr> ParseExprAdd() {
+    StatusOr<ExprPtr> lhs = ParseExprMul();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    for (;;) {
+      ExprOp op;
+      if (Symbol("+")) {
+        op = ExprOp::kAdd;
+      } else if (Symbol("-")) {
+        op = ExprOp::kSub;
+      } else {
+        return out;
+      }
+      StatusOr<ExprPtr> rhs = ParseExprMul();
+      if (!rhs.ok()) return rhs;
+      out = Expr::Binary(op, std::move(out), std::move(rhs).value());
+    }
+  }
+
+  StatusOr<ExprPtr> ParseExprMul() {
+    StatusOr<ExprPtr> lhs = ParseExprPrimary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    for (;;) {
+      ExprOp op;
+      if (Symbol("*")) {
+        op = ExprOp::kMul;
+      } else if (Symbol("/")) {
+        op = ExprOp::kDiv;
+      } else if (Symbol("%")) {
+        op = ExprOp::kMod;
+      } else {
+        return out;
+      }
+      StatusOr<ExprPtr> rhs = ParseExprPrimary();
+      if (!rhs.ok()) return rhs;
+      out = Expr::Binary(op, std::move(out), std::move(rhs).value());
+    }
+  }
+
+  StatusOr<ExprPtr> ParseExprPrimary() {
+    if (Symbol("(")) {
+      StatusOr<ExprPtr> inner = ParseExprOr();
+      if (!inner.ok()) return inner;
+      if (!Symbol(")")) return Err("expected )");
+      return inner;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      std::string text = Next().text;
+      if (text.find('.') != std::string::npos) {
+        return Expr::Const(Value::Double(std::stod(text)));
+      }
+      return Expr::Const(Value::Int(std::stoll(text)));
+    }
+    if (Peek().kind == TokenKind::kString) {
+      StrId id = catalog_->strings()->Intern(Next().text);
+      return Expr::Const(Value::Str(id));
+    }
+    if (Keyword("NEXT")) {
+      if (!Symbol("(")) return Err("expected ( after NEXT");
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected event type in NEXT()");
+      }
+      std::string name = Next().text;
+      if (!Symbol(")")) return Err("expected ) after NEXT type");
+      if (!Symbol(".")) return Err("expected .attribute after NEXT()");
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected attribute after NEXT().");
+      }
+      std::string attr_name = Next().text;
+      StatusOr<TypeId> type = ResolveTypeName(name);
+      if (!type.ok()) return type.status();
+      AttrId attr = catalog_->type(type.value()).FindAttr(attr_name);
+      if (attr == kInvalidAttr) {
+        return Status::ParseError("unknown attribute '" + attr_name + "'");
+      }
+      return Expr::NextAttr(type.value(), attr);
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      std::string name = Next().text;
+      if (!Symbol(".")) {
+        return Err("expected qualified attribute Type.attr, got '" + name +
+                   "'");
+      }
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected attribute after .");
+      }
+      std::string attr_name = Next().text;
+      StatusOr<TypeId> type = ResolveTypeName(name);
+      if (!type.ok()) return type.status();
+      AttrId attr = catalog_->type(type.value()).FindAttr(attr_name);
+      if (attr == kInvalidAttr) {
+        return Status::ParseError("unknown attribute '" + attr_name +
+                                  "' of type " +
+                                  catalog_->type(type.value()).name);
+      }
+      return Expr::Attr(type.value(), attr);
+    }
+    return Err("expected expression");
+  }
+
+  // ---- WITHIN/SLIDE ---------------------------------------------------
+
+  StatusOr<Ts> ParseDuration() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Err("expected duration");
+    }
+    double amount = std::stod(Next().text);
+    double scale = 1.0;
+    if (Peek().kind == TokenKind::kIdent && !PeekClauseKeyword()) {
+      const Token& unit = Peek();
+      if (unit.IsKeyword("second") || unit.IsKeyword("seconds") ||
+          unit.IsKeyword("sec") || unit.IsKeyword("s")) {
+        scale = 1.0;
+        ++pos_;
+      } else if (unit.IsKeyword("minute") || unit.IsKeyword("minutes") ||
+                 unit.IsKeyword("min") || unit.IsKeyword("m")) {
+        scale = 60.0;
+        ++pos_;
+      } else if (unit.IsKeyword("hour") || unit.IsKeyword("hours") ||
+                 unit.IsKeyword("h")) {
+        scale = 3600.0;
+        ++pos_;
+      } else if (!unit.IsKeyword("SLIDE")) {
+        return Err("unknown duration unit '" + unit.text + "'");
+      }
+    }
+    double ticks = amount * scale;
+    if (ticks <= 0 || ticks != static_cast<double>(static_cast<Ts>(ticks))) {
+      return Err("duration must be a positive whole number of seconds");
+    }
+    return static_cast<Ts>(ticks);
+  }
+
+  struct PendingTarget {
+    size_t agg_index;
+    std::string type_name;
+    std::string attr_name;
+  };
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Catalog* catalog_;
+  std::unordered_map<std::string, TypeId> aliases_;
+  std::vector<PendingTarget> pending_targets_;
+  size_t spec_agg_index_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QuerySpec> ParseQuery(std::string_view source, Catalog* catalog) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), catalog);
+  return parser.Run();
+}
+
+}  // namespace greta

@@ -1,0 +1,36 @@
+#ifndef GRETA_QUERY_PARSER_H_
+#define GRETA_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace greta {
+
+/// Parses the event trend aggregation query language of the paper
+/// (Definition 2 clauses over the Figure 2 grammar), e.g. query Q1:
+///
+///   RETURN sector, COUNT(*)
+///   PATTERN Stock S+
+///   WHERE [company, sector] AND S.price > NEXT(S).price
+///   GROUP-BY sector
+///   WITHIN 10 minutes SLIDE 10 seconds
+///
+/// Conventions:
+///  - event types must be pre-registered in `catalog`; a pattern atom is a
+///    type name optionally followed by an alias ("Stock S+"), and the alias
+///    can qualify attributes in predicates and aggregates;
+///  - patterns support SEQ(...), NOT, postfix +, * and ?, grouping
+///    parentheses, and infix | (disjunction) and & (conjunction);
+///  - the WHERE clause is a conjunction of expression predicates and
+///    equivalence clauses written in brackets, e.g. [company, sector];
+///  - durations accept seconds/minutes/hours (base tick = 1 second) or bare
+///    tick counts; omitted SLIDE makes the window tumbling; omitted WITHIN
+///    makes it unbounded.
+StatusOr<QuerySpec> ParseQuery(std::string_view source, Catalog* catalog);
+
+}  // namespace greta
+
+#endif  // GRETA_QUERY_PARSER_H_

@@ -1,0 +1,439 @@
+#include "query/pattern.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace greta {
+
+PatternPtr Pattern::Atom(TypeId type) {
+  GRETA_CHECK(type != kInvalidType);
+  return PatternPtr(new Pattern(PatternOp::kAtom, type, {}));
+}
+
+PatternPtr Pattern::Seq(std::vector<PatternPtr> children) {
+  GRETA_CHECK(children.size() >= 2);
+  // Flatten nested SEQs so negation placement analysis sees siblings.
+  std::vector<PatternPtr> flat;
+  for (PatternPtr& c : children) {
+    GRETA_CHECK(c != nullptr);
+    if (c->op() == PatternOp::kSeq) {
+      for (PatternPtr& gc : c->children_) flat.push_back(std::move(gc));
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  return PatternPtr(new Pattern(PatternOp::kSeq, kInvalidType, std::move(flat)));
+}
+
+PatternPtr Pattern::Plus(PatternPtr child) {
+  GRETA_CHECK(child != nullptr);
+  std::vector<PatternPtr> children;
+  children.push_back(std::move(child));
+  return PatternPtr(new Pattern(PatternOp::kPlus, kInvalidType, std::move(children)));
+}
+
+PatternPtr Pattern::Star(PatternPtr child) {
+  GRETA_CHECK(child != nullptr);
+  std::vector<PatternPtr> children;
+  children.push_back(std::move(child));
+  return PatternPtr(new Pattern(PatternOp::kStar, kInvalidType, std::move(children)));
+}
+
+PatternPtr Pattern::Opt(PatternPtr child) {
+  GRETA_CHECK(child != nullptr);
+  std::vector<PatternPtr> children;
+  children.push_back(std::move(child));
+  return PatternPtr(new Pattern(PatternOp::kOpt, kInvalidType, std::move(children)));
+}
+
+PatternPtr Pattern::Not(PatternPtr child) {
+  GRETA_CHECK(child != nullptr);
+  std::vector<PatternPtr> children;
+  children.push_back(std::move(child));
+  return PatternPtr(new Pattern(PatternOp::kNot, kInvalidType, std::move(children)));
+}
+
+PatternPtr Pattern::Or(PatternPtr a, PatternPtr b) {
+  GRETA_CHECK(a != nullptr && b != nullptr);
+  std::vector<PatternPtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return PatternPtr(new Pattern(PatternOp::kOr, kInvalidType, std::move(children)));
+}
+
+PatternPtr Pattern::And(PatternPtr a, PatternPtr b) {
+  GRETA_CHECK(a != nullptr && b != nullptr);
+  std::vector<PatternPtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return PatternPtr(new Pattern(PatternOp::kAnd, kInvalidType, std::move(children)));
+}
+
+PatternPtr Pattern::Clone() const {
+  std::vector<PatternPtr> children;
+  children.reserve(children_.size());
+  for (const PatternPtr& c : children_) children.push_back(c->Clone());
+  return PatternPtr(new Pattern(op_, type_, std::move(children)));
+}
+
+int Pattern::Size() const {
+  int size = (op_ == PatternOp::kAtom) ? 1 : 1;
+  if (op_ == PatternOp::kSeq) {
+    // n-ary SEQ counts as n-1 binary SEQ operators (Definition 1).
+    size = static_cast<int>(children_.size()) - 1;
+  }
+  for (const PatternPtr& c : children_) size += c->Size();
+  return size;
+}
+
+bool Pattern::IsPositive() const {
+  if (op_ == PatternOp::kNot) return false;
+  for (const PatternPtr& c : children_) {
+    if (!c->IsPositive()) return false;
+  }
+  return true;
+}
+
+bool Pattern::HasKleene() const {
+  if (op_ == PatternOp::kPlus || op_ == PatternOp::kStar) return true;
+  for (const PatternPtr& c : children_) {
+    if (c->HasKleene()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void CollectTypesRec(const Pattern& p, bool include_negated,
+                     std::set<TypeId>* out) {
+  if (p.op() == PatternOp::kAtom) {
+    out->insert(p.type());
+    return;
+  }
+  if (p.op() == PatternOp::kNot && !include_negated) return;
+  for (const PatternPtr& c : p.children()) {
+    CollectTypesRec(*c, include_negated, out);
+  }
+}
+
+void RequiredTypesRec(const Pattern& p, std::set<TypeId>* out) {
+  switch (p.op()) {
+    case PatternOp::kAtom:
+      out->insert(p.type());
+      return;
+    case PatternOp::kSeq:
+      for (const PatternPtr& c : p.children()) {
+        if (c->op() != PatternOp::kNot) RequiredTypesRec(*c, out);
+      }
+      return;
+    case PatternOp::kPlus:
+      RequiredTypesRec(*p.children()[0], out);
+      return;
+    case PatternOp::kOr: {
+      std::set<TypeId> a;
+      std::set<TypeId> b;
+      RequiredTypesRec(*p.children()[0], &a);
+      RequiredTypesRec(*p.children()[1], &b);
+      for (TypeId t : a) {
+        if (b.count(t) > 0) out->insert(t);
+      }
+      return;
+    }
+    case PatternOp::kStar:
+    case PatternOp::kOpt:
+    case PatternOp::kNot:
+      return;  // May match trends without these types.
+    case PatternOp::kAnd:
+      for (const PatternPtr& c : p.children()) RequiredTypesRec(*c, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<TypeId> Pattern::CollectTypes(bool include_negated) const {
+  std::set<TypeId> set;
+  CollectTypesRec(*this, include_negated, &set);
+  return std::vector<TypeId>(set.begin(), set.end());
+}
+
+std::vector<TypeId> Pattern::RequiredTypes() const {
+  std::set<TypeId> set;
+  RequiredTypesRec(*this, &set);
+  return std::vector<TypeId>(set.begin(), set.end());
+}
+
+bool Pattern::Equals(const Pattern& other) const {
+  if (op_ != other.op_ || type_ != other.type_ ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string Pattern::ToString(const Catalog& catalog) const {
+  switch (op_) {
+    case PatternOp::kAtom:
+      return catalog.type(type_).name;
+    case PatternOp::kSeq: {
+      std::string out = "SEQ(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString(catalog);
+      }
+      out += ")";
+      return out;
+    }
+    case PatternOp::kPlus:
+      return "(" + children_[0]->ToString(catalog) + ")+";
+    case PatternOp::kStar:
+      return "(" + children_[0]->ToString(catalog) + ")*";
+    case PatternOp::kOpt:
+      return "(" + children_[0]->ToString(catalog) + ")?";
+    case PatternOp::kNot:
+      return "NOT " + children_[0]->ToString(catalog);
+    case PatternOp::kOr:
+      return "(" + children_[0]->ToString(catalog) + " | " +
+             children_[1]->ToString(catalog) + ")";
+    case PatternOp::kAnd:
+      return "(" + children_[0]->ToString(catalog) + " & " +
+             children_[1]->ToString(catalog) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateRec(const Pattern& p, bool is_root, bool inside_not) {
+  switch (p.op()) {
+    case PatternOp::kAtom:
+      return Status::Ok();
+    case PatternOp::kSeq: {
+      bool prev_was_not = false;
+      int positive_children = 0;
+      for (const PatternPtr& c : p.children()) {
+        if (c->op() == PatternOp::kNot) {
+          if (prev_was_not) {
+            return Status::InvalidArgument(
+                "consecutive negative sub-patterns; rewrite "
+                "SEQ(NOT Pi, NOT Pj) as NOT SEQ(Pi, Pj)");
+          }
+          prev_was_not = true;
+          const Pattern& inner = *c->children()[0];
+          if (inner.op() != PatternOp::kAtom && inner.op() != PatternOp::kSeq) {
+            return Status::InvalidArgument(
+                "negation must be applied to an event type or an event "
+                "sequence (Section 2)");
+          }
+          Status s = ValidateRec(inner, /*is_root=*/false, /*inside_not=*/true);
+          if (!s.ok()) return s;
+        } else {
+          prev_was_not = false;
+          ++positive_children;
+          Status s = ValidateRec(*c, /*is_root=*/false, inside_not);
+          if (!s.ok()) return s;
+        }
+      }
+      if (positive_children == 0) {
+        return Status::InvalidArgument(
+            "an event sequence needs at least one positive sub-pattern");
+      }
+      return Status::Ok();
+    }
+    case PatternOp::kPlus:
+    case PatternOp::kStar:
+    case PatternOp::kOpt: {
+      const Pattern& c = *p.children()[0];
+      if (c.op() == PatternOp::kNot) {
+        return Status::InvalidArgument(
+            "Kleene applied to negation is equivalent to NOT P (Section 2); "
+            "write NOT P instead");
+      }
+      return ValidateRec(c, /*is_root=*/false, inside_not);
+    }
+    case PatternOp::kNot:
+      if (is_root) {
+        return Status::InvalidArgument(
+            "negation may not be the outermost operator (Section 2)");
+      }
+      return Status::InvalidArgument(
+          "negation must appear directly within an event sequence");
+    case PatternOp::kOr:
+    case PatternOp::kAnd: {
+      if (inside_not) {
+        return Status::Unsupported(
+            "disjunction/conjunction inside negation is not supported");
+      }
+      for (const PatternPtr& c : p.children()) {
+        Status s = ValidateRec(*c, /*is_root=*/false, inside_not);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown pattern operator");
+}
+
+using AltList = std::vector<PatternPtr>;  // nullptr element == empty trend
+
+Status ExpandRec(const Pattern& p, AltList* out);
+
+Status ExpandChildren(const std::vector<PatternPtr>& children, size_t index,
+                      std::vector<PatternPtr>* current, AltList* out) {
+  if (index == children.size()) {
+    std::vector<PatternPtr> parts;
+    for (const PatternPtr& part : *current) {
+      if (part != nullptr) parts.push_back(part->Clone());
+    }
+    if (parts.empty()) {
+      out->push_back(nullptr);
+    } else if (parts.size() == 1) {
+      out->push_back(std::move(parts[0]));
+    } else {
+      out->push_back(Pattern::Seq(std::move(parts)));
+    }
+    return Status::Ok();
+  }
+  AltList child_alts;
+  Status s = ExpandRec(*children[index], &child_alts);
+  if (!s.ok()) return s;
+  for (PatternPtr& alt : child_alts) {
+    current->push_back(std::move(alt));
+    Status rec = ExpandChildren(children, index + 1, current, out);
+    if (!rec.ok()) return rec;
+    current->pop_back();
+  }
+  return Status::Ok();
+}
+
+Status ExpandRec(const Pattern& p, AltList* out) {
+  switch (p.op()) {
+    case PatternOp::kAtom:
+      out->push_back(p.Clone());
+      return Status::Ok();
+    case PatternOp::kSeq: {
+      std::vector<PatternPtr> current;
+      return ExpandChildren(p.children(), 0, &current, out);
+    }
+    case PatternOp::kPlus: {
+      AltList child_alts;
+      Status s = ExpandRec(*p.children()[0], &child_alts);
+      if (!s.ok()) return s;
+      bool emitted_empty = false;
+      for (PatternPtr& alt : child_alts) {
+        if (alt == nullptr) {
+          if (!emitted_empty) {
+            out->push_back(nullptr);  // (empty)+ == empty
+            emitted_empty = true;
+          }
+        } else {
+          out->push_back(Pattern::Plus(std::move(alt)));
+        }
+      }
+      return Status::Ok();
+    }
+    case PatternOp::kStar: {
+      AltList plus_alts;
+      PatternPtr as_plus = Pattern::Plus(p.children()[0]->Clone());
+      Status s = ExpandRec(*as_plus, &plus_alts);
+      if (!s.ok()) return s;
+      bool has_empty = false;
+      for (PatternPtr& alt : plus_alts) {
+        if (alt == nullptr) has_empty = true;
+        out->push_back(std::move(alt));
+      }
+      if (!has_empty) out->push_back(nullptr);
+      return Status::Ok();
+    }
+    case PatternOp::kOpt: {
+      AltList child_alts;
+      Status s = ExpandRec(*p.children()[0], &child_alts);
+      if (!s.ok()) return s;
+      bool has_empty = false;
+      for (PatternPtr& alt : child_alts) {
+        if (alt == nullptr) has_empty = true;
+        out->push_back(std::move(alt));
+      }
+      if (!has_empty) out->push_back(nullptr);
+      return Status::Ok();
+    }
+    case PatternOp::kNot: {
+      AltList child_alts;
+      Status s = ExpandRec(*p.children()[0], &child_alts);
+      if (!s.ok()) return s;
+      for (PatternPtr& alt : child_alts) {
+        if (alt == nullptr) {
+          return Status::InvalidArgument(
+              "negated sub-pattern may not match the empty trend");
+        }
+        out->push_back(Pattern::Not(std::move(alt)));
+      }
+      return Status::Ok();
+    }
+    case PatternOp::kOr: {
+      for (const PatternPtr& c : p.children()) {
+        Status s = ExpandRec(*c, out);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+    case PatternOp::kAnd:
+      return Status::Unsupported(
+          "conjunction must be the outermost operator (handled by the "
+          "conjunction combinator)");
+  }
+  return Status::Internal("unknown pattern operator");
+}
+
+}  // namespace
+
+Status ValidatePattern(const Pattern& p) {
+  return ValidateRec(p, /*is_root=*/true, /*inside_not=*/false);
+}
+
+StatusOr<std::vector<PatternPtr>> ExpandSugar(const Pattern& p) {
+  AltList raw;
+  Status s = ExpandRec(p, &raw);
+  if (!s.ok()) return s;
+  std::vector<PatternPtr> out;
+  for (PatternPtr& alt : raw) {
+    if (alt == nullptr) continue;  // Lemma 1: no empty trends.
+    bool duplicate = false;
+    for (const PatternPtr& seen : out) {
+      if (seen->Equals(*alt)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(std::move(alt));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(
+        "pattern matches only the empty trend (Lemma 1 violation)");
+  }
+  return out;
+}
+
+StatusOr<PatternPtr> UnrollMinLength(const Pattern& plus_pattern,
+                                     int min_len) {
+  if (min_len < 1) {
+    return Status::InvalidArgument("minimal trend length must be >= 1");
+  }
+  if (plus_pattern.op() != PatternOp::kPlus) {
+    return Status::InvalidArgument(
+        "minimal trend length unrolling applies to a Kleene plus pattern");
+  }
+  if (min_len == 1) return plus_pattern.Clone();
+  const Pattern& body = *plus_pattern.children()[0];
+  std::vector<PatternPtr> parts;
+  for (int i = 0; i < min_len - 1; ++i) parts.push_back(body.Clone());
+  parts.push_back(Pattern::Plus(body.Clone()));
+  return Pattern::Seq(std::move(parts));
+}
+
+}  // namespace greta

@@ -1,0 +1,121 @@
+#ifndef GRETA_QUERY_PATTERN_H_
+#define GRETA_QUERY_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/catalog.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace greta {
+
+class Pattern;
+using PatternPtr = std::unique_ptr<Pattern>;
+
+/// Operators of the (extended) Kleene pattern language of Definition 1.
+/// kSeq is n-ary (normalized from the paper's binary SEQ); kStar, kOpt, kOr
+/// and kAnd are the Section-9 extensions, desugared before planning.
+enum class PatternOp {
+  kAtom,  // an event type
+  kSeq,   // SEQ(P1, ..., Pn), n >= 2
+  kPlus,  // P+
+  kStar,  // P*      (sugar: SEQ(Pi*, Pj) == SEQ(Pi+, Pj) | Pj)
+  kOpt,   // P?      (sugar: SEQ(Pi?, Pj) == SEQ(Pi, Pj) | Pj)
+  kNot,   // NOT P   (only valid directly under kSeq)
+  kOr,    // P1 | P2 (count combination, Section 9)
+  kAnd,   // P1 & P2 (count combination, Section 9)
+};
+
+/// Immutable Kleene pattern tree (Definition 1 plus Section-9 sugar).
+///
+/// Construction goes through the static factories; malformed shapes (e.g.
+/// empty SEQ) abort. Structural validation against the paper's composition
+/// rules (negation placement etc.) is `ValidatePattern`.
+class Pattern {
+ public:
+  static PatternPtr Atom(TypeId type);
+  static PatternPtr Seq(std::vector<PatternPtr> children);
+
+  /// Variadic convenience: Seq(a, b, c, ...).
+  template <typename... Rest>
+  static PatternPtr Seq(PatternPtr first, PatternPtr second, Rest... rest) {
+    std::vector<PatternPtr> children;
+    children.push_back(std::move(first));
+    children.push_back(std::move(second));
+    (children.push_back(std::move(rest)), ...);
+    return Seq(std::move(children));
+  }
+  static PatternPtr Plus(PatternPtr child);
+  static PatternPtr Star(PatternPtr child);
+  static PatternPtr Opt(PatternPtr child);
+  static PatternPtr Not(PatternPtr child);
+  static PatternPtr Or(PatternPtr a, PatternPtr b);
+  static PatternPtr And(PatternPtr a, PatternPtr b);
+
+  PatternOp op() const { return op_; }
+  TypeId type() const { return type_; }
+  const std::vector<PatternPtr>& children() const { return children_; }
+  const Pattern& child(size_t i) const { return *children_[i]; }
+
+  PatternPtr Clone() const;
+
+  /// Size of the pattern per Definition 1: number of event types plus
+  /// operators.
+  int Size() const;
+
+  /// True if the pattern contains no negation.
+  bool IsPositive() const;
+
+  /// True if the pattern contains at least one Kleene plus/star.
+  bool HasKleene() const;
+
+  /// Collects every event type mentioned (with duplicates removed). When
+  /// `include_negated` is false, types occurring only under NOT are skipped
+  /// (i.e. the types that can appear in a matched trend).
+  std::vector<TypeId> CollectTypes(bool include_negated = true) const;
+
+  /// Event types contained in *every* trend the pattern can match. Used to
+  /// prove two disjunction alternatives disjoint (Section 9 combination).
+  std::vector<TypeId> RequiredTypes() const;
+
+  /// Structural equality.
+  bool Equals(const Pattern& other) const;
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  Pattern(PatternOp op, TypeId type, std::vector<PatternPtr> children)
+      : op_(op), type_(type), children_(std::move(children)) {}
+
+  PatternOp op_;
+  TypeId type_ = kInvalidType;  // Only for kAtom.
+  std::vector<PatternPtr> children_;
+};
+
+/// Checks the composition rules of Section 2:
+///  - NOT appears only as a direct child of SEQ (after n-ary normalization),
+///    is applied to an event type or an event sequence, is not the outermost
+///    operator, and no two NOTs are adjacent within a SEQ;
+///  - SEQ has at least two children, at least one of them positive;
+///  - the pattern matches at least one event type.
+/// Nested Kleene (e.g. (SEQ(A+,B))+) is fully supported; an event type may
+/// occur several times (Section 9 extension).
+Status ValidatePattern(const Pattern& p);
+
+/// Expands kStar / kOpt / kOr sugar into a set of disjunction-free
+/// alternatives (Section 9: SEQ(Pi*,Pj) = SEQ(Pi+,Pj) | Pj, and
+/// SEQ(Pi?,Pj) = SEQ(Pi,Pj) | Pj). The returned alternatives never match the
+/// empty trend (Lemma 1); an expansion that would be entirely empty is an
+/// error. kAnd is not expanded here (handled by the conjunction combinator).
+StatusOr<std::vector<PatternPtr>> ExpandSugar(const Pattern& p);
+
+/// Rewrites `P+` into SEQ(P, P, ..., P+) with `min_len - 1` unrolled copies
+/// so trends shorter than `min_len` no longer match (Section 9, constraints
+/// on minimal trend length). Requires min_len >= 1.
+StatusOr<PatternPtr> UnrollMinLength(const Pattern& plus_pattern, int min_len);
+
+}  // namespace greta
+
+#endif  // GRETA_QUERY_PATTERN_H_

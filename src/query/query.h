@@ -1,0 +1,81 @@
+#ifndef GRETA_QUERY_QUERY_H_
+#define GRETA_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "predicate/expr.h"
+#include "query/pattern.h"
+
+namespace greta {
+
+/// Aggregation functions of Definition 2. All are distributive or algebraic
+/// and thus incrementally computable (Theorem 9.1).
+enum class AggKind {
+  kCountStar,  // COUNT(*)        — number of trends
+  kCountType,  // COUNT(E)        — occurrences of E events across trends
+  kMin,        // MIN(E.attr)
+  kMax,        // MAX(E.attr)
+  kSum,        // SUM(E.attr)
+  kAvg,        // AVG(E.attr) = SUM(E.attr) / COUNT(E)
+};
+
+/// One requested aggregate. `type`/`attr` identify the target for all kinds
+/// except kCountStar.
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  TypeId type = kInvalidType;
+  AttrId attr = kInvalidAttr;
+  std::string display;  // e.g. "COUNT(*)", "SUM(M.cpu)"
+};
+
+/// WITHIN/SLIDE clause. `within == kMaxTs` denotes an unbounded (single)
+/// window closed only by Flush().
+struct WindowSpec {
+  Ts within = kMaxTs;
+  Ts slide = 0;
+
+  bool unbounded() const { return within == kMaxTs; }
+
+  static WindowSpec Unbounded() { return WindowSpec{}; }
+  static WindowSpec Sliding(Ts within, Ts slide) {
+    return WindowSpec{within, slide};
+  }
+  static WindowSpec Tumbling(Ts within) { return WindowSpec{within, within}; }
+};
+
+/// An event trend aggregation query (Definition 2): aggregate specification,
+/// Kleene pattern, optional predicates, optional grouping, and window.
+///
+/// `where` holds the expression conjuncts (vertex and edge predicates);
+/// `equivalence` holds the attribute names of equivalence predicates like
+/// `[company, sector]` which require all events in a trend to agree and
+/// partition the stream; `group_by` holds the grouping attribute names.
+struct QuerySpec {
+  PatternPtr pattern;
+  std::vector<AggSpec> aggs;
+  std::vector<ExprPtr> where;
+  std::vector<std::string> equivalence;
+  std::vector<std::string> group_by;
+  WindowSpec window;
+
+  QuerySpec() = default;
+  QuerySpec(QuerySpec&&) = default;
+  QuerySpec& operator=(QuerySpec&&) = default;
+
+  QuerySpec Clone() const {
+    QuerySpec out;
+    out.pattern = pattern ? pattern->Clone() : nullptr;
+    out.aggs = aggs;
+    for (const ExprPtr& w : where) out.where.push_back(w->Clone());
+    out.equivalence = equivalence;
+    out.group_by = group_by;
+    out.window = window;
+    return out;
+  }
+};
+
+}  // namespace greta
+
+#endif  // GRETA_QUERY_QUERY_H_

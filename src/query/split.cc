@@ -1,0 +1,166 @@
+#include "query/split.h"
+
+#include "common/check.h"
+
+namespace greta {
+
+namespace {
+
+// Clones `p` while extracting NOT children into `out`. `self_index` is the
+// sub-pattern index of the pattern being cleaned (0 = positive core).
+StatusOr<PatternPtr> Clean(const Pattern& p, int self_index,
+                           std::vector<NegativeSubPattern>* out);
+
+Status CleanSeq(const Pattern& p, int self_index,
+                std::vector<NegativeSubPattern>* out, PatternPtr* cleaned) {
+  // First pass: clean positive children, remembering where the negative
+  // children sit relative to them.
+  struct Slot {
+    const Pattern* original = nullptr;  // original NOT child, or null
+    PatternPtr cleaned;                 // cleaned positive child, or null
+  };
+  std::vector<Slot> slots;
+  for (const PatternPtr& c : p.children()) {
+    Slot slot;
+    if (c->op() == PatternOp::kNot) {
+      slot.original = c.get();
+    } else {
+      StatusOr<PatternPtr> sub = Clean(*c, self_index, out);
+      if (!sub.ok()) return sub.status();
+      slot.cleaned = std::move(sub).value();
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  // Second pass: register a NegativeSubPattern per NOT child, resolving its
+  // previous / following atoms within the cleaned siblings.
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].original == nullptr) continue;
+    const Pattern* prev_atom = nullptr;
+    const Pattern* foll_atom = nullptr;
+    if (i > 0) {
+      GRETA_CHECK(slots[i - 1].cleaned != nullptr);  // Validation: no NOT runs.
+      prev_atom = EndAtom(*slots[i - 1].cleaned);
+    }
+    if (i + 1 < slots.size()) {
+      GRETA_CHECK(slots[i + 1].cleaned != nullptr);
+      foll_atom = StartAtom(*slots[i + 1].cleaned);
+    }
+    int index = static_cast<int>(out->size()) + 1;  // 0 is the positive core.
+    out->push_back(NegativeSubPattern{nullptr, self_index, prev_atom,
+                                      foll_atom});
+    // Recursively clean the negated content; its own negations reference
+    // `index` as their parent.
+    StatusOr<PatternPtr> inner =
+        Clean(*slots[i].original->children()[0], index, out);
+    if (!inner.ok()) return inner.status();
+    (*out)[index - 1].pattern = std::move(inner).value();
+  }
+
+  std::vector<PatternPtr> kept;
+  for (Slot& slot : slots) {
+    if (slot.cleaned != nullptr) kept.push_back(std::move(slot.cleaned));
+  }
+  GRETA_CHECK(!kept.empty());
+  if (kept.size() == 1) {
+    *cleaned = std::move(kept[0]);
+  } else {
+    // Note: the Seq factory flattens nested SEQ nodes. prev/foll references
+    // point at *atom* nodes, which survive flattening.
+    *cleaned = Pattern::Seq(std::move(kept));
+  }
+  return Status::Ok();
+}
+
+StatusOr<PatternPtr> Clean(const Pattern& p, int self_index,
+                           std::vector<NegativeSubPattern>* out) {
+  switch (p.op()) {
+    case PatternOp::kAtom:
+      return p.Clone();
+    case PatternOp::kPlus: {
+      StatusOr<PatternPtr> child = Clean(*p.children()[0], self_index, out);
+      if (!child.ok()) return child.status();
+      return Pattern::Plus(std::move(child).value());
+    }
+    case PatternOp::kSeq: {
+      PatternPtr cleaned;
+      Status s = CleanSeq(p, self_index, out, &cleaned);
+      if (!s.ok()) return s;
+      return cleaned;
+    }
+    case PatternOp::kNot:
+      return Status::InvalidArgument(
+          "negation must appear directly within an event sequence");
+    case PatternOp::kStar:
+    case PatternOp::kOpt:
+    case PatternOp::kOr:
+    case PatternOp::kAnd:
+      return Status::Internal("SplitPattern requires a desugared pattern");
+  }
+  return Status::Internal("unknown pattern operator");
+}
+
+}  // namespace
+
+const Pattern* StartAtom(const Pattern& p) {
+  const Pattern* cur = &p;
+  for (;;) {
+    switch (cur->op()) {
+      case PatternOp::kAtom:
+        return cur;
+      case PatternOp::kPlus:
+        cur = cur->children()[0].get();
+        break;
+      case PatternOp::kSeq: {
+        const Pattern* first = nullptr;
+        for (const PatternPtr& c : cur->children()) {
+          if (c->op() != PatternOp::kNot) {
+            first = c.get();
+            break;
+          }
+        }
+        GRETA_CHECK(first != nullptr);
+        cur = first;
+        break;
+      }
+      default:
+        GRETA_CHECK(false);
+    }
+  }
+}
+
+const Pattern* EndAtom(const Pattern& p) {
+  const Pattern* cur = &p;
+  for (;;) {
+    switch (cur->op()) {
+      case PatternOp::kAtom:
+        return cur;
+      case PatternOp::kPlus:
+        cur = cur->children()[0].get();
+        break;
+      case PatternOp::kSeq: {
+        const Pattern* last = nullptr;
+        for (const PatternPtr& c : cur->children()) {
+          if (c->op() != PatternOp::kNot) last = c.get();
+        }
+        GRETA_CHECK(last != nullptr);
+        cur = last;
+        break;
+      }
+      default:
+        GRETA_CHECK(false);
+    }
+  }
+}
+
+StatusOr<SplitResult> SplitPattern(const Pattern& pattern) {
+  Status valid = ValidatePattern(pattern);
+  if (!valid.ok()) return valid;
+  SplitResult result;
+  StatusOr<PatternPtr> core = Clean(pattern, 0, &result.negatives);
+  if (!core.ok()) return core.status();
+  result.positive = std::move(core).value();
+  return result;
+}
+
+}  // namespace greta

@@ -1,0 +1,54 @@
+#ifndef GRETA_QUERY_SPLIT_H_
+#define GRETA_QUERY_SPLIT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/pattern.h"
+
+namespace greta {
+
+/// One negative sub-pattern extracted by the pattern split (Algorithm 3).
+///
+/// `pattern` is the *positive content* of the NOT (its own nested negations
+/// extracted recursively into further entries). `parent` indexes the
+/// sub-pattern this one invalidates: 0 is the positive core, i >= 1 is
+/// negatives[i-1] (negation can nest, Example 2: E invalidates within
+/// SEQ(C,D), which invalidates within (SEQ(A+,B))+).
+///
+/// `prev_atom` / `foll_atom` identify the previous and following event types
+/// (Section 5.1) as atom nodes inside the parent's cleaned pattern; the
+/// planner resolves them to template states. Null prev_atom means the
+/// negation leads the sequence (Case 3), null foll_atom means it trails
+/// (Case 2); both set is Case 1.
+struct NegativeSubPattern {
+  PatternPtr pattern;
+  int parent = 0;
+  const Pattern* prev_atom = nullptr;
+  const Pattern* foll_atom = nullptr;
+};
+
+/// Result of splitting a pattern into its positive core and negative
+/// sub-patterns (Algorithm 3). The returned pattern objects own the atom
+/// nodes referenced by NegativeSubPattern.
+struct SplitResult {
+  PatternPtr positive;
+  std::vector<NegativeSubPattern> negatives;
+};
+
+/// Splits a validated, desugared pattern. Time and space are linear in the
+/// pattern size (Section 5.1).
+StatusOr<SplitResult> SplitPattern(const Pattern& pattern);
+
+/// Returns the atom reached by following first children (the pattern node
+/// whose state is the start state of `p`'s template span). `p` must be
+/// desugared and positive.
+const Pattern* StartAtom(const Pattern& p);
+
+/// Returns the atom reached by following last children (the node whose state
+/// is the end state of `p`'s template span).
+const Pattern* EndAtom(const Pattern& p);
+
+}  // namespace greta
+
+#endif  // GRETA_QUERY_SPLIT_H_

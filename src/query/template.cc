@@ -1,0 +1,187 @@
+#include "query/template.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace greta {
+
+namespace {
+
+const std::vector<StateId> kNoStates;
+
+}  // namespace
+
+const std::vector<StateId>& GretaTemplate::states_for_type(TypeId type) const {
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) return kNoStates;
+  return it->second;
+}
+
+int GretaTemplate::FindTransition(StateId from, StateId to) const {
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].from == from && transitions_[i].to == to) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+StateId GretaTemplate::NodeStartState(const Pattern* node) const {
+  auto it = node_span_.find(node);
+  GRETA_CHECK(it != node_span_.end());
+  return it->second.first;
+}
+
+StateId GretaTemplate::NodeEndState(const Pattern* node) const {
+  auto it = node_span_.find(node);
+  GRETA_CHECK(it != node_span_.end());
+  return it->second.second;
+}
+
+std::vector<TypeId> GretaTemplate::Types() const {
+  std::vector<TypeId> out;
+  for (const auto& [type, states] : by_type_) {
+    (void)states;
+    out.push_back(type);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string GretaTemplate::ToString() const {
+  std::string out = "states:";
+  for (const TemplateState& s : states_) {
+    out += " ";
+    out += s.label;
+    if (s.id == start_state_) out += "(start)";
+    if (s.id == end_state_) out += "(end)";
+  }
+  out += "; transitions:";
+  for (const TemplateTransition& t : transitions_) {
+    out += " ";
+    out += states_[t.from].label;
+    out += (t.label == TransitionLabel::kSeq) ? "->" : "=+>";
+    out += states_[t.to].label;
+  }
+  return out;
+}
+
+/// Walks the pattern, allocating one state per event-type occurrence and one
+/// transition per operator (Algorithm 1). Records each node's start/end
+/// state for later use by the pattern split.
+class TemplateBuilder {
+ public:
+  TemplateBuilder(const Catalog& catalog, GretaTemplate* out)
+      : catalog_(catalog), out_(out) {}
+
+  Status Build(const Pattern& pattern) {
+    Status s = Visit(pattern);
+    if (!s.ok()) return s;
+    out_->start_state_ = out_->node_span_.at(&pattern).first;
+    out_->end_state_ = out_->node_span_.at(&pattern).second;
+    // Disambiguate labels only when a type occurs more than once
+    // (Section 9: "SEQ(A+,B,A,A+,B+) is translated into
+    //  SEQ(A1+,B2,A3,A4+,B5+)").
+    for (const auto& [type, states] : out_->by_type_) {
+      if (states.size() <= 1) continue;
+      for (StateId sid : states) {
+        out_->states_[sid].label =
+            catalog_.type(type).name + std::to_string(sid + 1);
+      }
+    }
+    FinishAdjacency();
+    return Status::Ok();
+  }
+
+ private:
+  // Computes (start, end) states of `p` and records them in node_span_.
+  Status Visit(const Pattern& p) {
+    switch (p.op()) {
+      case PatternOp::kAtom: {
+        StateId id = static_cast<StateId>(out_->states_.size());
+        out_->states_.push_back(
+            TemplateState{id, p.type(), catalog_.type(p.type()).name});
+        out_->by_type_[p.type()].push_back(id);
+        out_->node_span_[&p] = {id, id};
+        return Status::Ok();
+      }
+      case PatternOp::kSeq: {
+        // Negative children are skipped entirely: the split has already
+        // extracted them, but templates may also be built directly over
+        // patterns that still carry NOT children (e.g. for ToString).
+        const Pattern* prev = nullptr;
+        const Pattern* first = nullptr;
+        for (const PatternPtr& c : p.children()) {
+          if (c->op() == PatternOp::kNot) continue;
+          Status s = Visit(*c);
+          if (!s.ok()) return s;
+          if (first == nullptr) first = c.get();
+          if (prev != nullptr) {
+            AddTransition(out_->node_span_.at(prev).second,
+                          out_->node_span_.at(c.get()).first,
+                          TransitionLabel::kSeq);
+          }
+          prev = c.get();
+        }
+        if (first == nullptr) {
+          return Status::InvalidArgument(
+              "event sequence has no positive sub-pattern");
+        }
+        out_->node_span_[&p] = {out_->node_span_.at(first).first,
+                                out_->node_span_.at(prev).second};
+        return Status::Ok();
+      }
+      case PatternOp::kPlus: {
+        const Pattern& c = *p.children()[0];
+        Status s = Visit(c);
+        if (!s.ok()) return s;
+        auto span = out_->node_span_.at(&c);
+        AddTransition(span.second, span.first, TransitionLabel::kPlus);
+        out_->node_span_[&p] = span;
+        return Status::Ok();
+      }
+      case PatternOp::kStar:
+      case PatternOp::kOpt:
+      case PatternOp::kOr:
+      case PatternOp::kAnd:
+        return Status::Internal(
+            "template construction requires a desugared pattern (run "
+            "ExpandSugar first)");
+      case PatternOp::kNot:
+        return Status::Internal(
+            "template construction requires a split pattern (run "
+            "SplitPattern first)");
+    }
+    return Status::Internal("unknown pattern operator");
+  }
+
+  void AddTransition(StateId from, StateId to, TransitionLabel label) {
+    // Deduplicate: nested Kleene can imply the same adjacency twice.
+    if (out_->FindTransition(from, to) >= 0) return;
+    out_->transitions_.push_back(TemplateTransition{from, to, label});
+  }
+
+  void FinishAdjacency() {
+    out_->pred_states_.assign(out_->states_.size(), {});
+    out_->succ_states_.assign(out_->states_.size(), {});
+    for (const TemplateTransition& t : out_->transitions_) {
+      out_->pred_states_[t.to].push_back(t.from);
+      out_->succ_states_[t.from].push_back(t.to);
+    }
+  }
+
+  const Catalog& catalog_;
+  GretaTemplate* out_;
+};
+
+StatusOr<GretaTemplate> BuildTemplate(const Pattern& pattern,
+                                      const Catalog& catalog) {
+  GretaTemplate out;
+  TemplateBuilder builder(catalog, &out);
+  Status s = builder.Build(pattern);
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace greta

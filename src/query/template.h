@@ -1,0 +1,105 @@
+#ifndef GRETA_QUERY_TEMPLATE_H_
+#define GRETA_QUERY_TEMPLATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/catalog.h"
+#include "common/status.h"
+#include "query/pattern.h"
+
+namespace greta {
+
+/// Transition labels of the GRETA template (Algorithm 1): "SEQ" connects
+/// end(Pi) to start(Pj) for every event sequence, "+" connects end(Pi) back
+/// to start(Pi) for every Kleene plus.
+enum class TransitionLabel { kSeq, kPlus };
+
+/// A state of the GRETA template. States are *occurrence-unique*: a pattern
+/// in which the same event type appears several times (Section 9, Figure 13)
+/// yields one state per occurrence, each with its own id and label (e.g.
+/// "A1", "A3").
+struct TemplateState {
+  StateId id = kInvalidState;
+  TypeId type = kInvalidType;
+  std::string label;
+};
+
+/// A transition of the GRETA template: types of events that may be adjacent
+/// in a matched trend.
+struct TemplateTransition {
+  StateId from = kInvalidState;
+  StateId to = kInvalidState;
+  TransitionLabel label = TransitionLabel::kSeq;
+};
+
+/// The automaton-based representation of a positive Kleene pattern produced
+/// by Algorithm 1. Immutable after construction; used at runtime as the
+/// blueprint of the GRETA graph.
+class GretaTemplate {
+ public:
+  const std::vector<TemplateState>& states() const { return states_; }
+  const std::vector<TemplateTransition>& transitions() const {
+    return transitions_;
+  }
+
+  StateId start_state() const { return start_state_; }
+  StateId end_state() const { return end_state_; }
+
+  bool IsStart(StateId s) const { return s == start_state_; }
+  bool IsEnd(StateId s) const { return s == end_state_; }
+
+  size_t num_states() const { return states_.size(); }
+
+  /// Predecessor states of `s`: states with a transition into `s`
+  /// (P.predTypes in the paper).
+  const std::vector<StateId>& pred_states(StateId s) const {
+    return pred_states_[s];
+  }
+
+  /// Successor states of `s`.
+  const std::vector<StateId>& succ_states(StateId s) const {
+    return succ_states_[s];
+  }
+
+  /// States associated with events of `type`; empty when the type is not
+  /// part of the pattern.
+  const std::vector<StateId>& states_for_type(TypeId type) const;
+
+  /// Index of the transition `from -> to`, or -1.
+  int FindTransition(StateId from, StateId to) const;
+
+  /// Start/end states recorded for each node of the source pattern during
+  /// construction; used by the pattern split to resolve the previous and
+  /// following states of a negative sub-pattern.
+  StateId NodeStartState(const Pattern* node) const;
+  StateId NodeEndState(const Pattern* node) const;
+
+  /// All event types appearing in the template.
+  std::vector<TypeId> Types() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class TemplateBuilder;
+
+  std::vector<TemplateState> states_;
+  std::vector<TemplateTransition> transitions_;
+  StateId start_state_ = kInvalidState;
+  StateId end_state_ = kInvalidState;
+  std::vector<std::vector<StateId>> pred_states_;
+  std::vector<std::vector<StateId>> succ_states_;
+  std::unordered_map<TypeId, std::vector<StateId>> by_type_;
+  std::unordered_map<const Pattern*, std::pair<StateId, StateId>> node_span_;
+};
+
+/// Builds the GRETA template for a *positive, desugared* pattern
+/// (Algorithm 1). The pattern object must outlive calls to
+/// NodeStartState/NodeEndState that reference its nodes.
+StatusOr<GretaTemplate> BuildTemplate(const Pattern& pattern,
+                                      const Catalog& catalog);
+
+}  // namespace greta
+
+#endif  // GRETA_QUERY_TEMPLATE_H_

@@ -1,0 +1,4 @@
+#include "storage/pane.h"
+
+// PaneStore and BPlusTree are header-only templates; this translation unit
+// anchors the storage library target.

@@ -1,0 +1,146 @@
+#ifndef GRETA_STORAGE_PANE_H_
+#define GRETA_STORAGE_PANE_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "storage/btree.h"
+
+namespace greta {
+
+/// Time-pane store (Section 7, Figure 11): the stream is divided into
+/// non-overlapping consecutive time intervals; each pane holds, per bucket
+/// (one bucket per template state), the vertices that fall into it plus a
+/// Vertex Tree sorted by that bucket's key attribute. Expired panes are
+/// deleted wholesale ("instead of removing single expired events ... a whole
+/// pane with its associated data structures is deleted").
+///
+/// V is the vertex type; values handed to Insert are stored in a deque so
+/// the returned pointers stay stable for the lifetime of the pane.
+template <typename V>
+class PaneStore {
+ public:
+  PaneStore(Ts pane_size, size_t num_buckets)
+      : pane_size_(pane_size), num_buckets_(num_buckets) {
+    GRETA_CHECK(pane_size_ > 0);
+    GRETA_CHECK(num_buckets_ > 0);
+  }
+
+  /// Inserts a vertex with the given tree key into the pane covering `time`.
+  /// Returns a stable pointer.
+  V* Insert(Ts time, size_t bucket, double key, V value) {
+    GRETA_DCHECK(bucket < num_buckets_);
+    int64_t idx = FloorDivTs(time);
+    Pane& pane = GetOrCreatePane(idx);
+    Bucket& b = pane.buckets[bucket];
+    b.vertices.push_back(std::move(value));
+    V* stored = &b.vertices.back();
+    b.index.Insert(key, stored);
+    ++size_;
+    return stored;
+  }
+
+  /// Scans bucket `bucket` over all panes intersecting [lo_time, hi_time]
+  /// (inclusive), visiting entries within `bounds` in key order per pane.
+  /// `fn(V*)` is invoked for each.
+  template <typename Fn>
+  void ScanBucket(Ts lo_time, Ts hi_time, size_t bucket,
+                  const KeyBounds& bounds, Fn&& fn) const {
+    GRETA_DCHECK(bucket < num_buckets_);
+    if (panes_.empty() || lo_time > hi_time) return;
+    int64_t lo_idx = FloorDivTs(lo_time);
+    for (auto it = panes_.lower_bound(lo_idx); it != panes_.end(); ++it) {
+      if (it->second.start > hi_time) break;
+      it->second.buckets[bucket].index.Scan(bounds, fn);
+    }
+  }
+
+  /// Visits every vertex of `bucket` across all panes (pane order, then key
+  /// order), e.g. for window-close scans.
+  template <typename Fn>
+  void ScanBucketAll(size_t bucket, Fn&& fn) const {
+    for (const auto& [idx, pane] : panes_) {
+      (void)idx;
+      pane.buckets[bucket].index.ScanAll(fn);
+    }
+  }
+
+  /// Drops every pane that ends at or before `cutoff` (batch deletion).
+  /// Returns the number of vertices freed.
+  size_t PurgeBefore(Ts cutoff) {
+    return PurgeBefore(cutoff, [](const V&) {});
+  }
+
+  /// PurgeBefore variant invoking `on_free(vertex)` for each dropped vertex
+  /// (e.g. to release memory accounting).
+  template <typename Fn>
+  size_t PurgeBefore(Ts cutoff, Fn&& on_free) {
+    size_t freed = 0;
+    while (!panes_.empty()) {
+      auto it = panes_.begin();
+      if (it->second.start + pane_size_ > cutoff) break;
+      for (const Bucket& b : it->second.buckets) {
+        for (const V& v : b.vertices) on_free(v);
+        freed += b.vertices.size();
+      }
+      panes_.erase(it);
+    }
+    size_ -= freed;
+    return freed;
+  }
+
+  size_t size() const { return size_; }
+  size_t num_panes() const { return panes_.size(); }
+  Ts pane_size() const { return pane_size_; }
+
+  /// Bytes held by vertices and tree nodes (memory metric).
+  size_t ApproxBytes() const {
+    size_t bytes = 0;
+    for (const auto& [idx, pane] : panes_) {
+      (void)idx;
+      for (const Bucket& b : pane.buckets) {
+        bytes += b.vertices.size() * sizeof(V) + b.index.ApproxBytes();
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Bucket {
+    std::deque<V> vertices;
+    BPlusTree<V*> index;
+  };
+  struct Pane {
+    Ts start = 0;
+    std::vector<Bucket> buckets;
+  };
+
+  int64_t FloorDivTs(Ts t) const {
+    int64_t q = t / pane_size_;
+    if ((t % pane_size_ != 0) && (t < 0)) --q;
+    return q;
+  }
+
+  Pane& GetOrCreatePane(int64_t idx) {
+    auto it = panes_.find(idx);
+    if (it == panes_.end()) {
+      Pane pane;
+      pane.start = idx * pane_size_;
+      pane.buckets.resize(num_buckets_);
+      it = panes_.emplace(idx, std::move(pane)).first;
+    }
+    return it->second;
+  }
+
+  Ts pane_size_;
+  size_t num_buckets_;
+  std::map<int64_t, Pane> panes_;  // ordered by pane index
+  size_t size_ = 0;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_STORAGE_PANE_H_

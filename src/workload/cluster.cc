@@ -1,0 +1,106 @@
+#include "workload/cluster.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace greta {
+
+void RegisterClusterTypes(Catalog* catalog) {
+  if (catalog->FindType("Start") == kInvalidType) {
+    catalog->DefineType("Start", {{"job", Value::Kind::kInt},
+                                  {"mapper", Value::Kind::kInt}});
+  }
+  if (catalog->FindType("Measurement") == kInvalidType) {
+    catalog->DefineType("Measurement", {{"job", Value::Kind::kInt},
+                                        {"mapper", Value::Kind::kInt},
+                                        {"cpu", Value::Kind::kDouble},
+                                        {"mem", Value::Kind::kDouble},
+                                        {"load", Value::Kind::kDouble}});
+  }
+  if (catalog->FindType("End") == kInvalidType) {
+    catalog->DefineType("End", {{"job", Value::Kind::kInt},
+                                {"mapper", Value::Kind::kInt}});
+  }
+}
+
+Stream GenerateClusterStream(Catalog* catalog, const ClusterConfig& config) {
+  RegisterClusterTypes(catalog);
+  Random rng(config.seed);
+  Stream stream;
+  // Every (job, mapper) pair starts its first run at time 0.
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int j = 0; j < config.num_jobs; ++j) {
+    for (int m = 0; m < config.num_mappers; ++m) {
+      pairs.emplace_back(j, m);
+    }
+  }
+  for (auto [job, mapper] : pairs) {
+    stream.Append(EventBuilder(catalog, "Start", 0)
+                      .Set("job", job)
+                      .Set("mapper", mapper)
+                      .Build());
+  }
+  for (Ts second = 1; second < config.duration; ++second) {
+    // Occasional restarts: End followed by Start.
+    for (auto [job, mapper] : pairs) {
+      if (rng.Chance(config.restart_probability)) {
+        stream.Append(EventBuilder(catalog, "End", second)
+                          .Set("job", job)
+                          .Set("mapper", mapper)
+                          .Build());
+        stream.Append(EventBuilder(catalog, "Start", second)
+                          .Set("job", job)
+                          .Set("mapper", mapper)
+                          .Build());
+      }
+    }
+    for (int i = 0; i < config.rate; ++i) {
+      auto [job, mapper] =
+          pairs[static_cast<size_t>(rng.UniformInt(0, pairs.size() - 1))];
+      stream.Append(EventBuilder(catalog, "Measurement", second)
+                        .Set("job", job)
+                        .Set("mapper", mapper)
+                        .Set("cpu", rng.UniformDouble(0.0, 1000.0))
+                        .Set("mem", rng.UniformDouble(0.0, 1000.0))
+                        .Set("load", static_cast<double>(std::min<int64_t>(
+                                 rng.Poisson(config.load_lambda), 10000)))
+                        .Build());
+    }
+  }
+  return stream;
+}
+
+StatusOr<QuerySpec> MakeQ2(Catalog* catalog, Ts within, Ts slide,
+                           double factor) {
+  RegisterClusterTypes(catalog);
+  std::string query =
+      "RETURN mapper, SUM(M.cpu) "
+      "PATTERN SEQ(Start S, Measurement M+, End E) "
+      "WHERE [job, mapper] AND M.load * " +
+      std::to_string(factor) +
+      " < NEXT(M).load "
+      "GROUP-BY mapper WITHIN " +
+      std::to_string(within) + " seconds SLIDE " + std::to_string(slide) +
+      " seconds";
+  return ParseQuery(query, catalog);
+}
+
+StatusOr<QuerySpec> MakeQ2Positive(Catalog* catalog, Ts within, Ts slide,
+                                   double factor) {
+  RegisterClusterTypes(catalog);
+  std::string query =
+      "RETURN mapper, SUM(M.cpu) "
+      "PATTERN Measurement M+ "
+      "WHERE [job, mapper] AND M.load * " +
+      std::to_string(factor) +
+      " < NEXT(M).load "
+      "GROUP-BY mapper WITHIN " +
+      std::to_string(within) + " seconds SLIDE " + std::to_string(slide) +
+      " seconds";
+  return ParseQuery(query, catalog);
+}
+
+}  // namespace greta

@@ -1,0 +1,48 @@
+#ifndef GRETA_WORKLOAD_CLUSTER_H_
+#define GRETA_WORKLOAD_CLUSTER_H_
+
+#include "common/catalog.h"
+#include "common/stream.h"
+#include "query/query.h"
+
+namespace greta {
+
+/// Hadoop cluster monitoring stream (Section 10.1, Table 2): job start/end
+/// events plus mapper performance measurements; mapper and job ids uniform,
+/// CPU and memory uniform in 0..1k, load Poisson with lambda = 100.
+struct ClusterConfig {
+  uint64_t seed = 7;
+  int num_mappers = 10;  // Table 2: uniform 0-10
+  int num_jobs = 10;
+  /// Events per second (the paper's stream rate is 3k/s).
+  int rate = 100;
+  Ts duration = 100;
+  /// Probability that a (job, mapper) pair restarts per second, emitting
+  /// End/Start events around its measurements.
+  double restart_probability = 0.05;
+  double load_lambda = 100.0;  // Table 2: Poisson(100)
+};
+
+void RegisterClusterTypes(Catalog* catalog);
+
+Stream GenerateClusterStream(Catalog* catalog, const ClusterConfig& config);
+
+/// Query Q2: total CPU cycles per job of each mapper experiencing
+/// increasing load trends.
+///
+///   RETURN mapper, SUM(M.cpu)
+///   PATTERN SEQ(Start S, Measurement M+, End E)
+///   WHERE [job, mapper] AND M.load * factor < NEXT(M).load
+///   GROUP-BY mapper WITHIN <within> SLIDE <slide>
+StatusOr<QuerySpec> MakeQ2(Catalog* catalog, Ts within, Ts slide,
+                           double factor = 1.0);
+
+/// The positive-pattern Q2 variation used when only Kleene aggregation is
+/// under test (Figure 17): PATTERN Measurement M+ with the same predicates,
+/// grouping and SUM(M.cpu).
+StatusOr<QuerySpec> MakeQ2Positive(Catalog* catalog, Ts within, Ts slide,
+                                   double factor = 1.0);
+
+}  // namespace greta
+
+#endif  // GRETA_WORKLOAD_CLUSTER_H_

@@ -1,0 +1,175 @@
+#include "workload/csv.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace greta {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> SplitTrimmed(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(Trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool ParseNumber(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::string buf(s);
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+}  // namespace
+
+Status ParseSchema(std::string_view text, Catalog* catalog) {
+  size_t line_no = 0;
+  for (std::string_view line : SplitTrimmed(text, '\n')) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("schema line " + std::to_string(line_no) +
+                                ": expected 'Type: attr:kind, ...'");
+    }
+    std::string_view name = Trim(line.substr(0, colon));
+    if (name.empty()) {
+      return Status::ParseError("schema line " + std::to_string(line_no) +
+                                ": empty type name");
+    }
+    if (catalog->FindType(name) != kInvalidType) {
+      return Status::InvalidArgument("duplicate event type '" +
+                                     std::string(name) + "'");
+    }
+    std::vector<AttributeDef> attrs;
+    std::string_view rest = Trim(line.substr(colon + 1));
+    if (!rest.empty()) {
+      for (std::string_view field : SplitTrimmed(rest, ',')) {
+        size_t c = field.find(':');
+        std::string_view attr_name =
+            Trim(c == std::string_view::npos ? field : field.substr(0, c));
+        std::string_view kind_name =
+            c == std::string_view::npos ? "double" : Trim(field.substr(c + 1));
+        Value::Kind kind;
+        if (kind_name == "int") {
+          kind = Value::Kind::kInt;
+        } else if (kind_name == "double" || kind_name == "float") {
+          kind = Value::Kind::kDouble;
+        } else if (kind_name == "str" || kind_name == "string") {
+          kind = Value::Kind::kStr;
+        } else {
+          return Status::ParseError("schema line " + std::to_string(line_no) +
+                                    ": unknown kind '" +
+                                    std::string(kind_name) + "'");
+        }
+        attrs.push_back(AttributeDef{std::string(attr_name), kind});
+      }
+    }
+    catalog->DefineType(name, std::move(attrs));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Event> ParseCsvEvent(std::string_view line, Catalog* catalog) {
+  std::vector<std::string_view> fields = SplitTrimmed(line, ',');
+  if (fields.size() < 2) {
+    return Status::ParseError("event line needs at least 'Type,timestamp'");
+  }
+  TypeId type = catalog->FindType(fields[0]);
+  if (type == kInvalidType) {
+    return Status::ParseError("unknown event type '" + std::string(fields[0]) +
+                              "'");
+  }
+  const EventTypeDef& def = catalog->type(type);
+  if (fields.size() != def.attrs.size() + 2) {
+    return Status::ParseError("type " + def.name + " expects " +
+                              std::to_string(def.attrs.size()) +
+                              " attributes, got " +
+                              std::to_string(fields.size() - 2));
+  }
+  double ts = 0;
+  if (!ParseNumber(fields[1], &ts)) {
+    return Status::ParseError("bad timestamp '" + std::string(fields[1]) +
+                              "'");
+  }
+  Event e;
+  e.type = type;
+  e.time = static_cast<Ts>(ts);
+  e.attrs.resize(def.attrs.size());
+  for (size_t i = 0; i < def.attrs.size(); ++i) {
+    std::string_view raw = fields[i + 2];
+    switch (def.attrs[i].kind) {
+      case Value::Kind::kInt: {
+        double v = 0;
+        if (!ParseNumber(raw, &v)) {
+          return Status::ParseError("bad int '" + std::string(raw) + "' for " +
+                                    def.name + "." + def.attrs[i].name);
+        }
+        e.attrs[i] = Value::Int(static_cast<int64_t>(v));
+        break;
+      }
+      case Value::Kind::kDouble: {
+        double v = 0;
+        if (!ParseNumber(raw, &v)) {
+          return Status::ParseError("bad double '" + std::string(raw) +
+                                    "' for " + def.name + "." +
+                                    def.attrs[i].name);
+        }
+        e.attrs[i] = Value::Double(v);
+        break;
+      }
+      case Value::Kind::kStr:
+        e.attrs[i] = Value::Str(catalog->strings()->Intern(raw));
+        break;
+      case Value::Kind::kNull:
+        break;
+    }
+  }
+  return e;
+}
+
+StatusOr<Stream> ReadCsvStream(std::istream& in, Catalog* catalog) {
+  Stream stream;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    StatusOr<Event> e = ParseCsvEvent(trimmed, catalog);
+    if (!e.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                e.status().message());
+    }
+    if (!stream.empty() && e.value().time < stream.max_time()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": events must be in timestamp order (use KSlackBuffer for "
+          "out-of-order feeds)");
+    }
+    stream.Append(std::move(e).value());
+  }
+  return stream;
+}
+
+}  // namespace greta

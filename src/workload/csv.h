@@ -1,0 +1,35 @@
+#ifndef GRETA_WORKLOAD_CSV_H_
+#define GRETA_WORKLOAD_CSV_H_
+
+#include <istream>
+#include <string_view>
+
+#include "common/catalog.h"
+#include "common/status.h"
+#include "common/stream.h"
+
+namespace greta {
+
+/// Text ingestion for user-provided streams (the csv_pipeline example and
+/// ad-hoc experiments).
+///
+/// Schema format — one event type per line, attributes typed int, double
+/// or str; blank lines and '#' comments ignored:
+///
+///   Stock: company:int, sector:int, price:double
+///   Halt:  company:int, sector:int
+///
+/// Event format — one event per line, in timestamp order:
+///
+///   TypeName,timestamp,attr1,attr2,...
+Status ParseSchema(std::string_view text, Catalog* catalog);
+
+/// Parses one CSV event line against the catalog.
+StatusOr<Event> ParseCsvEvent(std::string_view line, Catalog* catalog);
+
+/// Reads a whole CSV stream; enforces timestamp order.
+StatusOr<Stream> ReadCsvStream(std::istream& in, Catalog* catalog);
+
+}  // namespace greta
+
+#endif  // GRETA_WORKLOAD_CSV_H_

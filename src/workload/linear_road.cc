@@ -1,0 +1,97 @@
+#include "workload/linear_road.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace greta {
+
+void RegisterLinearRoadTypes(Catalog* catalog) {
+  if (catalog->FindType("Position") == kInvalidType) {
+    catalog->DefineType("Position", {{"vehicle", Value::Kind::kInt},
+                                     {"segment", Value::Kind::kInt},
+                                     {"speed", Value::Kind::kDouble},
+                                     {"position", Value::Kind::kDouble}});
+  }
+  if (catalog->FindType("Accident") == kInvalidType) {
+    catalog->DefineType("Accident", {{"segment", Value::Kind::kInt}});
+  }
+}
+
+Stream GenerateLinearRoadStream(Catalog* catalog,
+                                const LinearRoadConfig& config) {
+  RegisterLinearRoadTypes(catalog);
+  Random rng(config.seed);
+  Stream stream;
+  std::vector<double> position(config.num_vehicles, 0.0);
+  std::vector<int64_t> segment(config.num_vehicles);
+  for (int v = 0; v < config.num_vehicles; ++v) {
+    segment[v] = rng.UniformInt(0, config.num_segments - 1);
+  }
+  for (Ts second = 0; second < config.duration; ++second) {
+    if (config.accident_probability > 0.0 &&
+        rng.Chance(config.accident_probability)) {
+      stream.Append(
+          EventBuilder(catalog, "Accident", second)
+              .Set("segment", rng.UniformInt(0, config.num_segments - 1))
+              .Build());
+    }
+    for (int i = 0; i < config.rate; ++i) {
+      int v = static_cast<int>(rng.UniformInt(0, config.num_vehicles - 1));
+      double speed = rng.UniformDouble(0.0, config.max_speed);
+      position[v] += speed;
+      // Vehicles occasionally move on to the next segment.
+      if (rng.Chance(0.02)) {
+        segment[v] = (segment[v] + 1) % config.num_segments;
+      }
+      stream.Append(EventBuilder(catalog, "Position", second)
+                        .Set("vehicle", int64_t{v})
+                        .Set("segment", segment[v])
+                        .Set("speed", speed)
+                        .Set("position", position[v])
+                        .Build());
+    }
+  }
+  return stream;
+}
+
+StatusOr<QuerySpec> MakeQ3(Catalog* catalog, Ts within, Ts slide) {
+  RegisterLinearRoadTypes(catalog);
+  std::string query =
+      "RETURN segment, COUNT(*), AVG(P.speed) "
+      "PATTERN SEQ(NOT Accident A, Position P+) "
+      "WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed "
+      "GROUP-BY segment WITHIN " +
+      std::to_string(within) + " seconds SLIDE " + std::to_string(slide) +
+      " seconds";
+  return ParseQuery(query, catalog);
+}
+
+double SelectivityToFactor(double selectivity) {
+  // For u, v uniform on (0, max): P(u * X > v) = X/2 for X <= 1 and
+  // 1 - 1/(2X) for X >= 1 (independent of max).
+  selectivity = std::clamp(selectivity, 0.001, 0.999);
+  if (selectivity <= 0.5) return 2.0 * selectivity;
+  return 1.0 / (2.0 * (1.0 - selectivity));
+}
+
+StatusOr<QuerySpec> MakeQ3Selectivity(Catalog* catalog, Ts within, Ts slide,
+                                      double selectivity) {
+  RegisterLinearRoadTypes(catalog);
+  double factor = SelectivityToFactor(selectivity);
+  std::string query =
+      "RETURN segment, COUNT(*) "
+      "PATTERN Position P+ "
+      "WHERE [P.vehicle, segment] AND P.speed * " +
+      std::to_string(factor) +
+      " > NEXT(P).speed "
+      "GROUP-BY segment WITHIN " +
+      std::to_string(within) + " seconds SLIDE " + std::to_string(slide) +
+      " seconds";
+  return ParseQuery(query, catalog);
+}
+
+}  // namespace greta

@@ -1,0 +1,55 @@
+#ifndef GRETA_WORKLOAD_LINEAR_ROAD_H_
+#define GRETA_WORKLOAD_LINEAR_ROAD_H_
+
+#include "common/catalog.h"
+#include "common/stream.h"
+#include "query/query.h"
+
+namespace greta {
+
+/// Linear Road benchmark-style traffic stream (Section 10.1, [7]): vehicle
+/// position reports (vehicle, segment, speed, position) plus accident
+/// events per road segment. The paper uses the benchmark's simulator with a
+/// rate ramping to 4k events/s over 3 hours; this generator reproduces the
+/// schema and the workload knobs that drive Figure 16 (edge predicate
+/// selectivity).
+struct LinearRoadConfig {
+  uint64_t seed = 11;
+  int num_vehicles = 50;
+  int num_segments = 10;
+  int rate = 100;  // position reports per second
+  Ts duration = 100;
+  /// Per-second probability of an accident in some segment.
+  double accident_probability = 0.0;
+  /// Speeds are uniform in [0, max_speed); with the factor-style predicate
+  /// of MakeQ3Selectivity this gives an exactly controllable pair
+  /// selectivity.
+  double max_speed = 100.0;
+};
+
+void RegisterLinearRoadTypes(Catalog* catalog);
+
+Stream GenerateLinearRoadStream(Catalog* catalog,
+                                const LinearRoadConfig& config);
+
+/// Query Q3: number and average speed of continually slowing cars in road
+/// segments without accidents.
+///
+///   RETURN segment, COUNT(*), AVG(P.speed)
+///   PATTERN SEQ(NOT Accident A, Position P+)
+///   WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed
+///   GROUP-BY segment WITHIN <within> SLIDE <slide>
+StatusOr<QuerySpec> MakeQ3(Catalog* catalog, Ts within, Ts slide);
+
+/// Positive-pattern Q3 variation whose edge predicate
+/// `P.speed * factor > NEXT(P).speed` matches a uniformly random pair with
+/// probability `selectivity` (Figure 16's x-axis). Uses COUNT(*) only.
+StatusOr<QuerySpec> MakeQ3Selectivity(Catalog* catalog, Ts within, Ts slide,
+                                      double selectivity);
+
+/// The factor X with P(u * X > v) == selectivity for u, v ~ U(0, max).
+double SelectivityToFactor(double selectivity);
+
+}  // namespace greta
+
+#endif  // GRETA_WORKLOAD_LINEAR_ROAD_H_

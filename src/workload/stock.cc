@@ -1,0 +1,109 @@
+#include "workload/stock.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace greta {
+
+void RegisterStockTypes(Catalog* catalog) {
+  if (catalog->FindType("Stock") == kInvalidType) {
+    catalog->DefineType("Stock", {{"company", Value::Kind::kInt},
+                                  {"sector", Value::Kind::kInt},
+                                  {"price", Value::Kind::kDouble},
+                                  {"volume", Value::Kind::kInt},
+                                  {"kind", Value::Kind::kInt},
+                                  {"tx", Value::Kind::kInt}});
+  }
+  if (catalog->FindType("Halt") == kInvalidType) {
+    catalog->DefineType("Halt", {{"company", Value::Kind::kInt},
+                                 {"sector", Value::Kind::kInt}});
+  }
+}
+
+Stream GenerateStockStream(Catalog* catalog, const StockConfig& config) {
+  RegisterStockTypes(catalog);
+  Random rng(config.seed);
+  Stream stream;
+  std::vector<double> price(config.num_companies, config.start_price);
+  std::vector<double> last_tx_time(config.num_companies, 0.0);
+  int64_t tx = 0;
+  for (Ts second = 0; second < config.duration; ++second) {
+    // Halts first within the second so they affect later transactions.
+    if (config.halt_probability > 0.0) {
+      for (int c = 0; c < config.num_companies; ++c) {
+        if (rng.Chance(config.halt_probability)) {
+          stream.Append(EventBuilder(catalog, "Halt", second)
+                            .Set("company", int64_t{c})
+                            .Set("sector", int64_t{c % config.num_sectors})
+                            .Build());
+        }
+      }
+    }
+    for (int i = 0; i < config.rate; ++i) {
+      int c = static_cast<int>(
+          rng.UniformInt(0, config.num_companies - 1));
+      // Continuous-time random walk: the step depends on the wall time
+      // since the company's previous transaction, so the price-pair
+      // selectivity does not change with the event rate.
+      double now = static_cast<double>(second) +
+                   static_cast<double>(i) / config.rate;
+      double dt = std::max(now - last_tx_time[c], 1e-6);
+      last_tx_time[c] = now;
+      price[c] += config.drift * dt +
+                  rng.Gaussian(config.volatility * std::sqrt(dt));
+      if (price[c] < 1.0) price[c] = 1.0;
+      stream.Append(EventBuilder(catalog, "Stock", second)
+                        .Set("company", int64_t{c})
+                        .Set("sector", int64_t{c % config.num_sectors})
+                        .Set("price", price[c])
+                        .Set("volume", rng.UniformInt(1, 1000))
+                        .Set("kind", rng.UniformInt(0, 1))
+                        .Set("tx", tx++)
+                        .Build());
+    }
+  }
+  return stream;
+}
+
+namespace {
+
+std::string WindowClause(Ts within, Ts slide) {
+  return " WITHIN " + std::to_string(within) + " seconds SLIDE " +
+         std::to_string(slide) + " seconds";
+}
+
+}  // namespace
+
+StatusOr<QuerySpec> MakeQ1(Catalog* catalog, Ts within, Ts slide,
+                           double factor) {
+  RegisterStockTypes(catalog);
+  std::string query =
+      "RETURN sector, COUNT(*) "
+      "PATTERN Stock S+ "
+      "WHERE [company, sector] AND S.price * " +
+      std::to_string(factor) +
+      " > NEXT(S).price "
+      "GROUP-BY sector" +
+      WindowClause(within, slide);
+  return ParseQuery(query, catalog);
+}
+
+StatusOr<QuerySpec> MakeQ1WithNegation(Catalog* catalog, Ts within, Ts slide,
+                                       double factor) {
+  RegisterStockTypes(catalog);
+  std::string query =
+      "RETURN sector, COUNT(*) "
+      "PATTERN SEQ(NOT Halt H, Stock S+) "
+      "WHERE [company, sector] AND S.price * " +
+      std::to_string(factor) +
+      " > NEXT(S).price "
+      "GROUP-BY sector" +
+      WindowClause(within, slide);
+  return ParseQuery(query, catalog);
+}
+
+}  // namespace greta

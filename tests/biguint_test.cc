@@ -1,0 +1,132 @@
+// Unit tests for the arbitrary-precision counter substrate.
+
+#include "common/biguint.h"
+
+#include <cstdint>
+#include <random>
+
+#include "gtest/gtest.h"
+
+namespace greta {
+namespace {
+
+TEST(BigUIntTest, ZeroBehaviour) {
+  BigUInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.ToDecimal(), "0");
+  EXPECT_EQ(zero.Low64(), 0u);
+  EXPECT_EQ(zero.BitWidth(), 0u);
+  zero.AddUint64(0);
+  EXPECT_TRUE(zero.IsZero());
+}
+
+TEST(BigUIntTest, SmallValuesRoundTrip) {
+  for (uint64_t v : {1ull, 2ull, 10ull, 999ull, 123456789ull,
+                     18446744073709551615ull}) {
+    BigUInt big(v);
+    EXPECT_EQ(big.ToDecimal(), std::to_string(v));
+    EXPECT_EQ(big.Low64(), v);
+    EXPECT_TRUE(big.FitsUint64());
+  }
+}
+
+TEST(BigUIntTest, AddCarriesAcrossLimbs) {
+  BigUInt a(18446744073709551615ull);  // 2^64 - 1
+  a.AddUint64(1);
+  EXPECT_EQ(a.ToDecimal(), "18446744073709551616");  // 2^64
+  EXPECT_FALSE(a.FitsUint64());
+  EXPECT_EQ(a.BitWidth(), 65u);
+
+  BigUInt b(18446744073709551615ull);
+  b.Add(b);  // Self-add: 2^65 - 2.
+  EXPECT_EQ(b.ToDecimal(), "36893488147419103230");
+}
+
+TEST(BigUIntTest, DoublingMatchesPowersOfTwo) {
+  BigUInt v(1);
+  // 2^200, built by doubling.
+  for (int i = 0; i < 200; ++i) {
+    BigUInt copy = v;
+    v.Add(copy);
+  }
+  EXPECT_EQ(v.ToDecimal(),
+            "1606938044258990275541962092341162602522202993782792835301376");
+  EXPECT_EQ(v.BitWidth(), 201u);
+}
+
+TEST(BigUIntTest, SubInverseOfAdd) {
+  BigUInt a = BigUInt::FromDecimal("340282366920938463463374607431768211456");
+  BigUInt b = BigUInt::FromDecimal("99999999999999999999");
+  BigUInt sum = a;
+  sum.Add(b);
+  sum.Sub(b);
+  EXPECT_EQ(sum.Compare(a), 0);
+  sum.Sub(a);
+  EXPECT_TRUE(sum.IsZero());
+}
+
+TEST(BigUIntTest, MulUint64AndDecimalParse) {
+  BigUInt v(1);
+  for (int i = 2; i <= 25; ++i) v.MulUint64(i);
+  // 25! = 15511210043330985984000000.
+  EXPECT_EQ(v.ToDecimal(), "15511210043330985984000000");
+  EXPECT_EQ(BigUInt::FromDecimal("15511210043330985984000000").Compare(v), 0);
+}
+
+TEST(BigUIntTest, FullMultiplication) {
+  BigUInt a = BigUInt::FromDecimal("18446744073709551616");   // 2^64
+  BigUInt b = BigUInt::FromDecimal("340282366920938463463374607431768211456");
+  // 2^64 * 2^128 = 2^192.
+  EXPECT_EQ(a.Mul(b).ToDecimal(),
+            "6277101735386680763835789423207666416102355444464034512896");
+  EXPECT_TRUE(a.Mul(BigUInt()).IsZero());
+  EXPECT_EQ(a.Mul(BigUInt(1)).Compare(a), 0);
+}
+
+TEST(BigUIntTest, DivUint64WithRemainder) {
+  BigUInt v = BigUInt::FromDecimal("1000000000000000000000000000000000007");
+  uint64_t rem = v.DivUint64(10);
+  EXPECT_EQ(rem, 7u);
+  EXPECT_EQ(v.ToDecimal(), "100000000000000000000000000000000000");
+}
+
+TEST(BigUIntTest, CompareOrdersByMagnitude) {
+  BigUInt small(5);
+  BigUInt large = BigUInt::FromDecimal("18446744073709551616");
+  EXPECT_LT(small.Compare(large), 0);
+  EXPECT_GT(large.Compare(small), 0);
+  EXPECT_TRUE(small < large);
+  EXPECT_TRUE(small != large);
+}
+
+TEST(BigUIntTest, ToDoubleApproximation) {
+  BigUInt v = BigUInt::FromDecimal("1208925819614629174706176");  // 2^80
+  EXPECT_NEAR(v.ToDouble(), 1.208925819614629e24, 1e10);
+}
+
+TEST(BigUIntTest, RandomizedAgainstNativeArithmetic) {
+  // Property: BigUInt arithmetic agrees with __int128 on values that fit.
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng() >> (rng() % 40);
+    uint64_t b = rng() >> (rng() % 40);
+    unsigned __int128 expected =
+        static_cast<unsigned __int128>(a) * b + a;
+    BigUInt big(a);
+    big = big.Mul(BigUInt(b));
+    big.AddUint64(a);
+    uint64_t lo = static_cast<uint64_t>(expected);
+    uint64_t hi = static_cast<uint64_t>(expected >> 64);
+    BigUInt reference(hi);
+    reference.MulUint64(1);  // no-op
+    // Build reference = hi * 2^64 + lo.
+    BigUInt shift = BigUInt::FromDecimal("18446744073709551616");
+    reference = reference.Mul(shift);
+    reference.AddUint64(lo);
+    ASSERT_EQ(big.Compare(reference), 0)
+        << "a=" << a << " b=" << b << " big=" << big.ToDecimal();
+  }
+}
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,121 @@
+// Unit and property tests for the B+-tree Vertex-Tree substrate.
+
+#include "storage/btree.h"
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace greta {
+namespace {
+
+std::vector<int> Collect(const BPlusTree<int>& tree, const KeyBounds& b) {
+  std::vector<int> out;
+  tree.Scan(b, [&](int v) { out.push_back(v); });
+  return out;
+}
+
+TEST(BPlusTreeTest, EmptyTreeScansNothing) {
+  BPlusTree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(Collect(tree, KeyBounds{}).empty());
+}
+
+TEST(BPlusTreeTest, SingleLeafInsertAndScan) {
+  BPlusTree<int> tree;
+  tree.Insert(3.0, 30);
+  tree.Insert(1.0, 10);
+  tree.Insert(2.0, 20);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(Collect(tree, KeyBounds{}), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(BPlusTreeTest, RangeBoundsInclusiveExclusive) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i, i);
+  KeyBounds b;
+  b.lo = 3;
+  b.hi = 6;
+  EXPECT_EQ(Collect(tree, b), (std::vector<int>{3, 4, 5, 6}));
+  b.lo_strict = true;
+  EXPECT_EQ(Collect(tree, b), (std::vector<int>{4, 5, 6}));
+  b.hi_strict = true;
+  EXPECT_EQ(Collect(tree, b), (std::vector<int>{4, 5}));
+}
+
+TEST(BPlusTreeTest, DuplicateKeysKeepInsertionOrder) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(1.0, i);
+  std::vector<int> got = Collect(tree, KeyBounds{});
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(BPlusTreeTest, SplitsAcrossManyLevels) {
+  BPlusTree<int> tree;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) tree.Insert(static_cast<double>(i % 997), i);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  size_t count = 0;
+  double last = -1;
+  tree.ScanAll([&](int v) {
+    (void)v;
+    ++count;
+  });
+  EXPECT_EQ(count, static_cast<size_t>(n));
+  // Keys come out sorted.
+  tree.Scan(KeyBounds{}, [&](int v) {
+    double key = static_cast<double>(v % 997);
+    EXPECT_GE(key, last);
+    last = key;
+  });
+  EXPECT_GT(tree.ApproxBytes(), 0u);
+}
+
+TEST(BPlusTreeTest, MoveTransfersOwnership) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(i, i);
+  BPlusTree<int> moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 1000u);
+  EXPECT_EQ(Collect(moved, KeyBounds{}).size(), 1000u);
+}
+
+class BPlusTreeRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomized, MatchesMultimapOnRandomRangeQueries) {
+  std::mt19937_64 rng(GetParam());
+  BPlusTree<int> tree;
+  std::multimap<double, int> reference;
+  std::uniform_real_distribution<double> key_dist(0.0, 100.0);
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    double key = key_dist(rng);
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  for (int q = 0; q < 100; ++q) {
+    KeyBounds b;
+    double x = key_dist(rng);
+    double y = key_dist(rng);
+    b.lo = std::min(x, y);
+    b.hi = std::max(x, y);
+    b.lo_strict = (rng() & 1) != 0;
+    b.hi_strict = (rng() & 1) != 0;
+    std::vector<int> got = Collect(tree, b);
+    std::vector<int> expected;
+    for (const auto& [key, value] : reference) {
+      if (b.Contains(key)) expected.push_back(value);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected) << "seed=" << GetParam() << " query=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 1234));
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,104 @@
+// Tests for the CSV schema/event ingestion used by the csv_pipeline tool.
+
+#include "workload/csv.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+TEST(CsvSchemaTest, ParsesTypesAndKinds) {
+  Catalog catalog;
+  Status s = ParseSchema(
+      "# comment\n"
+      "Stock: company:int, sector:int, price:double, name:str\n"
+      "\n"
+      "Tick:\n",
+      &catalog);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  TypeId stock = catalog.FindType("Stock");
+  ASSERT_NE(stock, kInvalidType);
+  const EventTypeDef& def = catalog.type(stock);
+  ASSERT_EQ(def.attrs.size(), 4u);
+  EXPECT_EQ(def.attrs[0].kind, Value::Kind::kInt);
+  EXPECT_EQ(def.attrs[2].kind, Value::Kind::kDouble);
+  EXPECT_EQ(def.attrs[3].kind, Value::Kind::kStr);
+  // Attribute-less types are allowed.
+  EXPECT_NE(catalog.FindType("Tick"), kInvalidType);
+}
+
+TEST(CsvSchemaTest, RejectsBadInput) {
+  Catalog catalog;
+  EXPECT_FALSE(ParseSchema("no colon here", &catalog).ok());
+  EXPECT_FALSE(ParseSchema("T: x:banana", &catalog).ok());
+  ASSERT_TRUE(ParseSchema("T: x:int", &catalog).ok());
+  EXPECT_FALSE(ParseSchema("T: y:int", &catalog).ok());  // Duplicate type.
+}
+
+TEST(CsvEventTest, ParsesTypedAttributes) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      ParseSchema("Stock: company:int, price:double, name:str", &catalog)
+          .ok());
+  auto e = ParseCsvEvent("Stock, 7, 42, 101.5, ibm", &catalog);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value().time, 7);
+  EXPECT_EQ(e.value().attrs[0].AsInt(), 42);
+  EXPECT_DOUBLE_EQ(e.value().attrs[1].AsDouble(), 101.5);
+  EXPECT_EQ(catalog.strings()->Lookup(e.value().attrs[2].AsStr()), "ibm");
+}
+
+TEST(CsvEventTest, RejectsMalformedLines) {
+  Catalog catalog;
+  ASSERT_TRUE(ParseSchema("Stock: price:double", &catalog).ok());
+  EXPECT_FALSE(ParseCsvEvent("Stock", &catalog).ok());
+  EXPECT_FALSE(ParseCsvEvent("Nope,1,2", &catalog).ok());
+  EXPECT_FALSE(ParseCsvEvent("Stock,abc,2", &catalog).ok());
+  EXPECT_FALSE(ParseCsvEvent("Stock,1", &catalog).ok());        // Too few.
+  EXPECT_FALSE(ParseCsvEvent("Stock,1,2,3", &catalog).ok());    // Too many.
+  EXPECT_FALSE(ParseCsvEvent("Stock,1,xyz", &catalog).ok());    // Bad double.
+}
+
+TEST(CsvStreamTest, ReadsAndEnforcesOrder) {
+  Catalog catalog;
+  ASSERT_TRUE(ParseSchema("A: x:double", &catalog).ok());
+  std::istringstream good(
+      "# header comment\n"
+      "A,1,5\n"
+      "\n"
+      "A,2,6\n");
+  auto stream = ReadCsvStream(good, &catalog);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream.value().size(), 2u);
+  EXPECT_EQ(stream.value()[1].seq, 1);
+
+  std::istringstream bad("A,5,1\nA,3,1\n");
+  EXPECT_FALSE(ReadCsvStream(bad, &catalog).ok());
+}
+
+TEST(CsvStreamTest, EndToEndWithEngine) {
+  // The whole text path: schema -> query -> CSV -> aggregates.
+  Catalog catalog;
+  ASSERT_TRUE(ParseSchema("A: attr:double\nB: attr:double", &catalog).ok());
+  std::istringstream csv(
+      "A,1,5\n"
+      "B,2,2\n"
+      "A,3,6\n"
+      "A,4,4\n"
+      "B,7,7\n");
+  auto stream = ReadCsvStream(csv, &catalog);
+  ASSERT_TRUE(stream.ok());
+  auto spec = ParseQuery("RETURN COUNT(*) PATTERN (SEQ(A+, B))+", &catalog);
+  ASSERT_TRUE(spec.ok());
+  auto engine = testing::MakeGreta(&catalog, std::move(spec).value());
+  EXPECT_EQ(testing::SingleCount(
+                testing::RunEngine(engine.get(), stream.value())),
+            "11");
+}
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,74 @@
+// Tests for ExplainPlan rendering and the push-style result callback.
+
+#include "core/explain.h"
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workload/linear_road.h"
+
+namespace greta {
+namespace {
+
+TEST(ExplainTest, RendersQ3Plan) {
+  Catalog catalog;
+  auto spec = MakeQ3(&catalog, /*within=*/300, /*slide=*/60);
+  ASSERT_TRUE(spec.ok());
+  auto engine = testing::MakeGreta(&catalog, std::move(spec).value());
+  std::string text = ExplainPlan(engine->plan(), catalog);
+  // Window and partitioning.
+  EXPECT_NE(text.find("WITHIN 300 SLIDE 60"), std::string::npos);
+  EXPECT_NE(text.find("partition by: segment(group) vehicle"),
+            std::string::npos);
+  // Negative sub-pattern with its placement case.
+  EXPECT_NE(text.find("negative"), std::string::npos);
+  EXPECT_NE(text.find("case 3 (leading)"), std::string::npos);
+  // Edge predicate compiled to a tree range.
+  EXPECT_NE(text.find("edge[(Position.speed > NEXT(Position).speed)]"),
+            std::string::npos);
+  EXPECT_NE(text.find("(tree range)"), std::string::npos);
+  EXPECT_NE(text.find("tree key = speed"), std::string::npos);
+}
+
+TEST(ExplainTest, RendersDisjunctionAlternatives) {
+  auto catalog = testing::PaperCatalog();
+  auto spec =
+      ParseQuery("RETURN COUNT(*) PATTERN A+ | SEQ(C, D)", catalog.get());
+  ASSERT_TRUE(spec.ok());
+  auto engine = testing::MakeGreta(catalog.get(), std::move(spec).value());
+  std::string text = ExplainPlan(engine->plan(), *catalog);
+  EXPECT_NE(text.find("alternative 0 (counts sum, disjoint)"),
+            std::string::npos);
+  EXPECT_NE(text.find("alternative 1"), std::string::npos);
+}
+
+TEST(ResultCallbackTest, FiresAtWindowClose) {
+  auto catalog = testing::PaperCatalog();
+  QuerySpec spec = testing::CountQuery(Pattern::Plus(Pattern::Atom(0)));
+  spec.window = WindowSpec::Tumbling(10);
+  auto engine = testing::MakeGreta(catalog.get(), std::move(spec));
+
+  std::vector<std::pair<WindowId, std::string>> pushed;
+  engine->set_result_callback([&](const ResultRow& row) {
+    pushed.emplace_back(row.wid, row.aggs.count.ToDecimal());
+  });
+
+  auto at = [&](Ts t) {
+    return EventBuilder(catalog.get(), "A", t).Set("attr", 1.0).Build();
+  };
+  ASSERT_TRUE(engine->Process(at(1)).ok());
+  ASSERT_TRUE(engine->Process(at(2)).ok());
+  EXPECT_TRUE(pushed.empty());  // Window 0 still open.
+  ASSERT_TRUE(engine->Process(at(12)).ok());
+  ASSERT_EQ(pushed.size(), 1u);  // Pushed at close, before any TakeResults.
+  EXPECT_EQ(pushed[0].first, 0);
+  EXPECT_EQ(pushed[0].second, "3");
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_EQ(pushed.size(), 2u);
+  EXPECT_EQ(pushed[1].second, "1");
+  // Pull-style rows are still available.
+  EXPECT_EQ(engine->TakeResults().size(), 2u);
+}
+
+}  // namespace
+}  // namespace greta

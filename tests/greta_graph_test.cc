@@ -1,0 +1,170 @@
+// Tests of the GRETA graph and aggregate propagation against the paper's
+// worked examples: Figure 6 (graph shapes and trend counts), Example 1 /
+// Figure 12 (all aggregation functions), Theorem 4.3 intermediate counts.
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::CountQuery;
+using testing::Figure12Stream;
+using testing::Figure6Stream;
+using testing::MakeGreta;
+using testing::PaperCatalog;
+using testing::RunEngine;
+using testing::SingleCount;
+
+TEST(GretaGraphTest, Figure6cNestedPatternCounts43Trends) {
+  // P = (SEQ(A+, B))+ over I = {a1,b2,c2,a3,e3,a4,c5,d6,b7,a8,b9}:
+  // "the GRETA graph in Figure 6(c) compactly captures all 43 event trends".
+  auto catalog = PaperCatalog();
+  TypeId a = catalog->FindType("A");
+  TypeId b = catalog->FindType("B");
+  QuerySpec spec = CountQuery(Pattern::Plus(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(a)), Pattern::Atom(b))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream = Figure6Stream(catalog.get());
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "43");
+}
+
+TEST(GretaGraphTest, Figure6aKleenePlus) {
+  // P = A+ over the same stream: a's at times 1, 3, 4, 8 yield 2^4 - 1
+  // trends (every non-empty ordered subset).
+  auto catalog = PaperCatalog();
+  QuerySpec spec =
+      CountQuery(Pattern::Plus(Pattern::Atom(catalog->FindType("A"))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream = Figure6Stream(catalog.get());
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "15");
+}
+
+TEST(GretaGraphTest, Figure6bSeqKleeneB) {
+  // P = SEQ(A+, B): trends = (non-empty subset of a's before b) x b.
+  // b2: a1 -> 1; b7: subsets of {a1,a3,a4} -> 7; b9: subsets of
+  // {a1,a3,a4,a8} -> 15. Total 23.
+  auto catalog = PaperCatalog();
+  QuerySpec spec = CountQuery(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(catalog->FindType("A"))),
+                   Pattern::Atom(catalog->FindType("B"))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream = Figure6Stream(catalog.get());
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "23");
+}
+
+TEST(GretaGraphTest, Figure12AllAggregates) {
+  // Example 1: P = (SEQ(A+, B))+ over I = {a1,b2,a3,a4,b7} detects
+  // COUNT(*)=11 trends, COUNT(A)=20, MIN(A.attr)=4, MAX(A.attr)=6,
+  // SUM(A.attr)=100, AVG(A.attr)=5.
+  auto catalog = PaperCatalog();
+  TypeId a = catalog->FindType("A");
+  TypeId b = catalog->FindType("B");
+  AttrId attr = catalog->type(a).FindAttr("attr");
+
+  QuerySpec spec;
+  spec.pattern = Pattern::Plus(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(a)), Pattern::Atom(b)));
+  spec.aggs = {
+      {AggKind::kCountStar, kInvalidType, kInvalidAttr, "COUNT(*)"},
+      {AggKind::kCountType, a, kInvalidAttr, "COUNT(A)"},
+      {AggKind::kMin, a, attr, "MIN(A.attr)"},
+      {AggKind::kMax, a, attr, "MAX(A.attr)"},
+      {AggKind::kSum, a, attr, "SUM(A.attr)"},
+      {AggKind::kAvg, a, attr, "AVG(A.attr)"},
+  };
+
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream = Figure12Stream(catalog.get());
+  std::vector<ResultRow> rows = RunEngine(engine.get(), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  const AggOutputs& out = rows[0].aggs;
+  EXPECT_EQ(out.count.ToDecimal(), "11");
+  EXPECT_EQ(out.type_count.ToDecimal(), "20");
+  EXPECT_DOUBLE_EQ(out.min, 4.0);
+  EXPECT_DOUBLE_EQ(out.max, 6.0);
+  EXPECT_DOUBLE_EQ(out.sum, 100.0);
+  EXPECT_DOUBLE_EQ(out.Avg(), 5.0);
+}
+
+TEST(GretaGraphTest, IntermediateCountsOfSection42) {
+  // Section 4.2 derives a4.count = 6 and b7.count = 10 on Figure 6(c); the
+  // final count over the prefix {a1,b2,c2,a3,e3,a4,c5,d6,b7} is
+  // b2.count + b7.count = 1 + 10 = 11.
+  auto catalog = PaperCatalog();
+  TypeId a = catalog->FindType("A");
+  TypeId b = catalog->FindType("B");
+  QuerySpec spec = CountQuery(Pattern::Plus(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(a)), Pattern::Atom(b))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream full = Figure6Stream(catalog.get());
+  Stream prefix;
+  for (const Event& e : full.events()) {
+    if (e.time <= 7) prefix.Append(e);
+  }
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), prefix)), "11");
+}
+
+TEST(GretaGraphTest, SingleEventTypePattern) {
+  // Pattern = a bare event type (no Kleene): each matching event is a trend.
+  auto catalog = PaperCatalog();
+  QuerySpec spec = CountQuery(Pattern::Atom(catalog->FindType("B")));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream = Figure6Stream(catalog.get());
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "3");
+}
+
+TEST(GretaGraphTest, EmptyStreamEmitsNothing) {
+  auto catalog = PaperCatalog();
+  QuerySpec spec = CountQuery(Pattern::Plus(Pattern::Atom(0)));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream;
+  EXPECT_TRUE(RunEngine(engine.get(), stream).empty());
+}
+
+TEST(GretaGraphTest, StreamWithoutMatchesEmitsNothing) {
+  // Pattern over D only; the stream contains a single d6 -> one trend; but
+  // a SEQ(D, E) needs an E after it, which never comes.
+  auto catalog = PaperCatalog();
+  QuerySpec spec = CountQuery(Pattern::Seq(
+      Pattern::Atom(catalog->FindType("D")),
+      Pattern::Atom(catalog->FindType("E"))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream = Figure6Stream(catalog.get());
+  EXPECT_TRUE(RunEngine(engine.get(), stream).empty());
+}
+
+TEST(GretaGraphTest, ModularCounterMatchesExactOnSmallCounts) {
+  auto catalog = PaperCatalog();
+  TypeId a = catalog->FindType("A");
+  TypeId b = catalog->FindType("B");
+  for (CounterMode mode : {CounterMode::kExact, CounterMode::kModular}) {
+    QuerySpec spec = CountQuery(Pattern::Plus(
+        Pattern::Seq(Pattern::Plus(Pattern::Atom(a)), Pattern::Atom(b))));
+    EngineOptions options;
+    options.counter_mode = mode;
+    auto engine = MakeGreta(catalog.get(), std::move(spec), options);
+    Stream stream = Figure6Stream(catalog.get());
+    EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "43");
+  }
+}
+
+TEST(GretaGraphTest, ExactCounterHandlesExponentialBlowup) {
+  // 80 A events make A+ match 2^80 - 1 trends: far past uint64. The exact
+  // counter must report the precise value.
+  auto catalog = PaperCatalog();
+  QuerySpec spec =
+      CountQuery(Pattern::Plus(Pattern::Atom(catalog->FindType("A"))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream;
+  for (int i = 1; i <= 80; ++i) {
+    stream.Append(EventBuilder(catalog.get(), "A", i).Set("attr", 1.0).Build());
+  }
+  // 2^80 - 1.
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)),
+            "1208925819614629174706175");
+}
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,148 @@
+// Tests for event trend grouping and equivalence predicates (Section 6):
+// stream partitioning, GROUP-BY projection, and broadcast routing of event
+// types lacking key attributes (Q3's accidents).
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::ExpectMatchesOracle;
+using testing::MakeGreta;
+using testing::RunEngine;
+
+std::unique_ptr<Catalog> GroupCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+  catalog->DefineType("S", {{"company", Value::Kind::kInt},
+                            {"sector", Value::Kind::kInt},
+                            {"price", Value::Kind::kDouble}});
+  catalog->DefineType("H", {{"sector", Value::Kind::kInt}});
+  return catalog;
+}
+
+Event S(Catalog* c, Ts t, int64_t company, int64_t sector, double price) {
+  return EventBuilder(c, "S", t)
+      .Set("company", company)
+      .Set("sector", sector)
+      .Set("price", price)
+      .Build();
+}
+
+TEST(GroupingTest, EquivalencePartitionsByCompany) {
+  // S+ with [company]: trends never mix companies.
+  auto catalog = GroupCatalog();
+  auto spec = ParseQuery(
+      "RETURN COUNT(*) PATTERN S+ WHERE [company]", catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Stream stream;
+  stream.Append(S(catalog.get(), 1, 1, 0, 10));
+  stream.Append(S(catalog.get(), 2, 2, 0, 10));
+  stream.Append(S(catalog.get(), 3, 1, 0, 10));
+  stream.Append(S(catalog.get(), 4, 2, 0, 10));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), spec.value(), stream);
+  // Per company: 2 events -> 3 trends each; no grouping attrs -> one row
+  // with the total 6.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "6");
+}
+
+TEST(GroupingTest, GroupByProjectsPartitionKeys) {
+  // GROUP-BY sector with equivalence [company, sector]: counts are computed
+  // per company and summed per sector (the Q1 shape).
+  auto catalog = GroupCatalog();
+  auto spec = ParseQuery(
+      "RETURN sector, COUNT(*) PATTERN S+ WHERE [company, sector] "
+      "GROUP-BY sector",
+      catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Stream stream;
+  stream.Append(S(catalog.get(), 1, 1, 0, 10));  // sector 0, company 1
+  stream.Append(S(catalog.get(), 2, 2, 0, 10));  // sector 0, company 2
+  stream.Append(S(catalog.get(), 3, 1, 0, 10));  // sector 0, company 1
+  stream.Append(S(catalog.get(), 4, 9, 5, 10));  // sector 5, company 9
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), spec.value(), stream);
+  ASSERT_EQ(rows.size(), 2u);
+  // Sector 0: company 1 has events {1,3} -> 3 trends; company 2 has {2} ->
+  // 1 trend; total 4. Sector 5: 1 trend.
+  EXPECT_EQ(rows[0].group[0].AsInt(), 0);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "4");
+  EXPECT_EQ(rows[1].group[0].AsInt(), 5);
+  EXPECT_EQ(rows[1].aggs.count.ToDecimal(), "1");
+}
+
+TEST(GroupingTest, EdgePredicateAppliesWithinPartition) {
+  auto catalog = GroupCatalog();
+  auto spec = ParseQuery(
+      "RETURN COUNT(*) PATTERN S+ "
+      "WHERE [company] AND S.price > NEXT(S).price",
+      catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Stream stream;
+  // Company 1: prices 10, 8 (down-trend), company 2: 5, 9 (no pair).
+  stream.Append(S(catalog.get(), 1, 1, 0, 10));
+  stream.Append(S(catalog.get(), 2, 2, 0, 5));
+  stream.Append(S(catalog.get(), 3, 1, 0, 8));
+  stream.Append(S(catalog.get(), 4, 2, 0, 9));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), spec.value(), stream);
+  // Company 1: (s1), (s3), (s1,s3) = 3; company 2: (s2), (s4) = 2.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "5");
+}
+
+TEST(GroupingTest, BroadcastTypeReachesMatchingPartitions) {
+  // SEQ(NOT H, S+) with [company, sector]: H carries only the sector, so a
+  // halt must invalidate every company partition of that sector — including
+  // partitions created after the halt arrived (replay).
+  auto catalog = GroupCatalog();
+  auto spec = ParseQuery(
+      "RETURN COUNT(*) PATTERN SEQ(NOT H, S+) WHERE [company, sector]",
+      catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Stream stream;
+  stream.Append(S(catalog.get(), 1, 1, 0, 10));
+  stream.Append(
+      EventBuilder(catalog.get(), "H", 2).Set("sector", int64_t{0}).Build());
+  stream.Append(S(catalog.get(), 3, 1, 0, 10));  // Dead (after halt).
+  stream.Append(S(catalog.get(), 4, 2, 0, 10));  // New partition, also dead.
+  stream.Append(S(catalog.get(), 5, 3, 1, 10));  // Other sector: alive.
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), spec.value(), stream);
+  // Survivors: (s1) in sector 0 company 1, (s5) in sector 1.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "2");
+}
+
+TEST(GroupingTest, MinMaxMergeAcrossPartitionsOfAGroup) {
+  auto catalog = GroupCatalog();
+  auto spec = ParseQuery(
+      "RETURN sector, MIN(S.price), MAX(S.price), COUNT(S) "
+      "PATTERN S+ WHERE [company, sector] GROUP-BY sector",
+      catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Stream stream;
+  stream.Append(S(catalog.get(), 1, 1, 0, 10));
+  stream.Append(S(catalog.get(), 2, 2, 0, 99));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), spec.value(), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].aggs.min, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].aggs.max, 99.0);
+  EXPECT_EQ(rows[0].aggs.type_count.ToDecimal(), "2");
+}
+
+TEST(GroupingTest, UnknownGroupAttributeIsPlanError) {
+  auto catalog = GroupCatalog();
+  auto spec = ParseQuery("RETURN COUNT(*) PATTERN S+ GROUP-BY nothere",
+                         catalog.get());
+  ASSERT_TRUE(spec.ok());
+  auto engine = GretaEngine::Create(catalog.get(), spec.value());
+  EXPECT_FALSE(engine.ok());
+}
+
+}  // namespace
+}  // namespace greta

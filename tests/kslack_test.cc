@@ -1,0 +1,135 @@
+// Tests for the K-slack out-of-order buffer: ordering guarantees, late
+// drops, and end-to-end equivalence of (shuffled stream + K-slack) with the
+// sorted stream.
+
+#include "common/kslack.h"
+
+#include <algorithm>
+#include <random>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::CountQuery;
+using testing::MakeGreta;
+using testing::PaperCatalog;
+
+Event At(Catalog* catalog, const char* type, Ts time) {
+  return EventBuilder(catalog, type, time)
+      .Set("attr", static_cast<double>(time))
+      .Build();
+}
+
+TEST(KSlackTest, ReordersWithinSlack) {
+  auto catalog = PaperCatalog();
+  KSlackBuffer buffer(/*slack=*/3);
+  std::vector<Ts> released;
+  auto push = [&](Ts t) {
+    for (Event& e : buffer.Push(At(catalog.get(), "A", t))) {
+      released.push_back(e.time);
+    }
+  };
+  push(5);
+  push(3);  // 2 late, within slack.
+  push(7);  // Watermark 7-3=4: releases 3.
+  push(6);
+  push(12);  // Watermark 9: releases 5, 6, 7.
+  EXPECT_EQ(released, (std::vector<Ts>{3, 5, 6, 7}));
+  for (Event& e : buffer.Flush()) released.push_back(e.time);
+  EXPECT_EQ(released, (std::vector<Ts>{3, 5, 6, 7, 12}));
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(KSlackTest, AssignsMonotoneSequenceNumbers) {
+  auto catalog = PaperCatalog();
+  KSlackBuffer buffer(2);
+  std::vector<Event> out;
+  for (Ts t : {4, 2, 3, 9, 8, 15}) {
+    for (Event& e : buffer.Push(At(catalog.get(), "A", t))) {
+      out.push_back(std::move(e));
+    }
+  }
+  for (Event& e : buffer.Flush()) out.push_back(std::move(e));
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].time, out[i - 1].time);
+    EXPECT_EQ(out[i].seq, out[i - 1].seq + 1);
+  }
+}
+
+TEST(KSlackTest, DropsEventsBeyondSlack) {
+  auto catalog = PaperCatalog();
+  KSlackBuffer buffer(1);
+  (void)buffer.Push(At(catalog.get(), "A", 10));
+  (void)buffer.Push(At(catalog.get(), "A", 20));  // Releases up to 19.
+  EXPECT_EQ(buffer.dropped(), 0u);
+  (void)buffer.Push(At(catalog.get(), "A", 5));  // Too late.
+  EXPECT_EQ(buffer.dropped(), 1u);
+}
+
+class KSlackEndToEnd : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KSlackEndToEnd, ShuffledStreamMatchesSortedStream) {
+  auto catalog = PaperCatalog();
+  std::mt19937_64 rng(GetParam());
+
+  // Build a sorted stream, then a bounded shuffle of it (each event moves
+  // at most `slack` time units of displacement).
+  constexpr Ts kSlack = 4;
+  std::vector<Event> sorted;
+  static const char* kTypes[] = {"A", "B", "C"};
+  for (int i = 0; i < 40; ++i) {
+    sorted.push_back(At(catalog.get(), kTypes[rng() % 3],
+                        static_cast<Ts>(i / 2)));
+  }
+  std::vector<Event> shuffled = sorted;
+  // Swap adjacent-ish entries whose times differ by at most kSlack - 1.
+  for (int pass = 0; pass < 100; ++pass) {
+    size_t i = rng() % (shuffled.size() - 1);
+    if (shuffled[i + 1].time - shuffled[i].time < kSlack) {
+      std::swap(shuffled[i], shuffled[i + 1]);
+    }
+  }
+
+  auto run_sorted = [&]() {
+    QuerySpec spec = CountQuery(Pattern::Plus(Pattern::Seq(
+        Pattern::Plus(Pattern::Atom(0)), Pattern::Atom(1))));
+    spec.window = WindowSpec::Sliding(6, 2);
+    auto engine = MakeGreta(catalog.get(), std::move(spec));
+    Stream stream;
+    for (const Event& e : sorted) stream.Append(e);
+    return testing::RunEngine(engine.get(), stream);
+  };
+  auto run_shuffled_with_kslack = [&]() {
+    QuerySpec spec = CountQuery(Pattern::Plus(Pattern::Seq(
+        Pattern::Plus(Pattern::Atom(0)), Pattern::Atom(1))));
+    spec.window = WindowSpec::Sliding(6, 2);
+    auto engine = MakeGreta(catalog.get(), std::move(spec));
+    KSlackBuffer buffer(kSlack);
+    for (const Event& raw : shuffled) {
+      for (Event& e : buffer.Push(raw)) {
+        EXPECT_TRUE(engine->Process(e).ok());
+      }
+    }
+    for (Event& e : buffer.Flush()) {
+      EXPECT_TRUE(engine->Process(e).ok());
+    }
+    EXPECT_TRUE(engine->Flush().ok());
+    EXPECT_EQ(buffer.dropped(), 0u);
+    return engine->TakeResults();
+  };
+
+  std::vector<ResultRow> expected = run_sorted();
+  std::vector<ResultRow> actual = run_shuffled_with_kslack();
+  AggPlan plan;
+  std::string diff;
+  EXPECT_TRUE(RowsEquivalent(expected, actual, plan, &diff)) << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KSlackEndToEnd,
+                         ::testing::Values(1, 2, 3, 7, 11, 42));
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,126 @@
+// Tests for patterns where an event type occurs several times (Section 9,
+// Figure 13): occurrence-unique states, multi-state insertion, and the
+// no-self-predecessor rule.
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::CountQuery;
+using testing::ExpectMatchesOracle;
+using testing::PaperCatalog;
+
+// P = SEQ(A+, B, A, A+, B+), the Figure 13 pattern (states A1+, B2, A3,
+// A4+, B5+).
+PatternPtr Figure13Pattern() {
+  return Pattern::Seq(Pattern::Plus(Pattern::Atom(0)), Pattern::Atom(1),
+                      Pattern::Atom(0), Pattern::Plus(Pattern::Atom(0)),
+                      Pattern::Plus(Pattern::Atom(1)));
+}
+
+Stream MakeStream(Catalog* catalog,
+                  std::initializer_list<std::pair<const char*, Ts>> events) {
+  Stream stream;
+  for (const auto& [type, time] : events) {
+    stream.Append(EventBuilder(catalog, type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  }
+  return stream;
+}
+
+TEST(MultiOccurrenceTest, Figure13MinimalStream) {
+  // I = {a1, b2, a3, a4, b5}: exactly one way to fill the five positions.
+  auto catalog = PaperCatalog();
+  Stream stream = MakeStream(
+      catalog.get(), {{"A", 1}, {"B", 2}, {"A", 3}, {"A", 4}, {"B", 5}});
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(Figure13Pattern()),
+                          stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "1");
+}
+
+TEST(MultiOccurrenceTest, Figure13RicherStream) {
+  // More a's and b's multiply the combinations; the oracle provides the
+  // ground truth and GRETA must match it exactly.
+  auto catalog = PaperCatalog();
+  Stream stream = MakeStream(catalog.get(), {{"A", 1},
+                                             {"A", 2},
+                                             {"B", 3},
+                                             {"A", 4},
+                                             {"A", 5},
+                                             {"B", 6},
+                                             {"A", 7},
+                                             {"B", 8}});
+  ExpectMatchesOracle(catalog.get(), CountQuery(Figure13Pattern()), stream);
+}
+
+TEST(MultiOccurrenceTest, RepeatedTypeSimpleSequence) {
+  // SEQ(A, A): an event may not be its own predecessor, so a single A
+  // yields no trend; two A's at distinct times yield one.
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Seq(Pattern::Atom(0), Pattern::Atom(0));
+
+  Stream one = MakeStream(catalog.get(), {{"A", 1}});
+  std::vector<ResultRow> rows1 =
+      ExpectMatchesOracle(catalog.get(), CountQuery(p->Clone()), one);
+  EXPECT_TRUE(rows1.empty());
+
+  Stream two = MakeStream(catalog.get(), {{"A", 1}, {"A", 2}});
+  std::vector<ResultRow> rows2 =
+      ExpectMatchesOracle(catalog.get(), CountQuery(p->Clone()), two);
+  ASSERT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(rows2[0].aggs.count.ToDecimal(), "1");
+
+  // Three A's: ordered pairs (a1,a2), (a1,a3), (a2,a3) = 3.
+  Stream three = MakeStream(catalog.get(), {{"A", 1}, {"A", 2}, {"A", 3}});
+  std::vector<ResultRow> rows3 =
+      ExpectMatchesOracle(catalog.get(), CountQuery(p->Clone()), three);
+  ASSERT_EQ(rows3.size(), 1u);
+  EXPECT_EQ(rows3[0].aggs.count.ToDecimal(), "3");
+}
+
+TEST(MultiOccurrenceTest, SameTimestampEventsCannotBeAdjacent) {
+  // Definition 1 requires strictly increasing times along a trend.
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Seq(Pattern::Atom(0), Pattern::Atom(0));
+  Stream same = MakeStream(catalog.get(), {{"A", 1}, {"A", 1}});
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), same);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(MultiOccurrenceTest, UnrolledMinLengthPattern) {
+  // Section 9: A+ with minimal length 3 == SEQ(A, A, A+). Over n=5 a's the
+  // count is sum over lengths 3..5 of C(5, len) = 10 + 5 + 1 = 16.
+  auto catalog = PaperCatalog();
+  auto unrolled = UnrollMinLength(*Pattern::Plus(Pattern::Atom(0)), 3);
+  ASSERT_TRUE(unrolled.ok());
+  Stream stream = MakeStream(
+      catalog.get(), {{"A", 1}, {"A", 2}, {"A", 3}, {"A", 4}, {"A", 5}});
+  std::vector<ResultRow> rows = ExpectMatchesOracle(
+      catalog.get(), CountQuery(std::move(unrolled).value()), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "16");
+}
+
+TEST(MultiOccurrenceTest, OccurrenceStatesWithEdgePredicates) {
+  // Edge predicates attach to every transition between the referenced
+  // types, across all occurrences.
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Atom(1),
+                              Pattern::Plus(Pattern::Atom(0)));
+  QuerySpec spec = CountQuery(std::move(p));
+  spec.where.push_back(Expr::Binary(ExprOp::kLt, Expr::Attr(0, 0),
+                                    Expr::NextAttr(0, 0)));
+  Stream stream = MakeStream(
+      catalog.get(), {{"A", 1}, {"B", 2}, {"A", 3}, {"A", 4}});
+  ExpectMatchesOracle(catalog.get(), spec, stream);
+}
+
+}  // namespace
+}  // namespace greta

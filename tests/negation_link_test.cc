@@ -1,0 +1,77 @@
+// Unit tests for the NegationLink barrier bookkeeping: the
+// pending/committed split that implements Definition 5's strictness
+// ("events arriving after en.time") independent of same-timestamp
+// processing order.
+
+#include "core/negation.h"
+
+#include "gtest/gtest.h"
+
+namespace greta {
+namespace {
+
+TEST(NegationLinkTest, NoTrendsNoBarriers) {
+  NegationLink link(NegationKind::kBetween, 0, kInvalidState);
+  EXPECT_EQ(link.MaxStartBarrier(0, 100), kMinTs);
+  EXPECT_EQ(link.MinEndBarrier(0, 100), kMaxTs);
+  EXPECT_EQ(link.CloseMaxStart(0), kMinTs);
+}
+
+TEST(NegationLinkTest, TrendAffectsOnlyLaterTimestamps) {
+  NegationLink link(NegationKind::kBetween, 0, kInvalidState);
+  link.ReportTrendEnd(/*wid=*/0, /*end_ts=*/10, /*max_start_ts=*/5);
+  // An event at the trend's own end timestamp is not "after en.time".
+  EXPECT_EQ(link.MaxStartBarrier(0, 10), kMinTs);
+  EXPECT_EQ(link.MinEndBarrier(0, 10), kMaxTs);
+  // Strictly later events see it.
+  EXPECT_EQ(link.MaxStartBarrier(0, 11), 5);
+  EXPECT_EQ(link.MinEndBarrier(0, 11), 10);
+}
+
+TEST(NegationLinkTest, CloseIncludesPendingTrends) {
+  NegationLink link(NegationKind::kTrailing, -1, kInvalidState);
+  link.ReportTrendEnd(0, 10, 5);
+  // Even before any later timestamp was processed, the window-close filter
+  // must account for the trend (Case 2 looks backward).
+  EXPECT_EQ(link.CloseMaxStart(0), 5);
+}
+
+TEST(NegationLinkTest, BarriersAreMonotoneMaxima) {
+  NegationLink link(NegationKind::kBetween, 0, kInvalidState);
+  link.ReportTrendEnd(0, 10, 5);
+  link.ReportTrendEnd(0, 12, 3);  // Earlier start: must not lower the max.
+  link.ReportTrendEnd(0, 14, 8);
+  EXPECT_EQ(link.MaxStartBarrier(0, 15), 8);
+  EXPECT_EQ(link.MinEndBarrier(0, 15), 10);
+}
+
+TEST(NegationLinkTest, SameTimestampTrendsFoldTogether) {
+  NegationLink link(NegationKind::kBetween, 0, kInvalidState);
+  link.ReportTrendEnd(0, 10, 5);
+  link.ReportTrendEnd(0, 10, 7);  // Second trend ending at the same time.
+  EXPECT_EQ(link.MaxStartBarrier(0, 10), kMinTs);
+  EXPECT_EQ(link.MaxStartBarrier(0, 11), 7);
+}
+
+TEST(NegationLinkTest, WindowsAreIndependent) {
+  NegationLink link(NegationKind::kBetween, 0, kInvalidState);
+  link.ReportTrendEnd(/*wid=*/3, 10, 5);
+  EXPECT_EQ(link.MaxStartBarrier(3, 11), 5);
+  EXPECT_EQ(link.MaxStartBarrier(4, 11), kMinTs);
+  link.ForgetWindow(3);
+  EXPECT_EQ(link.MaxStartBarrier(3, 11), kMinTs);
+}
+
+TEST(NegationLinkTest, InterleavedQueriesAndReports) {
+  // Report at t=10, query at t=12 (folds), report at t=12, query at t=12
+  // again (the new report is pending), then t=13 commits it.
+  NegationLink link(NegationKind::kBetween, 0, kInvalidState);
+  link.ReportTrendEnd(0, 10, 4);
+  EXPECT_EQ(link.MaxStartBarrier(0, 12), 4);
+  link.ReportTrendEnd(0, 12, 9);
+  EXPECT_EQ(link.MaxStartBarrier(0, 12), 4);
+  EXPECT_EQ(link.MaxStartBarrier(0, 13), 9);
+}
+
+}  // namespace
+}  // namespace greta

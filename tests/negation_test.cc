@@ -1,0 +1,259 @@
+// Tests for nested negation (Section 5): the three placement cases, the
+// worked Examples 2-5 (Figures 6(d), 7, 8), event pruning, and consistency
+// with the two-step oracle.
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::CountQuery;
+using testing::ExpectMatchesOracle;
+using testing::Figure6Stream;
+using testing::MakeGreta;
+using testing::PaperCatalog;
+using testing::RunEngine;
+using testing::SingleCount;
+
+// (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ — the nested pattern of Example 2.
+PatternPtr Example2Pattern() {
+  return Pattern::Plus(Pattern::Seq(
+      Pattern::Plus(Pattern::Atom(0)),
+      Pattern::Not(Pattern::Seq(Pattern::Atom(2),
+                                Pattern::Not(Pattern::Atom(4)),
+                                Pattern::Atom(3))),
+      Pattern::Atom(1)));
+}
+
+TEST(NegationTest, Figure6dNestedNegation) {
+  // Example 4 on Figure 6(d): e3 invalidates c2 within the (C, D) graph, so
+  // (c5, d6) is the only negative match; it invalidates a1, a3, a4 for b's
+  // after d6. b7 has no valid predecessors and is not inserted; b9 connects
+  // only to a8. Final count: b2 (1) + b9 (a8 = 12) = 13.
+  auto catalog = PaperCatalog();
+  Stream stream = Figure6Stream(catalog.get());
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(Example2Pattern()),
+                          stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "13");
+}
+
+TEST(NegationTest, WithoutNegativeMatchesBehavesLikePositive) {
+  // Drop c5/d6 from the stream: SEQ(C, D) never matches, e3 only prunes the
+  // (C, D) graph, and the count must equal the positive pattern's.
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("B", 2);
+  add("C", 2);
+  add("A", 3);
+  add("E", 3);
+  add("A", 4);
+  add("B", 7);
+  add("A", 8);
+  add("B", 9);
+
+  std::vector<ResultRow> with_negation =
+      ExpectMatchesOracle(catalog.get(), CountQuery(Example2Pattern()),
+                          stream);
+  QuerySpec positive = CountQuery(Pattern::Plus(Pattern::Seq(
+      Pattern::Plus(Pattern::Atom(0)), Pattern::Atom(1))));
+  auto engine = MakeGreta(catalog.get(), std::move(positive));
+  std::vector<ResultRow> rows = RunEngine(engine.get(), stream);
+  ASSERT_EQ(with_negation.size(), 1u);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(with_negation[0].aggs.count.ToDecimal(),
+            rows[0].aggs.count.ToDecimal());
+}
+
+TEST(NegationTest, Figure8aTrailingNegation) {
+  // SEQ(A+, NOT E) on the Figure 6 stream: the trend e3 (start = 3)
+  // invalidates all A events strictly before time 3 (Definition 5): a1 is
+  // dead, a3 stays (same timestamp). Valid A+ trends over {a3, a4, a8} with
+  // a1 unable to connect onward: a3=2 (a1->a3 still allowed: e3 does not
+  // separate them), a4=1+a3=3, a8=1+a3+a4=6... with a1->a3 allowed a3
+  // counts (a3) and (a1,a3): 2. Final = a3+a4+a8 = 11.
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Not(Pattern::Atom(4)));
+  Stream stream = Figure6Stream(catalog.get());
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "11");
+}
+
+TEST(NegationTest, Figure8bLeadingNegation) {
+  // SEQ(NOT E, A+) on the Figure 6 stream: e3 invalidates all following
+  // a's (a4, a8 are never inserted; Figure 8(b)). Remaining trends over
+  // {a1, a3}: (a1), (a3), (a1,a3) -> 3.
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Seq(Pattern::Not(Pattern::Atom(4)),
+                              Pattern::Plus(Pattern::Atom(0)));
+  Stream stream = Figure6Stream(catalog.get());
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "3");
+}
+
+TEST(NegationTest, Case1MidSequence) {
+  // SEQ(A+, NOT C, B): c5 invalidates a's before it for b's after it.
+  // Stream: a1 a3 c5 a6 b7 -> A->B connections: a6->b7 only (a1, a3
+  // blocked); A+ internal edges unaffected. Trends: (a6,b7), (a1,a6,b7)?
+  // a1 may still connect to a6 (A->A edge), then a6->b7: the NOT C rule
+  // only forbids the A->B adjacency crossing the C match.
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("A", 3);
+  add("C", 5);
+  add("A", 6);
+  add("B", 7);
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Not(Pattern::Atom(2)),
+                              Pattern::Atom(1));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  // Trends ending at b7 through a6: a6 carries (a6), (a1,a6), (a3,a6),
+  // (a1,a3,a6) = 4 trends.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "4");
+}
+
+TEST(NegationTest, NegativeMatchAfterFollowingEventDoesNotApply) {
+  // SEQ(A+, NOT C, B) with order a1 b2 c3: the C match arrives after b2,
+  // so (a1, b2) is unaffected.
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("B", 2);
+  add("C", 3);
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Not(Pattern::Atom(2)),
+                              Pattern::Atom(1));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "1");
+}
+
+TEST(NegationTest, SameTimestampNegativeMatchIsNotStrictlyBetween) {
+  // Definition 5 requires the previous event strictly before the trend
+  // start and the following event strictly after the trend end. With
+  // a1 c1 b1 all at distinct positions but c's trend at time 1 == a1's and
+  // b1's time, nothing is invalidated.
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type) {
+    stream.Append(EventBuilder(catalog.get(), type, 1)
+                      .Set("attr", 1.0)
+                      .Build());
+  };
+  add("A");
+  add("C");
+  add("B");
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Not(Pattern::Atom(2)),
+                              Pattern::Atom(1));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  // a1 and b1 share a timestamp, so they cannot even be adjacent (strict
+  // trend order): no trends at all.
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(NegationTest, InvalidEventPruningTombstonesDeadVertices) {
+  // With a single window and SEQ(A, NOT C, B) (A's only successor is B),
+  // invalidated A vertices are tombstoned (Theorem 5.1).
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("C", 2);
+  add("B", 3);  // Forbidden: a1 < c2 < b3.
+  add("A", 4);
+  add("B", 5);  // (a4, b5) fine.
+  PatternPtr p = Pattern::Seq(Pattern::Atom(0),
+                              Pattern::Not(Pattern::Atom(2)),
+                              Pattern::Atom(1));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  ASSERT_EQ(rows.size(), 1u);
+  // (a1,b3) killed; (a1,b5) killed (c2 between 1 and 5); (a4,b3)? b3 < a4.
+  // (a4,b5) survives.
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "1");
+}
+
+TEST(NegationTest, MultipleNegativeMatchesRaiseBarrierMonotonically) {
+  // Two C matches: later one with a later start invalidates more.
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("C", 2);
+  add("A", 3);
+  add("C", 4);
+  add("A", 5);
+  add("B", 6);
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Not(Pattern::Atom(2)),
+                              Pattern::Atom(1));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  // Only a5 may connect to b6 (a1 < c2/c4, a3 < c4). Trends ending at b6
+  // through a5: (a5), (a1,a5), (a3,a5), (a1,a3,a5) -> 4.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggs.count.ToDecimal(), "4");
+}
+
+TEST(NegationTest, LeadingAndTrailingNegationTogether) {
+  auto catalog = PaperCatalog();
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  add("A", 1);
+  add("C", 2);  // Kills all A's after 2 (leading NOT C).
+  add("A", 3);
+  add("E", 4);  // Kills A trends ending before 4 (trailing NOT E).
+  add("A", 5);
+  PatternPtr p = Pattern::Seq(Pattern::Not(Pattern::Atom(2)),
+                              Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Not(Pattern::Atom(4)));
+  std::vector<ResultRow> rows =
+      ExpectMatchesOracle(catalog.get(), CountQuery(std::move(p)), stream);
+  // a3/a5 never inserted (after c2); trend (a1) ends at 1 < 4 and is killed
+  // by the E filter: nothing survives.
+  EXPECT_TRUE(rows.empty());
+}
+
+}  // namespace
+}  // namespace greta

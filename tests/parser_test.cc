@@ -1,0 +1,185 @@
+// Tests for the query language lexer and parser (Figure 2 grammar,
+// Definition 2 clauses) on the paper's queries Q1, Q2, Q3.
+
+#include "query/parser.h"
+
+#include "gtest/gtest.h"
+#include "query/lexer.h"
+#include "tests/test_util.h"
+#include "workload/cluster.h"
+#include "workload/linear_road.h"
+#include "workload/stock.h"
+
+namespace greta {
+namespace {
+
+TEST(LexerTest, TokenizesSymbolsAndNumbers) {
+  auto tokens = Tokenize("SEQ(A+, B) WHERE x.y >= 1.5 != 'str'");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = tokens.value();
+  EXPECT_TRUE(t[0].IsKeyword("seq"));
+  EXPECT_TRUE(t[1].IsSymbol("("));
+  EXPECT_TRUE(t[3].IsSymbol("+"));
+  // >= is one token; <> normalizes to !=.
+  bool found_ge = false;
+  bool found_ne = false;
+  for (const Token& tok : t) {
+    if (tok.IsSymbol(">=")) found_ge = true;
+    if (tok.IsSymbol("!=")) found_ne = true;
+  }
+  EXPECT_TRUE(found_ge);
+  EXPECT_TRUE(found_ne);
+  EXPECT_EQ(t.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, ReportsBadCharacters) {
+  EXPECT_FALSE(Tokenize("A # B").ok());
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+}
+
+TEST(ParserTest, ParsesQ1) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  auto spec = ParseQuery(
+      "RETURN sector, COUNT(*) PATTERN Stock S+ "
+      "WHERE [company, sector] AND S.price > NEXT(S).price "
+      "GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds",
+      &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const QuerySpec& q = spec.value();
+  EXPECT_EQ(q.pattern->op(), PatternOp::kPlus);
+  ASSERT_EQ(q.aggs.size(), 1u);
+  EXPECT_EQ(q.aggs[0].kind, AggKind::kCountStar);
+  EXPECT_EQ(q.equivalence, (std::vector<std::string>{"company", "sector"}));
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"sector"}));
+  EXPECT_EQ(q.window.within, 600);
+  EXPECT_EQ(q.window.slide, 10);
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0]->op(), ExprOp::kGt);
+}
+
+TEST(ParserTest, ParsesQ2WithAliasesAndSum) {
+  Catalog catalog;
+  RegisterClusterTypes(&catalog);
+  auto spec = ParseQuery(
+      "RETURN mapper, SUM(M.cpu) "
+      "PATTERN SEQ(Start S, Measurement M+, End E) "
+      "WHERE [job, mapper] AND M.load < NEXT(M).load "
+      "GROUP-BY mapper WITHIN 1 minute SLIDE 30 seconds",
+      &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const QuerySpec& q = spec.value();
+  EXPECT_EQ(q.pattern->op(), PatternOp::kSeq);
+  EXPECT_EQ(q.pattern->children().size(), 3u);
+  ASSERT_EQ(q.aggs.size(), 1u);
+  EXPECT_EQ(q.aggs[0].kind, AggKind::kSum);
+  EXPECT_EQ(q.aggs[0].type, catalog.FindType("Measurement"));
+  EXPECT_EQ(q.aggs[0].attr,
+            catalog.type(catalog.FindType("Measurement")).FindAttr("cpu"));
+  EXPECT_EQ(q.window.within, 60);
+  EXPECT_EQ(q.window.slide, 30);
+}
+
+TEST(ParserTest, ParsesQ3WithNegationAndTwoAggregates) {
+  Catalog catalog;
+  RegisterLinearRoadTypes(&catalog);
+  auto spec = ParseQuery(
+      "RETURN segment, COUNT(*), AVG(P.speed) "
+      "PATTERN SEQ(NOT Accident A, Position P+) "
+      "WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed "
+      "GROUP-BY segment WITHIN 5 minutes SLIDE 1 minute",
+      &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const QuerySpec& q = spec.value();
+  ASSERT_EQ(q.aggs.size(), 2u);
+  EXPECT_EQ(q.aggs[0].kind, AggKind::kCountStar);
+  EXPECT_EQ(q.aggs[1].kind, AggKind::kAvg);
+  EXPECT_EQ(q.pattern->children()[0]->op(), PatternOp::kNot);
+  EXPECT_EQ(q.equivalence,
+            (std::vector<std::string>{"vehicle", "segment"}));
+  EXPECT_EQ(q.window.within, 300);
+  EXPECT_EQ(q.window.slide, 60);
+}
+
+TEST(ParserTest, CountOfEventType) {
+  auto catalog = testing::PaperCatalog();
+  auto spec = ParseQuery("RETURN COUNT(A) PATTERN A+ WITHIN 10 SLIDE 10",
+                         catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().aggs[0].kind, AggKind::kCountType);
+  EXPECT_EQ(spec.value().aggs[0].type, catalog->FindType("A"));
+}
+
+TEST(ParserTest, PostfixOperatorsAndParens) {
+  auto catalog = testing::PaperCatalog();
+  auto spec = ParseQuery(
+      "RETURN COUNT(*) PATTERN (SEQ(A+, B))+", catalog.get());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().pattern->ToString(*catalog), "(SEQ((A)+, B))+");
+  EXPECT_TRUE(spec.value().window.unbounded());
+
+  auto star = ParseQuery("RETURN COUNT(*) PATTERN SEQ(A*, B?)", catalog.get());
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star.value().pattern->child(0).op(), PatternOp::kStar);
+  EXPECT_EQ(star.value().pattern->child(1).op(), PatternOp::kOpt);
+}
+
+TEST(ParserTest, DisjunctionAndConjunction) {
+  auto catalog = testing::PaperCatalog();
+  auto spec =
+      ParseQuery("RETURN COUNT(*) PATTERN A+ | SEQ(C, D)", catalog.get());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().pattern->op(), PatternOp::kOr);
+  auto conj =
+      ParseQuery("RETURN COUNT(*) PATTERN A+ & B+", catalog.get());
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj.value().pattern->op(), PatternOp::kAnd);
+}
+
+TEST(ParserTest, TumblingWindowWhenSlideOmitted) {
+  auto catalog = testing::PaperCatalog();
+  auto spec =
+      ParseQuery("RETURN COUNT(*) PATTERN A+ WITHIN 30 seconds",
+                 catalog.get());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().window.within, 30);
+  EXPECT_EQ(spec.value().window.slide, 30);
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  auto catalog = testing::PaperCatalog();
+  // Unknown type.
+  EXPECT_FALSE(ParseQuery("RETURN COUNT(*) PATTERN Zz+", catalog.get()).ok());
+  // RETURN attribute not grouped.
+  EXPECT_FALSE(
+      ParseQuery("RETURN sector, COUNT(*) PATTERN A+", catalog.get()).ok());
+  // Missing PATTERN.
+  EXPECT_FALSE(ParseQuery("RETURN COUNT(*) WHERE A.attr > 1", catalog.get())
+                   .ok());
+  // Unknown attribute.
+  EXPECT_FALSE(ParseQuery("RETURN COUNT(*) PATTERN A+ WHERE A.nope > 1",
+                          catalog.get())
+                   .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ParseQuery("RETURN COUNT(*) PATTERN A+ BANANA", catalog.get()).ok());
+  // Zero-length window.
+  EXPECT_FALSE(
+      ParseQuery("RETURN COUNT(*) PATTERN A+ WITHIN 0 seconds", catalog.get())
+          .ok());
+}
+
+TEST(ParserTest, ParsedQueryRunsEndToEnd) {
+  // The parsed (SEQ(A+, B))+ must reproduce Figure 6(c)'s count of 43.
+  auto catalog = testing::PaperCatalog();
+  auto spec = ParseQuery("RETURN COUNT(*) PATTERN (SEQ(A+, B))+",
+                         catalog.get());
+  ASSERT_TRUE(spec.ok());
+  auto engine = testing::MakeGreta(catalog.get(), std::move(spec).value());
+  Stream stream = testing::Figure6Stream(catalog.get());
+  EXPECT_EQ(testing::SingleCount(testing::RunEngine(engine.get(), stream)),
+            "43");
+}
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,221 @@
+// Tests for predicate expressions, classification (Section 6) and the edge
+// predicate range extraction used by the Vertex Trees (Example 7/Figure 10).
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "predicate/classify.h"
+#include "predicate/expr.h"
+#include "predicate/range.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::MakeGreta;
+using testing::PaperCatalog;
+using testing::RunEngine;
+using testing::SingleCount;
+
+Event MakeA(Catalog* catalog, Ts time, double attr) {
+  return EventBuilder(catalog, "A", time).Set("attr", attr).Build();
+}
+
+TEST(ExprTest, VertexEvaluation) {
+  auto catalog = PaperCatalog();
+  Event e = MakeA(catalog.get(), 1, 7.0);
+  // A.attr * 2 + 1 > 14  ->  15 > 14  -> true.
+  ExprPtr pred = Expr::Binary(
+      ExprOp::kGt,
+      Expr::Binary(ExprOp::kAdd,
+                   Expr::Binary(ExprOp::kMul, Expr::Attr(0, 0),
+                                Expr::Const(Value::Int(2))),
+                   Expr::Const(Value::Int(1))),
+      Expr::Const(Value::Int(14)));
+  EXPECT_TRUE(pred->EvalVertex(e).Truthy());
+}
+
+TEST(ExprTest, EdgeEvaluationReadsBothEvents) {
+  auto catalog = PaperCatalog();
+  Event u = MakeA(catalog.get(), 1, 5.0);
+  Event v = MakeA(catalog.get(), 2, 9.0);
+  ExprPtr pred = Expr::Binary(ExprOp::kLt, Expr::Attr(0, 0),
+                              Expr::NextAttr(0, 0));
+  EXPECT_TRUE(pred->EvalEdge(u, v).Truthy());
+  EXPECT_FALSE(pred->EvalEdge(v, u).Truthy());
+}
+
+TEST(ExprTest, DivisionByZeroIsFalsy) {
+  auto catalog = PaperCatalog();
+  Event e = MakeA(catalog.get(), 1, 7.0);
+  ExprPtr pred = Expr::Binary(
+      ExprOp::kGt,
+      Expr::Binary(ExprOp::kDiv, Expr::Attr(0, 0),
+                   Expr::Const(Value::Int(0))),
+      Expr::Const(Value::Int(0)));
+  EXPECT_FALSE(pred->EvalVertex(e).Truthy());
+}
+
+TEST(ExprTest, BooleanConnectivesShortCircuit) {
+  auto catalog = PaperCatalog();
+  Event e = MakeA(catalog.get(), 1, 7.0);
+  ExprPtr t = Expr::Const(Value::Bool(true));
+  ExprPtr f = Expr::Const(Value::Bool(false));
+  EXPECT_TRUE(Expr::Binary(ExprOp::kOr, f->Clone(), t->Clone())
+                  ->EvalVertex(e)
+                  .Truthy());
+  EXPECT_FALSE(Expr::Binary(ExprOp::kAnd, t->Clone(), f->Clone())
+                   ->EvalVertex(e)
+                   .Truthy());
+}
+
+TEST(ClassifyTest, LocalEdgeAndConstant) {
+  auto local = ClassifyPredicate(*Expr::Binary(
+      ExprOp::kGt, Expr::Attr(0, 0), Expr::Const(Value::Int(3))));
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local.value().cls, PredicateClass::kLocal);
+  EXPECT_EQ(local.value().base_type, 0);
+
+  auto edge = ClassifyPredicate(*Expr::Binary(
+      ExprOp::kLt, Expr::Attr(0, 0), Expr::NextAttr(0, 0)));
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge.value().cls, PredicateClass::kEdge);
+  EXPECT_EQ(edge.value().base_type, 0);
+  EXPECT_EQ(edge.value().next_type, 0);
+
+  auto constant = ClassifyPredicate(*Expr::Const(Value::Bool(true)));
+  ASSERT_TRUE(constant.ok());
+  EXPECT_EQ(constant.value().cls, PredicateClass::kConstant);
+}
+
+TEST(ClassifyTest, RejectsCrossTypeWithoutNext) {
+  auto bad = ClassifyPredicate(
+      *Expr::Binary(ExprOp::kEq, Expr::Attr(0, 0), Expr::Attr(1, 0)));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ClassifyTest, EdgeAcrossTypes) {
+  // M.load < NEXT(E).x style: base M, next E.
+  auto edge = ClassifyPredicate(*Expr::Binary(
+      ExprOp::kLt, Expr::Attr(1, 0), Expr::NextAttr(2, 0)));
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge.value().base_type, 1);
+  EXPECT_EQ(edge.value().next_type, 2);
+}
+
+TEST(RangeExtractionTest, SimpleComparison) {
+  auto catalog = PaperCatalog();
+  // A.attr < NEXT(A).attr: candidates are prev events with attr < v.attr.
+  ExprPtr pred = Expr::Binary(ExprOp::kLt, Expr::Attr(0, 0),
+                              Expr::NextAttr(0, 0));
+  auto range = RangeExtraction::FromPredicate(*pred);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->key_attr(), 0);
+  Event v = MakeA(catalog.get(), 5, 10.0);
+  KeyBounds b = range->ComputeBounds(v);
+  EXPECT_TRUE(b.Contains(9.9));
+  EXPECT_FALSE(b.Contains(10.0));  // strict
+  EXPECT_FALSE(b.Contains(11.0));
+}
+
+TEST(RangeExtractionTest, ScaledComparisonQ1Variation) {
+  // S.price * 1.05 > NEXT(S).price  ->  prev.price > v.price / 1.05.
+  auto catalog = PaperCatalog();
+  ExprPtr pred = Expr::Binary(
+      ExprOp::kGt,
+      Expr::Binary(ExprOp::kMul, Expr::Attr(0, 0),
+                   Expr::Const(Value::Double(1.05))),
+      Expr::NextAttr(0, 0));
+  auto range = RangeExtraction::FromPredicate(*pred);
+  ASSERT_TRUE(range.has_value());
+  Event v = MakeA(catalog.get(), 5, 105.0);
+  KeyBounds b = range->ComputeBounds(v);
+  EXPECT_FALSE(b.Contains(99.9));
+  EXPECT_TRUE(b.Contains(100.1));
+}
+
+TEST(RangeExtractionTest, MirroredOrientation) {
+  // NEXT(A).attr >= A.attr - 3  ->  prev.attr <= v.attr + 3.
+  ExprPtr pred = Expr::Binary(
+      ExprOp::kGe, Expr::NextAttr(0, 0),
+      Expr::Binary(ExprOp::kSub, Expr::Attr(0, 0),
+                    Expr::Const(Value::Int(3))));
+  auto range = RangeExtraction::FromPredicate(*pred);
+  ASSERT_TRUE(range.has_value());
+  auto catalog = PaperCatalog();
+  Event v = MakeA(catalog.get(), 5, 10.0);
+  KeyBounds b = range->ComputeBounds(v);
+  EXPECT_TRUE(b.Contains(13.0));
+  EXPECT_FALSE(b.Contains(13.01));
+}
+
+TEST(RangeExtractionTest, NegativeScaleFlipsComparison) {
+  // A.attr * -1 < NEXT(A).attr  ->  prev.attr > -v.attr.
+  ExprPtr pred = Expr::Binary(
+      ExprOp::kLt,
+      Expr::Binary(ExprOp::kMul, Expr::Attr(0, 0),
+                   Expr::Const(Value::Int(-1))),
+      Expr::NextAttr(0, 0));
+  auto range = RangeExtraction::FromPredicate(*pred);
+  ASSERT_TRUE(range.has_value());
+  auto catalog = PaperCatalog();
+  Event v = MakeA(catalog.get(), 5, 10.0);
+  KeyBounds b = range->ComputeBounds(v);
+  EXPECT_TRUE(b.Contains(-9.9));
+  EXPECT_FALSE(b.Contains(-10.0));
+}
+
+TEST(RangeExtractionTest, UnextractableShapesFallBack) {
+  // prev.attr * next.attr > 3 is quadratic in the pair: no extraction.
+  ExprPtr pred = Expr::Binary(
+      ExprOp::kGt,
+      Expr::Binary(ExprOp::kMul, Expr::Attr(0, 0), Expr::NextAttr(0, 0)),
+      Expr::Const(Value::Int(3)));
+  EXPECT_FALSE(RangeExtraction::FromPredicate(*pred).has_value());
+  // != has no range form either.
+  ExprPtr ne = Expr::Binary(ExprOp::kNe, Expr::Attr(0, 0),
+                            Expr::NextAttr(0, 0));
+  EXPECT_FALSE(RangeExtraction::FromPredicate(*ne).has_value());
+}
+
+TEST(EdgePredicateEndToEndTest, Figure10IncreasingAttr) {
+  // Example 7: A+ with A.attr < NEXT(A).attr over a1(5), a2(6), a3(4):
+  // increasing runs only: (a1), (a2), (a3), (a1,a2) -> COUNT(*) = 4.
+  auto catalog = PaperCatalog();
+  QuerySpec spec = testing::CountQuery(Pattern::Plus(Pattern::Atom(0)));
+  spec.where.push_back(Expr::Binary(ExprOp::kLt, Expr::Attr(0, 0),
+                                    Expr::NextAttr(0, 0)));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream;
+  stream.Append(MakeA(catalog.get(), 1, 5.0));
+  stream.Append(MakeA(catalog.get(), 2, 6.0));
+  stream.Append(MakeA(catalog.get(), 3, 4.0));
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "4");
+}
+
+TEST(EdgePredicateEndToEndTest, LocalPredicateFiltersVertices) {
+  // A+ with A.attr > 4: only a1(5) and a2(6) enter the graph -> 3 trends.
+  auto catalog = PaperCatalog();
+  QuerySpec spec = testing::CountQuery(Pattern::Plus(Pattern::Atom(0)));
+  spec.where.push_back(Expr::Binary(ExprOp::kGt, Expr::Attr(0, 0),
+                                    Expr::Const(Value::Int(4))));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream;
+  stream.Append(MakeA(catalog.get(), 1, 5.0));
+  stream.Append(MakeA(catalog.get(), 2, 6.0));
+  stream.Append(MakeA(catalog.get(), 3, 4.0));
+  EXPECT_EQ(SingleCount(RunEngine(engine.get(), stream)), "3");
+}
+
+TEST(EdgePredicateEndToEndTest, ConstantFalseWhereMatchesNothing) {
+  auto catalog = PaperCatalog();
+  QuerySpec spec = testing::CountQuery(Pattern::Plus(Pattern::Atom(0)));
+  spec.where.push_back(Expr::Const(Value::Bool(false)));
+  auto engine = MakeGreta(catalog.get(), std::move(spec));
+  Stream stream;
+  stream.Append(MakeA(catalog.get(), 1, 5.0));
+  EXPECT_TRUE(RunEngine(engine.get(), stream).empty());
+}
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,137 @@
+// Tests for the pattern split (Algorithm 3) and its previous/following
+// resolution, including the nested negation of Example 2.
+
+#include "query/split.h"
+
+#include "gtest/gtest.h"
+#include "query/template.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::PaperCatalog;
+
+TEST(SplitTest, PositivePatternHasNoNegatives) {
+  PatternPtr p = Pattern::Plus(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(0)), Pattern::Atom(1)));
+  auto split = SplitPattern(*p);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split.value().negatives.empty());
+  EXPECT_TRUE(split.value().positive->Equals(*p));
+}
+
+TEST(SplitTest, Example2NestedNegation) {
+  // (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ splits into positive (SEQ(A+, B))+
+  // and negatives SEQ(C, D) (within the core) and E (within SEQ(C, D)).
+  auto catalog = PaperCatalog();
+  TypeId a = 0, b = 1, c = 2, d = 3, e = 4;
+  PatternPtr p = Pattern::Plus(Pattern::Seq(
+      Pattern::Plus(Pattern::Atom(a)),
+      Pattern::Not(Pattern::Seq(Pattern::Atom(c),
+                                Pattern::Not(Pattern::Atom(e)),
+                                Pattern::Atom(d))),
+      Pattern::Atom(b)));
+  auto split = SplitPattern(*p);
+  ASSERT_TRUE(split.ok());
+  const SplitResult& r = split.value();
+
+  EXPECT_EQ(r.positive->ToString(*catalog), "(SEQ((A)+, B))+");
+  ASSERT_EQ(r.negatives.size(), 2u);
+
+  // negatives[0] = SEQ(C, D) inside the positive core (index 0).
+  EXPECT_EQ(r.negatives[0].pattern->ToString(*catalog), "SEQ(C, D)");
+  EXPECT_EQ(r.negatives[0].parent, 0);
+  ASSERT_NE(r.negatives[0].prev_atom, nullptr);
+  ASSERT_NE(r.negatives[0].foll_atom, nullptr);
+  EXPECT_EQ(r.negatives[0].prev_atom->type(), a);  // end(A+) = A
+  EXPECT_EQ(r.negatives[0].foll_atom->type(), b);  // start(B) = B
+
+  // negatives[1] = E inside SEQ(C, D) (index 1).
+  EXPECT_EQ(r.negatives[1].pattern->ToString(*catalog), "E");
+  EXPECT_EQ(r.negatives[1].parent, 1);
+  EXPECT_EQ(r.negatives[1].prev_atom->type(), c);
+  EXPECT_EQ(r.negatives[1].foll_atom->type(), d);
+}
+
+TEST(SplitTest, TrailingNegationCase2) {
+  // SEQ(A+, NOT E): prev = A, no following (Case 2, Figure 7(b)).
+  TypeId a = 0, e = 4;
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(a)),
+                              Pattern::Not(Pattern::Atom(e)));
+  auto split = SplitPattern(*p);
+  ASSERT_TRUE(split.ok());
+  const SplitResult& r = split.value();
+  ASSERT_EQ(r.negatives.size(), 1u);
+  ASSERT_NE(r.negatives[0].prev_atom, nullptr);
+  EXPECT_EQ(r.negatives[0].prev_atom->type(), a);
+  EXPECT_EQ(r.negatives[0].foll_atom, nullptr);
+  // The positive SEQ collapsed to A+.
+  EXPECT_EQ(r.positive->op(), PatternOp::kPlus);
+}
+
+TEST(SplitTest, LeadingNegationCase3) {
+  // SEQ(NOT E, A+): no previous, following = A (Case 3, Figure 7(c), Q3).
+  TypeId a = 0, e = 4;
+  PatternPtr p = Pattern::Seq(Pattern::Not(Pattern::Atom(e)),
+                              Pattern::Plus(Pattern::Atom(a)));
+  auto split = SplitPattern(*p);
+  ASSERT_TRUE(split.ok());
+  const SplitResult& r = split.value();
+  ASSERT_EQ(r.negatives.size(), 1u);
+  EXPECT_EQ(r.negatives[0].prev_atom, nullptr);
+  ASSERT_NE(r.negatives[0].foll_atom, nullptr);
+  EXPECT_EQ(r.negatives[0].foll_atom->type(), a);
+}
+
+TEST(SplitTest, PrevFollResolveAgainstParentTemplate) {
+  // The atoms referenced by the split must resolve to the parent template's
+  // states: SEQ(A+, NOT C, B) -> prev state is end(A+), foll is start(B),
+  // and the parent template has an A->B SEQ transition between them.
+  auto catalog = PaperCatalog();
+  TypeId a = 0, b = 1, c = 2;
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(a)),
+                              Pattern::Not(Pattern::Atom(c)),
+                              Pattern::Atom(b));
+  auto split = SplitPattern(*p);
+  ASSERT_TRUE(split.ok());
+  auto templ = BuildTemplate(*split.value().positive, *catalog);
+  ASSERT_TRUE(templ.ok());
+  StateId prev =
+      templ.value().NodeEndState(split.value().negatives[0].prev_atom);
+  StateId foll =
+      templ.value().NodeStartState(split.value().negatives[0].foll_atom);
+  EXPECT_GE(templ.value().FindTransition(prev, foll), 0);
+}
+
+TEST(SplitTest, SeqWithBothLeadingAndTrailingNegation) {
+  // SEQ(NOT C, A+, NOT E): two negatives against the same core A+.
+  TypeId a = 0, c = 2, e = 4;
+  PatternPtr p = Pattern::Seq(Pattern::Not(Pattern::Atom(c)),
+                              Pattern::Plus(Pattern::Atom(a)),
+                              Pattern::Not(Pattern::Atom(e)));
+  auto split = SplitPattern(*p);
+  ASSERT_TRUE(split.ok());
+  const SplitResult& r = split.value();
+  ASSERT_EQ(r.negatives.size(), 2u);
+  EXPECT_EQ(r.negatives[0].prev_atom, nullptr);   // leading NOT C
+  EXPECT_NE(r.negatives[0].foll_atom, nullptr);
+  EXPECT_NE(r.negatives[1].prev_atom, nullptr);   // trailing NOT E
+  EXPECT_EQ(r.negatives[1].foll_atom, nullptr);
+}
+
+TEST(SplitTest, StartEndAtomHelpers) {
+  // StartAtom / EndAtom walk to the atoms whose states span the pattern.
+  PatternPtr p = Pattern::Seq(Pattern::Plus(Pattern::Atom(0)),
+                              Pattern::Atom(1),
+                              Pattern::Plus(Pattern::Atom(2)));
+  EXPECT_EQ(StartAtom(*p)->type(), 0);
+  EXPECT_EQ(EndAtom(*p)->type(), 2);
+}
+
+TEST(SplitTest, RejectsInvalidNegationPlacement) {
+  EXPECT_FALSE(SplitPattern(*Pattern::Not(Pattern::Atom(0))).ok());
+}
+
+}  // namespace
+}  // namespace greta

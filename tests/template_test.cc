@@ -1,0 +1,148 @@
+// Tests for GRETA template construction (Algorithm 1, Figure 5) including
+// the Section-9 occurrence-unique state extension (Figure 13).
+
+#include "query/template.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::PaperCatalog;
+
+TEST(TemplateTest, Figure5NestedPattern) {
+  // P = (SEQ(A+, B))+: states {A, B}, start A, end B; transitions
+  // A-+->A (inner plus), A->B (SEQ), B-+->A (outer plus). predTypes(A) =
+  // {A, B}, predTypes(B) = {A}.
+  auto catalog = PaperCatalog();
+  TypeId a = catalog->FindType("A");
+  TypeId b = catalog->FindType("B");
+  PatternPtr p = Pattern::Plus(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(a)), Pattern::Atom(b)));
+  auto templ = BuildTemplate(*p, *catalog);
+  ASSERT_TRUE(templ.ok());
+  const GretaTemplate& t = templ.value();
+
+  ASSERT_EQ(t.num_states(), 2u);
+  StateId sa = t.states_for_type(a)[0];
+  StateId sb = t.states_for_type(b)[0];
+  EXPECT_EQ(t.start_state(), sa);
+  EXPECT_EQ(t.end_state(), sb);
+  EXPECT_EQ(t.transitions().size(), 3u);
+
+  // predTypes.
+  std::vector<StateId> pred_a = t.pred_states(sa);
+  std::sort(pred_a.begin(), pred_a.end());
+  EXPECT_EQ(pred_a, (std::vector<StateId>{sa, sb}));
+  EXPECT_EQ(t.pred_states(sb), (std::vector<StateId>{sa}));
+
+  // Transition labels: A->A is "+", A->B is SEQ, B->A is "+".
+  int aa = t.FindTransition(sa, sa);
+  int ab = t.FindTransition(sa, sb);
+  int ba = t.FindTransition(sb, sa);
+  ASSERT_GE(aa, 0);
+  ASSERT_GE(ab, 0);
+  ASSERT_GE(ba, 0);
+  EXPECT_EQ(t.transitions()[aa].label, TransitionLabel::kPlus);
+  EXPECT_EQ(t.transitions()[ab].label, TransitionLabel::kSeq);
+  EXPECT_EQ(t.transitions()[ba].label, TransitionLabel::kPlus);
+  EXPECT_EQ(t.FindTransition(sb, sb), -1);
+}
+
+TEST(TemplateTest, KleenePlusOnly) {
+  // A+: one state that is both start and end, one "+" self-transition.
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Plus(Pattern::Atom(0));
+  auto templ = BuildTemplate(*p, *catalog);
+  ASSERT_TRUE(templ.ok());
+  EXPECT_EQ(templ.value().num_states(), 1u);
+  EXPECT_EQ(templ.value().start_state(), templ.value().end_state());
+  ASSERT_EQ(templ.value().transitions().size(), 1u);
+  EXPECT_EQ(templ.value().transitions()[0].label, TransitionLabel::kPlus);
+}
+
+TEST(TemplateTest, Q2SequencePattern) {
+  // SEQ(Start, Measurement+, End): start(P)=Start, end(P)=End,
+  // mid(P)={Measurement}.
+  auto catalog = PaperCatalog();
+  TypeId s = 0;
+  TypeId m = 1;
+  TypeId e = 2;
+  PatternPtr p = Pattern::Seq(Pattern::Atom(s),
+                              Pattern::Plus(Pattern::Atom(m)),
+                              Pattern::Atom(e));
+  auto templ = BuildTemplate(*p, *catalog);
+  ASSERT_TRUE(templ.ok());
+  const GretaTemplate& t = templ.value();
+  EXPECT_EQ(t.num_states(), 3u);
+  StateId ss = t.states_for_type(s)[0];
+  StateId sm = t.states_for_type(m)[0];
+  StateId se = t.states_for_type(e)[0];
+  EXPECT_EQ(t.start_state(), ss);
+  EXPECT_EQ(t.end_state(), se);
+  // S->M (SEQ), M->M (+), M->E (SEQ).
+  EXPECT_GE(t.FindTransition(ss, sm), 0);
+  EXPECT_GE(t.FindTransition(sm, sm), 0);
+  EXPECT_GE(t.FindTransition(sm, se), 0);
+  EXPECT_EQ(t.transitions().size(), 3u);
+}
+
+TEST(TemplateTest, MultipleOccurrencesGetUniqueStates) {
+  // Section 9 / Figure 13: SEQ(A+, B, A, A+, B+) becomes
+  // SEQ(A1+, B2, A3, A4+, B5+) with five distinct states.
+  auto catalog = PaperCatalog();
+  TypeId a = 0;
+  TypeId b = 1;
+  PatternPtr p = Pattern::Seq(
+      Pattern::Plus(Pattern::Atom(a)), Pattern::Atom(b), Pattern::Atom(a),
+      Pattern::Plus(Pattern::Atom(a)), Pattern::Plus(Pattern::Atom(b)));
+  auto templ = BuildTemplate(*p, *catalog);
+  ASSERT_TRUE(templ.ok());
+  const GretaTemplate& t = templ.value();
+  EXPECT_EQ(t.num_states(), 5u);
+  EXPECT_EQ(t.states_for_type(a).size(), 3u);
+  EXPECT_EQ(t.states_for_type(b).size(), 2u);
+  // Start is the first A occurrence, end the last B occurrence.
+  EXPECT_EQ(t.start_state(), t.states_for_type(a)[0]);
+  EXPECT_EQ(t.end_state(), t.states_for_type(b)[1]);
+  // Occurrence labels are disambiguated ("A1", "B2", ...).
+  EXPECT_NE(t.states()[0].label, t.states()[2].label);
+}
+
+TEST(TemplateTest, NodeSpansSupportSplitResolution) {
+  auto catalog = PaperCatalog();
+  PatternPtr inner_plus = Pattern::Plus(Pattern::Atom(0));
+  const Pattern* inner_raw = inner_plus.get();
+  PatternPtr p = Pattern::Seq(std::move(inner_plus), Pattern::Atom(1));
+  auto templ = BuildTemplate(*p, *catalog);
+  ASSERT_TRUE(templ.ok());
+  EXPECT_EQ(templ.value().NodeStartState(inner_raw),
+            templ.value().NodeEndState(inner_raw));
+  EXPECT_EQ(templ.value().NodeStartState(p.get()),
+            templ.value().start_state());
+  EXPECT_EQ(templ.value().NodeEndState(p.get()), templ.value().end_state());
+}
+
+TEST(TemplateTest, RejectsSugarAndNegationAtBuildTime) {
+  auto catalog = PaperCatalog();
+  EXPECT_FALSE(BuildTemplate(*Pattern::Star(Pattern::Atom(0)), *catalog).ok());
+  EXPECT_FALSE(
+      BuildTemplate(*Pattern::Or(Pattern::Atom(0), Pattern::Atom(1)),
+                    *catalog)
+          .ok());
+}
+
+TEST(TemplateTest, ToStringIsReadable) {
+  auto catalog = PaperCatalog();
+  PatternPtr p = Pattern::Plus(
+      Pattern::Seq(Pattern::Plus(Pattern::Atom(0)), Pattern::Atom(1)));
+  auto templ = BuildTemplate(*p, *catalog);
+  ASSERT_TRUE(templ.ok());
+  std::string s = templ.value().ToString();
+  EXPECT_NE(s.find("A(start)"), std::string::npos);
+  EXPECT_NE(s.find("B(end)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greta

@@ -1,0 +1,210 @@
+// Tests for the workload generators (Section 10.1): schemas, stream rates,
+// Table-2 distributions, query factories, and end-to-end sanity of Q1-Q3 on
+// small streams (GRETA vs oracle).
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/cluster.h"
+#include "workload/linear_road.h"
+#include "workload/stock.h"
+
+namespace greta {
+namespace {
+
+using testing::ExpectMatchesOracle;
+
+TEST(StockWorkloadTest, GeneratesConfiguredRate) {
+  Catalog catalog;
+  StockConfig config;
+  config.rate = 50;
+  config.duration = 20;
+  Stream stream = GenerateStockStream(&catalog, config);
+  EXPECT_EQ(stream.size(), 1000u);
+  TypeId stock = catalog.FindType("Stock");
+  ASSERT_NE(stock, kInvalidType);
+  AttrId sector = catalog.type(stock).FindAttr("sector");
+  AttrId company = catalog.type(stock).FindAttr("company");
+  AttrId price = catalog.type(stock).FindAttr("price");
+  for (const Event& e : stream.events()) {
+    EXPECT_EQ(e.type, stock);
+    EXPECT_GE(e.attr(company).AsInt(), 0);
+    EXPECT_LT(e.attr(company).AsInt(), config.num_companies);
+    EXPECT_EQ(e.attr(sector).AsInt(),
+              e.attr(company).AsInt() % config.num_sectors);
+    EXPECT_GE(e.attr(price).ToDouble(), 1.0);
+  }
+}
+
+TEST(StockWorkloadTest, DeterministicUnderSeed) {
+  Catalog c1;
+  Catalog c2;
+  StockConfig config;
+  config.duration = 5;
+  Stream s1 = GenerateStockStream(&c1, config);
+  Stream s2 = GenerateStockStream(&c2, config);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_TRUE(s1[i].attrs[2] == s2[i].attrs[2]);
+  }
+}
+
+TEST(StockWorkloadTest, HaltsEmittedWhenEnabled) {
+  Catalog catalog;
+  StockConfig config;
+  config.halt_probability = 0.5;
+  config.duration = 20;
+  config.rate = 5;
+  Stream stream = GenerateStockStream(&catalog, config);
+  TypeId halt = catalog.FindType("Halt");
+  size_t halts = 0;
+  for (const Event& e : stream.events()) halts += (e.type == halt) ? 1 : 0;
+  EXPECT_GT(halts, 10u);
+}
+
+TEST(ClusterWorkloadTest, Table2Distributions) {
+  Catalog catalog;
+  ClusterConfig config;
+  config.rate = 500;
+  config.duration = 20;
+  Stream stream = GenerateClusterStream(&catalog, config);
+  TypeId m = catalog.FindType("Measurement");
+  AttrId cpu = catalog.type(m).FindAttr("cpu");
+  AttrId load = catalog.type(m).FindAttr("load");
+  double cpu_sum = 0;
+  double load_sum = 0;
+  size_t count = 0;
+  for (const Event& e : stream.events()) {
+    if (e.type != m) continue;
+    double c = e.attr(cpu).ToDouble();
+    double l = e.attr(load).ToDouble();
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1000.0);  // Table 2: uniform 0-1k.
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 10000.0);  // Table 2: 0-10k.
+    cpu_sum += c;
+    load_sum += l;
+    ++count;
+  }
+  ASSERT_GT(count, 1000u);
+  EXPECT_NEAR(cpu_sum / count, 500.0, 25.0);   // Uniform mean.
+  EXPECT_NEAR(load_sum / count, 100.0, 5.0);   // Poisson(100) mean.
+}
+
+TEST(ClusterWorkloadTest, StartAndEndEventsBracketMeasurements) {
+  Catalog catalog;
+  ClusterConfig config;
+  config.duration = 10;
+  Stream stream = GenerateClusterStream(&catalog, config);
+  TypeId start = catalog.FindType("Start");
+  size_t starts = 0;
+  for (const Event& e : stream.events()) starts += (e.type == start) ? 1 : 0;
+  // Every (job, mapper) pair starts at least once.
+  EXPECT_GE(starts, static_cast<size_t>(config.num_jobs) *
+                        static_cast<size_t>(config.num_mappers));
+}
+
+TEST(LinearRoadWorkloadTest, SelectivityFactorFormula) {
+  EXPECT_NEAR(SelectivityToFactor(0.25), 0.5, 1e-9);
+  EXPECT_NEAR(SelectivityToFactor(0.5), 1.0, 1e-9);
+  EXPECT_NEAR(SelectivityToFactor(0.75), 2.0, 1e-9);
+}
+
+TEST(LinearRoadWorkloadTest, MeasuredPairSelectivityMatchesRequest) {
+  // Empirically check P(u * X > v) over the generated uniform speeds.
+  Catalog catalog;
+  LinearRoadConfig config;
+  config.rate = 2000;
+  config.duration = 5;
+  Stream stream = GenerateLinearRoadStream(&catalog, config);
+  TypeId pos = catalog.FindType("Position");
+  AttrId speed = catalog.type(pos).FindAttr("speed");
+  for (double s : {0.2, 0.5, 0.8}) {
+    double factor = SelectivityToFactor(s);
+    size_t hits = 0;
+    size_t total = 0;
+    const auto& events = stream.events();
+    for (size_t i = 1; i < events.size(); ++i) {
+      if (events[i - 1].type != pos || events[i].type != pos) continue;
+      ++total;
+      if (events[i - 1].attr(speed).ToDouble() * factor >
+          events[i].attr(speed).ToDouble()) {
+        ++hits;
+      }
+    }
+    ASSERT_GT(total, 1000u);
+    EXPECT_NEAR(static_cast<double>(hits) / total, s, 0.03) << "s=" << s;
+  }
+}
+
+TEST(QueryFactoryTest, Q1EndToEndSmall) {
+  Catalog catalog;
+  StockConfig config;
+  config.num_companies = 3;
+  config.num_sectors = 2;
+  config.rate = 3;
+  config.duration = 12;
+  Stream stream = GenerateStockStream(&catalog, config);
+  auto q1 = MakeQ1(&catalog, /*within=*/6, /*slide=*/3);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  ExpectMatchesOracle(&catalog, q1.value(), stream);
+}
+
+TEST(QueryFactoryTest, Q1NegationEndToEndSmall) {
+  Catalog catalog;
+  StockConfig config;
+  config.num_companies = 2;
+  config.num_sectors = 2;
+  config.rate = 3;
+  config.duration = 12;
+  config.halt_probability = 0.2;
+  Stream stream = GenerateStockStream(&catalog, config);
+  auto q1 = MakeQ1WithNegation(&catalog, /*within=*/6, /*slide=*/3);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  ExpectMatchesOracle(&catalog, q1.value(), stream);
+}
+
+TEST(QueryFactoryTest, Q2EndToEndSmall) {
+  Catalog catalog;
+  ClusterConfig config;
+  config.num_mappers = 2;
+  config.num_jobs = 2;
+  config.rate = 4;
+  config.duration = 12;
+  Stream stream = GenerateClusterStream(&catalog, config);
+  auto q2 = MakeQ2(&catalog, /*within=*/6, /*slide=*/3);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  ExpectMatchesOracle(&catalog, q2.value(), stream);
+}
+
+TEST(QueryFactoryTest, Q3EndToEndSmall) {
+  Catalog catalog;
+  LinearRoadConfig config;
+  config.num_vehicles = 3;
+  config.num_segments = 2;
+  config.rate = 3;
+  config.duration = 12;
+  config.accident_probability = 0.3;
+  Stream stream = GenerateLinearRoadStream(&catalog, config);
+  auto q3 = MakeQ3(&catalog, /*within=*/6, /*slide=*/3);
+  ASSERT_TRUE(q3.ok()) << q3.status().ToString();
+  ExpectMatchesOracle(&catalog, q3.value(), stream);
+}
+
+TEST(QueryFactoryTest, Q3SelectivityEndToEndSmall) {
+  Catalog catalog;
+  LinearRoadConfig config;
+  config.num_vehicles = 3;
+  config.num_segments = 2;
+  config.rate = 3;
+  config.duration = 10;
+  Stream stream = GenerateLinearRoadStream(&catalog, config);
+  auto q3 = MakeQ3Selectivity(&catalog, /*within=*/5, /*slide=*/5,
+                              /*selectivity=*/0.5);
+  ASSERT_TRUE(q3.ok()) << q3.status().ToString();
+  ExpectMatchesOracle(&catalog, q3.value(), stream);
+}
+
+}  // namespace
+}  // namespace greta
