@@ -6,17 +6,35 @@
 
 namespace greta {
 
-StatusOr<std::unique_ptr<GretaEngine>> GretaEngine::Create(
-    const Catalog* catalog, const QuerySpec& spec,
-    const EngineOptions& options) {
+namespace {
+
+PlannerOptions PlannerOptionsFrom(const EngineOptions& options) {
   PlannerOptions popts;
   popts.counter_mode = options.counter_mode;
   popts.semantics = options.semantics;
   popts.max_windows_per_event = options.max_windows_per_event;
   popts.enable_tree_ranges = options.enable_tree_ranges;
   popts.enable_pruning = options.enable_pruning;
+  return popts;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<GretaEngine>> GretaEngine::Create(
+    const Catalog* catalog, const QuerySpec& spec,
+    const EngineOptions& options) {
   StatusOr<std::unique_ptr<ExecPlan>> plan =
-      BuildPlan(spec, *catalog, popts);
+      BuildPlan(spec, *catalog, PlannerOptionsFrom(options));
+  if (!plan.ok()) return plan.status();
+  return std::unique_ptr<GretaEngine>(
+      new GretaEngine(catalog, std::move(plan).value(), options));
+}
+
+StatusOr<std::unique_ptr<GretaEngine>> GretaEngine::CreateMulti(
+    const Catalog* catalog, const std::vector<const QuerySpec*>& specs,
+    const EngineOptions& options) {
+  StatusOr<std::unique_ptr<ExecPlan>> plan =
+      BuildSharedPlan(specs, *catalog, PlannerOptionsFrom(options));
   if (!plan.ok()) return plan.status();
   return std::unique_ptr<GretaEngine>(
       new GretaEngine(catalog, std::move(plan).value(), options));
@@ -26,10 +44,13 @@ GretaEngine::GretaEngine(const Catalog* catalog,
                          std::unique_ptr<ExecPlan> plan,
                          const EngineOptions& options)
     : catalog_(catalog), plan_(std::move(plan)), options_(options) {
+  emitted_.resize(plan_->num_queries());
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
 }
+
+size_t GretaEngine::num_queries() const { return plan_->num_queries(); }
 
 Status GretaEngine::Process(const Event& e) {
   if (saw_events_ && e.time < watermark_) {
@@ -86,20 +107,24 @@ void GretaEngine::CloseWindowsUpTo(Ts now) {
 }
 
 void GretaEngine::EmitWindow(WindowId wid) {
-  std::unordered_map<std::vector<Value>, AggOutputs, ValueVecHash, ValueVecEq>
-      merged;
+  const size_t nq = plan_->num_queries();
+  std::vector<std::unordered_map<std::vector<Value>, AggOutputs, ValueVecHash,
+                                 ValueVecEq>>
+      merged(nq);
   for (auto& [key, partition] : partitions_) {
-    AggOutputs acc;
+    std::vector<AggOutputs> accs(nq);
     if (plan_->groups.size() <= 1) {
-      // Disjoint alternatives sum (one term group).
+      // Disjoint alternatives sum (one term group); every query slot is
+      // collected in the same structural pass.
       if (!plan_->groups.empty()) {
         for (int idx : plan_->groups[0].alternative_indices) {
-          partition->alts[idx].graphs[0]->CollectWindow(wid, &acc);
+          partition->alts[idx].graphs[0]->CollectWindowAll(wid, &accs);
         }
       }
     } else {
       // Conjunction: product over term groups of each group's total count
-      // (Section 9; COUNT(*) only, enforced by the planner).
+      // (Section 9; COUNT(*) only, enforced by the planner for every query
+      // of a shared cluster — so all slots carry the same product).
       BigUInt product(1);
       bool all_nonzero = true;
       for (const TermGroupPlan& group : plan_->groups) {
@@ -114,31 +139,39 @@ void GretaEngine::EmitWindow(WindowId wid) {
         product = product.Mul(group_acc.count.ToBig());
       }
       if (all_nonzero) {
-        acc.count = Counter::FromBig(product, plan_->mode);
-        acc.any = true;
+        for (AggOutputs& acc : accs) {
+          acc.count = Counter::FromBig(product, plan_->mode);
+          acc.any = true;
+        }
       }
     }
-    if (!acc.any) continue;
-    std::vector<Value> group(key.begin(),
-                             key.begin() + plan_->num_group_attrs);
-    auto [it, inserted] = merged.try_emplace(std::move(group));
-    (void)inserted;
-    it->second.Merge(acc, plan_->agg);
+    for (size_t q = 0; q < nq; ++q) {
+      if (!accs[q].any) continue;
+      const AggPlan& qagg = plan_->query_aggs.empty() ? plan_->agg
+                                                      : plan_->query_aggs[q];
+      std::vector<Value> group(key.begin(),
+                               key.begin() + plan_->num_group_attrs);
+      auto [it, inserted] = merged[q].try_emplace(std::move(group));
+      (void)inserted;
+      it->second.Merge(accs[q], qagg);
+    }
   }
 
-  std::vector<ResultRow> rows;
-  rows.reserve(merged.size());
-  for (auto& [group, outputs] : merged) {
-    ResultRow row;
-    row.wid = wid;
-    row.group = group;
-    row.aggs = std::move(outputs);
-    rows.push_back(std::move(row));
-  }
-  SortRows(&rows);
-  for (ResultRow& row : rows) {
-    if (result_callback_) result_callback_(row);
-    emitted_.push_back(std::move(row));
+  for (size_t q = 0; q < nq; ++q) {
+    std::vector<ResultRow> rows;
+    rows.reserve(merged[q].size());
+    for (auto& [group, outputs] : merged[q]) {
+      ResultRow row;
+      row.wid = wid;
+      row.group = group;
+      row.aggs = std::move(outputs);
+      rows.push_back(std::move(row));
+    }
+    SortRows(&rows);
+    for (ResultRow& row : rows) {
+      if (q == 0 && result_callback_) result_callback_(row);
+      emitted_[q].push_back(std::move(row));
+    }
   }
 
   for (auto& [key, partition] : partitions_) {
@@ -330,9 +363,25 @@ Status GretaEngine::Flush() {
 }
 
 std::vector<ResultRow> GretaEngine::TakeResults() {
+  // EngineInterface contract: drain everything. For a multi-query runtime
+  // that is every query slot in query order — otherwise rows of slots
+  // 1..n-1 would accumulate unbounded behind a generic harness.
   RefreshAggregateStats();
-  std::vector<ResultRow> out = std::move(emitted_);
-  emitted_.clear();
+  std::vector<ResultRow> out = std::move(emitted_[0]);
+  emitted_[0].clear();
+  for (size_t q = 1; q < emitted_.size(); ++q) {
+    out.insert(out.end(), std::make_move_iterator(emitted_[q].begin()),
+               std::make_move_iterator(emitted_[q].end()));
+    emitted_[q].clear();
+  }
+  return out;
+}
+
+std::vector<ResultRow> GretaEngine::TakeResultsFor(size_t q) {
+  GRETA_CHECK(q < emitted_.size());
+  RefreshAggregateStats();
+  std::vector<ResultRow> out = std::move(emitted_[q]);
+  emitted_[q].clear();
   return out;
 }
 

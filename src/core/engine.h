@@ -42,18 +42,34 @@ class GretaEngine : public EngineInterface {
       const Catalog* catalog, const QuerySpec& spec,
       const EngineOptions& options = {});
 
+  /// Multi-query shared execution (src/sharing/): compiles a cluster of
+  /// share-compatible queries into ONE runtime whose graphs carry
+  /// query-indexed aggregate cells. Events are filtered, partitioned and
+  /// connected once; only the aggregate propagation runs per query. Results
+  /// are drained per query with TakeResultsFor().
+  static StatusOr<std::unique_ptr<GretaEngine>> CreateMulti(
+      const Catalog* catalog, const std::vector<const QuerySpec*>& specs,
+      const EngineOptions& options = {});
+
   Status Process(const Event& e) override;
   Status Flush() override;
   std::vector<ResultRow> TakeResults() override;
+
+  /// Drains the rows of query slot `q` (multi-query runtimes). TakeResults()
+  /// is equivalent to TakeResultsFor(0).
+  std::vector<ResultRow> TakeResultsFor(size_t q);
+  size_t num_queries() const;
   const EngineStats& stats() const override { return stats_; }
   const AggPlan& agg_plan() const override { return plan_->agg; }
   std::string name() const override { return "GRETA"; }
 
   const ExecPlan& plan() const { return *plan_; }
 
-  /// Optional push-style delivery: invoked for every result row the moment
-  /// its window closes (before it is queued for TakeResults), e.g. to fire
-  /// the paper's real-time sell signals without polling.
+  /// Optional push-style delivery: invoked for every result row of the
+  /// PRIMARY query (slot 0) the moment its window closes (before it is
+  /// queued for TakeResults), e.g. to fire the paper's real-time sell
+  /// signals without polling. Rows of other slots of a multi-query runtime
+  /// are not pushed — drain them with TakeResultsFor().
   void set_result_callback(std::function<void(const ResultRow&)> callback) {
     result_callback_ = std::move(callback);
   }
@@ -130,7 +146,7 @@ class GretaEngine : public EngineInterface {
   WindowId next_close_ = 0;
   bool next_close_valid_ = false;
 
-  std::vector<ResultRow> emitted_;
+  std::vector<std::vector<ResultRow>> emitted_;  // per query slot
   std::function<void(const ResultRow&)> result_callback_;
   EngineStats stats_;
 };

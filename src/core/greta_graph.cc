@@ -11,6 +11,8 @@ GretaGraph::GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
     : plan_(plan),
       exec_(exec),
       memory_(memory),
+      num_queries_(plan->aggs.empty() ? 1
+                                      : static_cast<int>(plan->aggs.size())),
       panes_(PaneSize(exec->window), plan->templ.num_states()),
       single_window_(MaxWindowsPerEvent(exec->window) == 1) {
   transition_links_.resize(plan_->templ.transitions().size());
@@ -68,14 +70,17 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   int k = static_cast<int>(last_wid - first_wid + 1);
   GRETA_DCHECK(k >= 1 && k <= 64);
 
+  const int nq = num_queries_;
   GraphVertex v;
   v.state = s;
   v.first_wid = first_wid;
   v.num_wids = k;
-  v.cells.resize(k);
+  v.num_queries = nq;
+  v.cells.resize(static_cast<size_t>(k) * nq);
 
   // Case-3 negation: windows in which a leading negative sub-pattern has
-  // already finished reject new following-state events entirely.
+  // already finished reject new following-state events entirely. Activity is
+  // a property of the pattern, so it is shared by every query slot.
   bool any_active = false;
   for (int i = 0; i < k; ++i) {
     WindowId wid = first_wid + i;
@@ -87,7 +92,9 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
         break;
       }
     }
-    v.cells[i].active = active;
+    for (int q = 0; q < nq; ++q) {
+      v.cells[static_cast<size_t>(i) * nq + q].active = active;
+    }
     any_active |= active;
   }
   if (!any_active) return true;
@@ -153,6 +160,9 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
       bool contributed = false;
       bool barred_everywhere = has_barriers;
       for (WindowId w = lo_w; w <= hi_w; ++w) {
+        // Connectivity (active, count, barriers) is per (vertex, window) and
+        // identical across query slots — only the propagated aggregates
+        // differ, so the per-query loop sits inside the structural checks.
         const AggCell* uc = u->cell(w);
         AggCell* vc = v.cell(w);
         if (!uc->active || !vc->active || uc->count.IsZero()) {
@@ -160,7 +170,10 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
           continue;
         }
         if (has_barriers && u->event.time < barrier[w - first_wid]) continue;
-        vc->AddPredecessor(*uc, plan_->agg);
+        vc->AddPredecessor(*uc, AggAt(0));
+        for (int q = 1; q < num_queries_; ++q) {
+          v.cell(w, q)->AddPredecessor(*u->cell(w, q), AggAt(q));
+        }
         contributed = true;
         barred_everywhere = false;
         ++edges_;
@@ -180,7 +193,10 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   if (!is_start && !found_pred) return true;  // Not inserted (Algorithm 2).
 
   for (int i = 0; i < k; ++i) {
-    if (v.cells[i].active) v.cells[i].FinishVertex(e, is_start, plan_->agg);
+    for (int q = 0; q < nq; ++q) {
+      AggCell& cell = v.cells[static_cast<size_t>(i) * nq + q];
+      if (cell.active) cell.FinishVertex(e, is_start, AggAt(q));
+    }
   }
 
   v.event = e;
@@ -195,11 +211,16 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   if (plan_->templ.IsEnd(s)) {
     const bool incremental_final = graph_links_.empty();
     for (int i = 0; i < k; ++i) {
-      const AggCell& cell = stored->cells[i];
+      const AggCell& cell = stored->cells[static_cast<size_t>(i) * nq];
       if (!cell.active || cell.count.IsZero()) continue;
       WindowId wid = first_wid + i;
       if (incremental_final) {
-        results_[wid].AccumulateEnd(cell, plan_->agg);
+        std::vector<AggOutputs>& out = results_[wid];
+        if (out.empty()) out.resize(nq);
+        for (int q = 0; q < nq; ++q) {
+          out[q].AccumulateEnd(stored->cells[static_cast<size_t>(i) * nq + q],
+                               AggAt(q));
+        }
       }
       if (out_link_ != nullptr) {
         out_link_->ReportTrendEnd(wid, e.time, cell.max_start);
@@ -209,10 +230,10 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   return true;
 }
 
-void GretaGraph::CollectWindow(WindowId wid, AggOutputs* out) {
+void GretaGraph::CollectWindow(WindowId wid, size_t q, AggOutputs* out) {
   if (graph_links_.empty()) {
     auto it = results_.find(wid);
-    if (it != results_.end()) out->Merge(it->second, plan_->agg);
+    if (it != results_.end()) out->Merge(it->second[q], AggAt(q));
     return;
   }
   // Trailing negation (Case 2): only END vertices whose trends finished
@@ -224,10 +245,39 @@ void GretaGraph::CollectWindow(WindowId wid, AggOutputs* out) {
   StateId end_state = plan_->templ.end_state();
   panes_.ScanBucketAll(static_cast<size_t>(end_state), [&](GraphVertex* u) {
     if (u->dead || !u->InWindow(wid)) return;
-    const AggCell* cell = u->cell(wid);
+    const AggCell* cell = u->cell(wid, q);
     if (!cell->active || cell->count.IsZero()) return;
     if (u->event.time < barrier) return;
-    out->AccumulateEnd(*cell, plan_->agg);
+    out->AccumulateEnd(*cell, AggAt(q));
+  });
+}
+
+void GretaGraph::CollectWindowAll(WindowId wid, std::vector<AggOutputs>* outs) {
+  const size_t nq = static_cast<size_t>(num_queries_);
+  GRETA_DCHECK(outs->size() == nq);
+  if (graph_links_.empty()) {
+    auto it = results_.find(wid);
+    if (it == results_.end()) return;
+    for (size_t q = 0; q < nq; ++q) {
+      (*outs)[q].Merge(it->second[q], AggAt(q));
+    }
+    return;
+  }
+  // Trailing negation (Case 2): the barrier and the surviving-END-vertex
+  // walk are query-independent — run them once, read every query slot.
+  Ts barrier = kMinTs;
+  for (NegationLink* link : graph_links_) {
+    barrier = std::max(barrier, link->CloseMaxStart(wid));
+  }
+  StateId end_state = plan_->templ.end_state();
+  panes_.ScanBucketAll(static_cast<size_t>(end_state), [&](GraphVertex* u) {
+    if (u->dead || !u->InWindow(wid)) return;
+    const AggCell* first = u->cell(wid);
+    if (!first->active || first->count.IsZero()) return;
+    if (u->event.time < barrier) return;
+    for (size_t q = 0; q < nq; ++q) {
+      (*outs)[q].AccumulateEnd(*u->cell(wid, q), AggAt(q));
+    }
   });
 }
 
@@ -244,7 +294,8 @@ void GretaGraph::Purge(Ts watermark) {
 
 size_t GretaGraph::ApproxBytes() const {
   size_t bytes = panes_.ApproxBytes();
-  bytes += results_.size() * (sizeof(WindowId) + sizeof(AggOutputs) + 16);
+  bytes += results_.size() *
+           (sizeof(WindowId) + num_queries_ * sizeof(AggOutputs) + 16);
   return bytes;
 }
 

@@ -15,20 +15,31 @@ namespace greta {
 /// plus the sliding-window sharing of Section 6). Edges are never stored —
 /// each edge is traversed exactly once while the aggregate of the new event
 /// is computed (Section 7).
+///
+/// Under multi-query shared execution (src/sharing/) the cell storage is
+/// additionally query-indexed: cells are laid out row-major by window, one
+/// AggCell per (window, query), so a single structural graph pass propagates
+/// every query's aggregates. num_queries == 1 reproduces the single-query
+/// layout bit for bit.
 struct GraphVertex {
   Event event;
   StateId state = kInvalidState;
   WindowId first_wid = 0;
   int num_wids = 0;
+  int num_queries = 1;
   bool dead = false;              // tombstone (invalid event pruning)
   uint64_t used_transitions = 0;  // skip-till-next-match bookkeeping
-  std::vector<AggCell> cells;     // one per window, index wid - first_wid
+  std::vector<AggCell> cells;     // (wid - first_wid) * num_queries + q
 
   bool InWindow(WindowId wid) const {
     return wid >= first_wid && wid < first_wid + num_wids;
   }
-  AggCell* cell(WindowId wid) { return &cells[wid - first_wid]; }
-  const AggCell* cell(WindowId wid) const { return &cells[wid - first_wid]; }
+  AggCell* cell(WindowId wid, size_t q = 0) {
+    return &cells[(wid - first_wid) * num_queries + q];
+  }
+  const AggCell* cell(WindowId wid, size_t q = 0) const {
+    return &cells[(wid - first_wid) * num_queries + q];
+  }
 
   size_t ApproxBytes() const {
     size_t bytes = sizeof(GraphVertex) + cells.capacity() * sizeof(AggCell) +
@@ -66,7 +77,16 @@ class GretaGraph {
   /// Adds this graph's final aggregate for `wid` into `out` (Theorem 4.3:
   /// the sum over END events). With trailing negation (Case 2) this scans
   /// the surviving END vertices instead of using the incremental result.
-  void CollectWindow(WindowId wid, AggOutputs* out);
+  /// `q` selects the query slot under shared multi-query execution.
+  void CollectWindow(WindowId wid, AggOutputs* out) {
+    CollectWindow(wid, 0, out);
+  }
+  void CollectWindow(WindowId wid, size_t q, AggOutputs* out);
+
+  /// Collects every query slot in one pass (one barrier computation and one
+  /// END-vertex scan total, not per query). `outs` must have one entry per
+  /// query slot; results are accumulated into it.
+  void CollectWindowAll(WindowId wid, std::vector<AggOutputs>* outs);
 
   /// Releases per-window state after the window was emitted.
   void ForgetWindow(WindowId wid);
@@ -83,13 +103,20 @@ class GretaGraph {
   // Returns true if the event passed this state's vertex predicates.
   bool InsertAtState(const Event& e, StateId s);
 
+  // Aggregate plan of query slot `q` (plans predating the multi-query
+  // extension may leave GraphPlan::aggs empty; they have exactly one slot).
+  const AggPlan& AggAt(size_t q) const {
+    return plan_->aggs.empty() ? plan_->agg : plan_->aggs[q];
+  }
+
   Ts TransitionBarrier(int transition_index, WindowId wid, Ts now);
 
   const GraphPlan* plan_;
   const ExecPlan* exec_;
   MemoryTracker* memory_;
+  int num_queries_;  // query slots per (vertex, window): plan_->aggs.size()
   PaneStore<GraphVertex> panes_;
-  std::unordered_map<WindowId, AggOutputs> results_;
+  std::unordered_map<WindowId, std::vector<AggOutputs>> results_;
   std::vector<std::vector<NegationLink*>> transition_links_;
   std::vector<NegationLink*> graph_links_;   // Case 2: all transitions
   std::vector<NegationLink*> follow_links_;  // Case 3

@@ -48,6 +48,11 @@ struct GraphPlan {
   StateId prev_state = kInvalidState;  // in the parent's template
   StateId foll_state = kInvalidState;  // in the parent's template
   AggPlan agg;  // query aggregates (positive) or barrier aux (negative)
+  /// Query-indexed aggregate plans (multi-query shared execution,
+  /// src/sharing/): one entry per query sharing this graph; aggs[0] == agg.
+  /// Negative sub-pattern graphs keep a single barrier-aux entry — their
+  /// count/max_start state is identical for every query of the cluster.
+  std::vector<AggPlan> aggs;
 };
 
 /// One disjunction-free alternative: sub-pattern 0 is the positive core,
@@ -84,6 +89,14 @@ struct ExecPlan {
 
   std::vector<AggSpec> agg_specs;  // for rendering
 
+  // Multi-query shared execution (src/sharing/): per-query aggregate plans
+  // and specs. Size 1 for a plan built from a single QuerySpec; query 0 is
+  // always the plan's primary query (query_aggs[0] == agg).
+  std::vector<AggPlan> query_aggs;
+  std::vector<std::vector<AggSpec>> query_agg_specs;
+
+  size_t num_queries() const { return query_aggs.empty() ? 1 : query_aggs.size(); }
+
   // Keeps predicate expressions and split patterns alive for the plan's
   // lifetime (StatePlan/TransitionPlan hold raw pointers into these).
   std::vector<ExprPtr> owned_exprs;
@@ -116,6 +129,17 @@ struct PlannerOptions {
 StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
                                               const Catalog& catalog,
                                               const PlannerOptions& options);
+
+/// Compiles a cluster of *share-compatible* queries into one merged plan:
+/// pattern, predicates, partitioning and window come from specs[0]; every
+/// query contributes its own aggregate plan, stored query-indexed on the
+/// positive graphs (GraphPlan::aggs) so one GRETA graph propagates all of
+/// them in a single pass. Callers (the sharing planner) are responsible for
+/// ensuring the specs agree on pattern/WHERE/keys/window; this function only
+/// re-validates each query's aggregates.
+StatusOr<std::unique_ptr<ExecPlan>> BuildSharedPlan(
+    const std::vector<const QuerySpec*>& specs, const Catalog& catalog,
+    const PlannerOptions& options);
 
 }  // namespace greta
 

@@ -74,6 +74,7 @@ Status BuildGraphPlans(const SplitResult& split, const Catalog& catalog,
     gp.templ = std::move(templ).value();
     gp.negative = (i != 0);
     gp.agg = gp.negative ? AggPlan::ForNegative(mode) : agg;
+    gp.aggs = {gp.agg};
     gp.states.resize(gp.templ.num_states());
     for (const TemplateState& s : gp.templ.states()) {
       gp.states[s.id].type = s.type;
@@ -191,6 +192,8 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
   StatusOr<AggPlan> agg = AggPlan::FromSpecs(spec.aggs, options.counter_mode);
   if (!agg.ok()) return agg.status();
   plan->agg = agg.value();
+  plan->query_aggs = {plan->agg};
+  plan->query_agg_specs = {spec.aggs};
 
   // Top-level conjunction splits into term groups (Section 9); everything
   // else is a single group whose alternatives are summed.
@@ -301,6 +304,43 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
     }
   }
 
+  return plan;
+}
+
+StatusOr<std::unique_ptr<ExecPlan>> BuildSharedPlan(
+    const std::vector<const QuerySpec*>& specs, const Catalog& catalog,
+    const PlannerOptions& options) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("shared plan needs at least one query");
+  }
+  StatusOr<std::unique_ptr<ExecPlan>> base =
+      BuildPlan(*specs[0], catalog, options);
+  if (!base.ok()) return base.status();
+  std::unique_ptr<ExecPlan> plan = std::move(base).value();
+
+  for (size_t q = 1; q < specs.size(); ++q) {
+    StatusOr<AggPlan> agg =
+        AggPlan::FromSpecs(specs[q]->aggs, options.counter_mode);
+    if (!agg.ok()) return agg.status();
+    if (plan->groups.size() > 1 &&
+        (agg.value().need_type_count || agg.value().need_min ||
+         agg.value().need_max || agg.value().need_sum)) {
+      return Status::Unsupported(
+          "conjunctive patterns support COUNT(*) only (Section 9), for every "
+          "query of a shared cluster");
+    }
+    plan->query_aggs.push_back(agg.value());
+    plan->query_agg_specs.push_back(specs[q]->aggs);
+    // Only positive graphs (sub-pattern 0) carry query aggregates; negative
+    // graphs keep their single query-independent barrier plan. Conjunctive
+    // plans (> 1 term group) keep a single slot too: the final count is a
+    // product of slot-0 counts and per-query cells would never be read.
+    if (plan->groups.size() <= 1) {
+      for (AlternativePlan& alt : plan->alternatives) {
+        alt.graphs[0].aggs.push_back(agg.value());
+      }
+    }
+  }
   return plan;
 }
 

@@ -1,0 +1,96 @@
+#include "sharing/shared_engine.h"
+
+namespace greta::sharing {
+
+StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
+    const Catalog* catalog, const std::vector<QuerySpec>& workload,
+    const SharedEngineOptions& options) {
+  StatusOr<SharingPlan> plan =
+      PlanSharing(workload, *catalog, options.sharing);
+  if (!plan.ok()) return plan.status();
+
+  auto engine =
+      std::unique_ptr<SharedWorkloadEngine>(new SharedWorkloadEngine());
+  engine->plan_ = std::move(plan).value();
+  engine->routes_.resize(workload.size());
+
+  for (const QueryCluster& cluster : engine->plan_.clusters) {
+    if (cluster.shared) {
+      std::vector<const QuerySpec*> specs;
+      specs.reserve(cluster.query_ids.size());
+      for (size_t q : cluster.query_ids) specs.push_back(&workload[q]);
+      StatusOr<std::unique_ptr<GretaEngine>> unit =
+          GretaEngine::CreateMulti(catalog, specs, options.engine);
+      if (!unit.ok()) return unit.status();
+      for (size_t slot = 0; slot < cluster.query_ids.size(); ++slot) {
+        engine->routes_[cluster.query_ids[slot]] = {engine->units_.size(),
+                                                    slot};
+      }
+      engine->units_.push_back(std::move(unit).value());
+    } else {
+      for (size_t q : cluster.query_ids) {
+        StatusOr<std::unique_ptr<GretaEngine>> unit =
+            GretaEngine::Create(catalog, workload[q], options.engine);
+        if (!unit.ok()) return unit.status();
+        engine->routes_[q] = {engine->units_.size(), 0};
+        engine->units_.push_back(std::move(unit).value());
+      }
+    }
+  }
+  return engine;
+}
+
+Status SharedWorkloadEngine::Process(const Event& e) {
+  for (std::unique_ptr<GretaEngine>& unit : units_) {
+    Status s = unit->Process(e);
+    if (!s.ok()) return s;
+  }
+  ++events_processed_;
+  return Status::Ok();
+}
+
+Status SharedWorkloadEngine::Flush() {
+  for (std::unique_ptr<GretaEngine>& unit : units_) {
+    Status s = unit->Flush();
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::vector<ResultRow> SharedWorkloadEngine::TakeResults() {
+  std::vector<ResultRow> all;
+  for (size_t q = 0; q < routes_.size(); ++q) {
+    std::vector<ResultRow> rows = TakeResults(q);
+    all.insert(all.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  return all;
+}
+
+std::vector<ResultRow> SharedWorkloadEngine::TakeResults(size_t query_id) {
+  GRETA_CHECK(query_id < routes_.size());
+  const Route& route = routes_[query_id];
+  return units_[route.unit]->TakeResultsFor(route.slot);
+}
+
+const AggPlan& SharedWorkloadEngine::agg_plan_for(size_t query_id) const {
+  GRETA_CHECK(query_id < routes_.size());
+  const Route& route = routes_[query_id];
+  const ExecPlan& plan = units_[route.unit]->plan();
+  return plan.query_aggs.empty() ? plan.agg : plan.query_aggs[route.slot];
+}
+
+const EngineStats& SharedWorkloadEngine::stats() const {
+  stats_ = EngineStats{};
+  stats_.events_processed = events_processed_;
+  for (const std::unique_ptr<GretaEngine>& unit : units_) {
+    const EngineStats& s = unit->stats();
+    stats_.vertices_stored += s.vertices_stored;
+    stats_.edges_traversed += s.edges_traversed;
+    stats_.work_units += s.work_units;
+    stats_.peak_bytes += s.peak_bytes;
+  }
+  return stats_;
+}
+
+}  // namespace greta::sharing

@@ -1,0 +1,77 @@
+#ifndef GRETA_SHARING_SHARED_ENGINE_H_
+#define GRETA_SHARING_SHARED_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "sharing/sharing_planner.h"
+
+namespace greta::sharing {
+
+/// Options of the shared workload runtime: the engine options are applied
+/// uniformly to every unit runtime (semantics, counter mode and window
+/// limits are workload-level properties here), the sharing options drive the
+/// share/no-share planning.
+struct SharedEngineOptions {
+  EngineOptions engine;
+  SharingOptions sharing;
+};
+
+/// Multi-query shared execution runtime (after Hamlet's shared Kleene
+/// sub-pattern graphs and EAGr's shared continuous aggregates): accepts a
+/// workload of N parsed queries, clusters them by sharing fingerprint
+/// (sharing_planner.h), and runs each shared cluster as ONE multi-query
+/// GRETA runtime whose graph vertices carry query-indexed aggregate cells —
+/// the stream is filtered, partitioned and connected once per cluster
+/// instead of once per query. Clusters the cost model rejects run as
+/// dedicated per-query engines, so the runtime never loses to independent
+/// execution by construction.
+///
+/// EngineInterface contract: Process/Flush as usual; TakeResults() drains
+/// every query's rows concatenated in query order (each query's rows keep
+/// the window-then-group ordering); TakeResults(query_id) drains one query.
+class SharedWorkloadEngine : public EngineInterface {
+ public:
+  static StatusOr<std::unique_ptr<SharedWorkloadEngine>> Create(
+      const Catalog* catalog, const std::vector<QuerySpec>& workload,
+      const SharedEngineOptions& options = {});
+
+  Status Process(const Event& e) override;
+  Status Flush() override;
+
+  /// All queries' pending rows, concatenated in query-id order.
+  std::vector<ResultRow> TakeResults() override;
+
+  /// Pending rows of one query of the workload.
+  std::vector<ResultRow> TakeResults(size_t query_id);
+
+  size_t num_queries() const { return routes_.size(); }
+  const SharingPlan& sharing_plan() const { return plan_; }
+  const AggPlan& agg_plan_for(size_t query_id) const;
+
+  /// Aggregated stats: events counted once, vertices/edges/memory summed
+  /// over unit runtimes (so sharing wins show up as fewer stored vertices).
+  const EngineStats& stats() const override;
+  const AggPlan& agg_plan() const override { return agg_plan_for(0); }
+  std::string name() const override { return "SHARED"; }
+
+ private:
+  // Query -> (unit runtime, query slot within that runtime).
+  struct Route {
+    size_t unit = 0;
+    size_t slot = 0;
+  };
+
+  SharedWorkloadEngine() = default;
+
+  SharingPlan plan_;
+  std::vector<std::unique_ptr<GretaEngine>> units_;
+  std::vector<Route> routes_;
+  size_t events_processed_ = 0;
+  mutable EngineStats stats_;
+};
+
+}  // namespace greta::sharing
+
+#endif  // GRETA_SHARING_SHARED_ENGINE_H_

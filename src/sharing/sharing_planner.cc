@@ -1,0 +1,180 @@
+#include "sharing/sharing_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "query/pattern.h"
+#include "query/template.h"
+
+namespace greta::sharing {
+
+namespace {
+
+bool HasConjunction(const Pattern& p) {
+  if (p.op() == PatternOp::kAnd) return true;
+  for (const PatternPtr& c : p.children()) {
+    if (HasConjunction(*c)) return true;
+  }
+  return false;
+}
+
+// Canonical rendering of one template automaton: occurrence-unique states in
+// id order (construction order is deterministic for a given pattern shape),
+// transitions sorted, start/end marked. Two patterns with equal automata
+// build byte-identical GRETA graphs.
+std::string TemplateFingerprint(const GretaTemplate& templ) {
+  std::ostringstream out;
+  out << "S[";
+  for (const TemplateState& s : templ.states()) {
+    out << s.type << (templ.IsStart(s.id) ? "^" : "")
+        << (templ.IsEnd(s.id) ? "$" : "") << ",";
+  }
+  out << "]T[";
+  std::vector<std::string> edges;
+  for (const TemplateTransition& t : templ.transitions()) {
+    std::ostringstream e;
+    e << t.from << ">" << t.to
+      << (t.label == TransitionLabel::kPlus ? "+" : "");
+    edges.push_back(e.str());
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const std::string& e : edges) out << e << ",";
+  out << "]";
+  return out.str();
+}
+
+// Pattern part of the fingerprint: template-normalized when possible.
+StatusOr<std::string> PatternFingerprint(const Pattern& pattern,
+                                         const Catalog& catalog) {
+  if (pattern.IsPositive() && !HasConjunction(pattern)) {
+    StatusOr<std::vector<PatternPtr>> alts = ExpandSugar(pattern);
+    if (alts.ok()) {
+      std::vector<std::string> fps;
+      for (const PatternPtr& alt : alts.value()) {
+        StatusOr<GretaTemplate> templ = BuildTemplate(*alt, catalog);
+        if (!templ.ok()) return templ.status();
+        fps.push_back(TemplateFingerprint(templ.value()));
+      }
+      std::sort(fps.begin(), fps.end());  // Alternatives are summed.
+      std::string joined = "tpl:";
+      for (const std::string& fp : fps) joined += fp + "|";
+      return joined;
+    }
+  }
+  // Negation / conjunction: fall back to the canonical pattern rendering
+  // (alias-free — Pattern stores TypeIds only), which is conservative but
+  // always correct.
+  return "pat:" + pattern.ToString(catalog);
+}
+
+std::string WindowFingerprint(const WindowSpec& w) {
+  if (w.unbounded()) return "w:unbounded";
+  return "w:" + std::to_string(w.within) + "/" + std::to_string(w.slide);
+}
+
+// Per-event work estimate of one runtime for a cluster of `n` queries.
+// `size` is the pattern size (states + operators), a proxy for the number of
+// template transitions whose predecessor lookups, predicate evaluations and
+// vertex insertions dominate graph construction.
+void EstimateCosts(int size, size_t n, const SharingOptions& options,
+                   double* shared, double* independent) {
+  double structural = options.structural_weight * size;
+  double aggregate = options.aggregate_weight * size;
+  *shared = structural + static_cast<double>(n) * aggregate;
+  *independent = static_cast<double>(n) * (structural + aggregate);
+}
+
+}  // namespace
+
+StatusOr<std::string> TemplateMerger::Fingerprint(const QuerySpec& spec,
+                                                  const Catalog& catalog) {
+  if (spec.pattern == nullptr) {
+    return Status::InvalidArgument("query has no pattern");
+  }
+  StatusOr<std::string> pattern_fp =
+      PatternFingerprint(*spec.pattern, catalog);
+  if (!pattern_fp.ok()) return pattern_fp.status();
+
+  std::ostringstream out;
+  out << pattern_fp.value() << ";" << WindowFingerprint(spec.window) << ";";
+
+  std::vector<std::string> preds;
+  for (const ExprPtr& e : spec.where) preds.push_back(e->ToString(catalog));
+  std::sort(preds.begin(), preds.end());
+  out << "where:";
+  for (const std::string& p : preds) out << p << "&";
+
+  std::vector<std::string> equiv = spec.equivalence;
+  std::sort(equiv.begin(), equiv.end());
+  out << ";equiv:";
+  for (const std::string& a : equiv) out << a << ",";
+
+  out << ";group:";
+  for (const std::string& a : spec.group_by) out << a << ",";
+  return out.str();
+}
+
+std::string SharingPlan::ToString() const {
+  std::ostringstream out;
+  out << "workload of " << num_queries << " queries, " << clusters.size()
+      << " clusters (" << num_shared_clusters() << " shared)\n";
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const QueryCluster& c = clusters[i];
+    out << "  cluster " << i << ": queries {";
+    for (size_t j = 0; j < c.query_ids.size(); ++j) {
+      out << (j ? "," : "") << c.query_ids[j];
+    }
+    out << "} " << (c.shared ? "SHARED" : "DEDICATED")
+        << " (cost/event shared=" << c.shared_cost
+        << " independent=" << c.independent_cost << ")\n";
+  }
+  return out.str();
+}
+
+StatusOr<SharingPlan> PlanSharing(const std::vector<QuerySpec>& workload,
+                                  const Catalog& catalog,
+                                  const SharingOptions& options) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("sharing planner needs a non-empty "
+                                   "workload");
+  }
+  SharingPlan plan;
+  plan.num_queries = workload.size();
+
+  // Cluster by fingerprint, preserving first-seen order.
+  std::map<std::string, size_t> by_fp;
+  for (size_t q = 0; q < workload.size(); ++q) {
+    StatusOr<std::string> fp = TemplateMerger::Fingerprint(workload[q],
+                                                           catalog);
+    if (!fp.ok()) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(q) +
+          ": " + fp.status().ToString());
+    }
+    auto it = by_fp.find(fp.value());
+    if (it == by_fp.end()) {
+      by_fp.emplace(fp.value(), plan.clusters.size());
+      QueryCluster cluster;
+      cluster.fingerprint = fp.value();
+      cluster.query_ids.push_back(q);
+      plan.clusters.push_back(std::move(cluster));
+    } else {
+      plan.clusters[it->second].query_ids.push_back(q);
+    }
+  }
+
+  // Share/no-share per cluster.
+  for (QueryCluster& cluster : plan.clusters) {
+    size_t n = cluster.query_ids.size();
+    int size = workload[cluster.query_ids[0]].pattern->Size();
+    EstimateCosts(size, n, options, &cluster.shared_cost,
+                  &cluster.independent_cost);
+    cluster.shared = options.enable_sharing &&
+                     n >= options.min_cluster_size &&
+                     cluster.shared_cost < cluster.independent_cost;
+  }
+  return plan;
+}
+
+}  // namespace greta::sharing

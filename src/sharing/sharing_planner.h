@@ -1,0 +1,93 @@
+#ifndef GRETA_SHARING_SHARING_PLANNER_H_
+#define GRETA_SHARING_SHARING_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace greta::sharing {
+
+/// Normalizes one query into a canonical *sharing fingerprint*: two queries
+/// with equal fingerprints compute their aggregates over the same GRETA
+/// graph (same matched trends, same partitions, same windows) and may differ
+/// only in WHICH aggregates they request. The fingerprint covers:
+///
+///  - the pattern, normalized through the GRETA template automaton
+///    (Algorithm 1) for positive patterns — so syntactically different but
+///    automaton-identical patterns (and alias renamings, which never reach
+///    the Pattern tree) merge — falling back to the canonical pattern
+///    rendering when negation is present;
+///  - the WHERE conjuncts, order-normalized;
+///  - the equivalence attributes (order-normalized) and GROUP-BY attributes
+///    (order-preserved: output rows depend on it);
+///  - the window, normalized (every unbounded spelling merges; a tumbling
+///    window equals the sliding window with slide == length).
+///
+/// Aggregate specs are deliberately excluded: they are what the merged
+/// runtime keeps per query.
+class TemplateMerger {
+ public:
+  static StatusOr<std::string> Fingerprint(const QuerySpec& spec,
+                                           const Catalog& catalog);
+};
+
+/// Knobs of the share/no-share decision.
+///
+/// Honest caveat: under the current model (EstimateCosts in the .cc) a
+/// merged runtime never repeats structural work, so `shared < independent`
+/// holds for EVERY cluster of n >= 2 and the decision effectively reduces
+/// to `enable_sharing && n >= min_cluster_size`. The estimated costs are
+/// still computed and reported per cluster (SharingPlan telemetry), and the
+/// weights parameterize future models where sharing can genuinely lose
+/// (e.g. per-query predicate pushdown that sharing would forfeit).
+struct SharingOptions {
+  /// Master switch: false plans every query as its own dedicated runtime.
+  bool enable_sharing = true;
+  /// Smallest cluster worth merging. 1 clusters trivially (each shared
+  /// "cluster" of one query is just a dedicated runtime).
+  size_t min_cluster_size = 2;
+  /// Cost model weights: structural work per template transition per event,
+  /// vs. aggregate propagation work per query per event.
+  double structural_weight = 4.0;
+  double aggregate_weight = 1.0;
+};
+
+/// One cluster of fingerprint-identical queries plus the planner's decision.
+struct QueryCluster {
+  std::vector<size_t> query_ids;  // indices into the workload, ascending
+  std::string fingerprint;
+  bool shared = false;            // merge into one multi-query runtime?
+  double shared_cost = 0.0;       // estimated work units per event
+  double independent_cost = 0.0;
+};
+
+/// The sharing planner's output: a partition of the workload into clusters.
+struct SharingPlan {
+  std::vector<QueryCluster> clusters;
+  size_t num_queries = 0;
+
+  size_t num_shared_clusters() const {
+    size_t n = 0;
+    for (const QueryCluster& c : clusters) n += c.shared ? 1 : 0;
+    return n;
+  }
+
+  /// Human-readable summary ("cluster 0: queries {0,2,5} SHARED ...").
+  std::string ToString() const;
+};
+
+/// Clusters `workload` by sharing fingerprint and decides share/no-share per
+/// cluster with a simple cost model: a merged runtime pays the structural
+/// graph work (predicate evaluation, predecessor range queries, vertex
+/// storage) once per event plus aggregate propagation per query, while
+/// dedicated runtimes pay both per query.
+StatusOr<SharingPlan> PlanSharing(const std::vector<QuerySpec>& workload,
+                                  const Catalog& catalog,
+                                  const SharingOptions& options = {});
+
+}  // namespace greta::sharing
+
+#endif  // GRETA_SHARING_SHARING_PLANNER_H_

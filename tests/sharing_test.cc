@@ -1,0 +1,295 @@
+// Unit tests of the multi-query sharing subsystem (src/sharing/): template
+// fingerprint normalization, workload clustering, the share/no-share cost
+// decision, and the SharedWorkloadEngine result-routing plumbing.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "sharing/shared_engine.h"
+#include "sharing/sharing_planner.h"
+#include "tests/test_util.h"
+#include "workload/stock.h"
+
+namespace greta {
+namespace {
+
+using sharing::PlanSharing;
+using sharing::SharedEngineOptions;
+using sharing::SharedWorkloadEngine;
+using sharing::SharingOptions;
+using sharing::SharingPlan;
+using sharing::TemplateMerger;
+
+QuerySpec Parse(const std::string& text, Catalog* catalog) {
+  auto spec = ParseQuery(text, catalog);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+std::string Fingerprint(const std::string& text, Catalog* catalog) {
+  QuerySpec spec = Parse(text, catalog);
+  auto fp = TemplateMerger::Fingerprint(spec, *catalog);
+  EXPECT_TRUE(fp.ok()) << fp.status().ToString();
+  return fp.ok() ? fp.value() : "";
+}
+
+std::unique_ptr<Catalog> StockCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+  RegisterStockTypes(catalog.get());
+  return catalog;
+}
+
+TEST(TemplateMergerTest, AggregatesDoNotAffectFingerprint) {
+  auto catalog = StockCatalog();
+  std::string a = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company]", catalog.get());
+  std::string b = Fingerprint(
+      "RETURN SUM(S.price) PATTERN Stock S+ WHERE [company]", catalog.get());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TemplateMergerTest, AliasRenamingMerges) {
+  auto catalog = StockCatalog();
+  std::string a = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND "
+      "S.price > NEXT(S).price",
+      catalog.get());
+  std::string b = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock T+ WHERE [company] AND "
+      "T.price > NEXT(T).price",
+      catalog.get());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TemplateMergerTest, PredicateOrderIsNormalized) {
+  auto catalog = StockCatalog();
+  std::string a = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > 10 AND "
+      "S.volume > 5",
+      catalog.get());
+  std::string b = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE S.volume > 5 AND "
+      "S.price > 10",
+      catalog.get());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TemplateMergerTest, TumblingEqualsSlidingWithEqualSlide) {
+  auto catalog = StockCatalog();
+  std::string a = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WITHIN 10 seconds", catalog.get());
+  std::string b = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WITHIN 10 seconds SLIDE 10 seconds",
+      catalog.get());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TemplateMergerTest, DifferencesKeepQueriesApart) {
+  auto catalog = StockCatalog();
+  std::string base = Fingerprint(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] "
+      "GROUP-BY sector WITHIN 10 seconds",
+      catalog.get());
+  // Different window.
+  EXPECT_NE(base, Fingerprint(
+                      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] "
+                      "GROUP-BY sector WITHIN 20 seconds",
+                      catalog.get()));
+  // Different slide.
+  EXPECT_NE(base, Fingerprint(
+                      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] "
+                      "GROUP-BY sector WITHIN 10 seconds SLIDE 2 seconds",
+                      catalog.get()));
+  // Different predicate.
+  EXPECT_NE(base, Fingerprint(
+                      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] AND "
+                      "S.price > 0 GROUP-BY sector WITHIN 10 seconds",
+                      catalog.get()));
+  // Different grouping.
+  EXPECT_NE(base, Fingerprint(
+                      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] "
+                      "WITHIN 10 seconds",
+                      catalog.get()));
+  // Different pattern.
+  EXPECT_NE(base, Fingerprint(
+                      "RETURN COUNT(*) PATTERN SEQ(Stock S+, Halt H) "
+                      "WHERE [company] GROUP-BY sector WITHIN 10 seconds",
+                      catalog.get()));
+}
+
+TEST(TemplateMergerTest, NegationPatternsFingerprintStructurally) {
+  auto catalog = StockCatalog();
+  std::string a = Fingerprint(
+      "RETURN COUNT(*) PATTERN SEQ(NOT Halt H, Stock S+)", catalog.get());
+  std::string b = Fingerprint(
+      "RETURN SUM(S.price) PATTERN SEQ(NOT Halt X, Stock S+)",
+      catalog.get());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Fingerprint("RETURN COUNT(*) PATTERN Stock S+",
+                           catalog.get()));
+}
+
+TEST(SharingPlannerTest, ClustersByFingerprintAndDecidesSharing) {
+  auto catalog = StockCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] WITHIN 10 seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN SUM(S.price) PATTERN Stock S+ WHERE [company] "
+      "WITHIN 10 seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN MIN(S.price) PATTERN Stock S+ WHERE [company] "
+      "WITHIN 10 seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN COUNT(*) PATTERN SEQ(Stock S, Halt H) WITHIN 10 seconds",
+      catalog.get()));
+
+  auto plan = PlanSharing(workload, *catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().clusters.size(), 2u);
+  EXPECT_EQ(plan.value().num_queries, 4u);
+
+  const sharing::QueryCluster& big = plan.value().clusters[0];
+  EXPECT_EQ(big.query_ids, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_TRUE(big.shared);
+  EXPECT_LT(big.shared_cost, big.independent_cost);
+
+  const sharing::QueryCluster& lone = plan.value().clusters[1];
+  EXPECT_EQ(lone.query_ids, (std::vector<size_t>{3}));
+  EXPECT_FALSE(lone.shared);
+
+  EXPECT_EQ(plan.value().num_shared_clusters(), 1u);
+  EXPECT_NE(plan.value().ToString().find("SHARED"), std::string::npos);
+}
+
+TEST(SharingPlannerTest, OptionsDisableSharing) {
+  auto catalog = StockCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN Stock S+",
+                           catalog.get()));
+  workload.push_back(Parse("RETURN COUNT(Stock) PATTERN Stock S+",
+                           catalog.get()));
+
+  SharingOptions off;
+  off.enable_sharing = false;
+  auto plan = PlanSharing(workload, *catalog, off);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().num_shared_clusters(), 0u);
+
+  SharingOptions high_min;
+  high_min.min_cluster_size = 3;
+  plan = PlanSharing(workload, *catalog, high_min);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().num_shared_clusters(), 0u);
+}
+
+TEST(SharedWorkloadEngineTest, RoutesResultsPerQuery) {
+  auto catalog = StockCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN Stock S+",
+                           catalog.get()));
+  workload.push_back(Parse("RETURN SUM(S.price) PATTERN Stock S+",
+                           catalog.get()));
+
+  auto engine = SharedWorkloadEngine::Create(catalog.get(), workload);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine.value()->num_queries(), 2u);
+  EXPECT_EQ(engine.value()->sharing_plan().num_shared_clusters(), 1u);
+  EXPECT_EQ(engine.value()->name(), "SHARED");
+
+  Stream stream;
+  for (Ts t = 1; t <= 3; ++t) {
+    stream.Append(EventBuilder(catalog.get(), "Stock", t)
+                      .Set("company", int64_t{1})
+                      .Set("sector", int64_t{1})
+                      .Set("price", static_cast<double>(t))
+                      .Set("volume", int64_t{10})
+                      .Set("kind", int64_t{0})
+                      .Set("tx", int64_t{0})
+                      .Build());
+  }
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(engine.value()->Process(e).ok());
+  }
+  ASSERT_TRUE(engine.value()->Flush().ok());
+
+  // 3 events, skip-till-any-match S+: 7 trends.
+  std::vector<ResultRow> q0 = engine.value()->TakeResults(0);
+  ASSERT_EQ(q0.size(), 1u);
+  EXPECT_EQ(q0[0].aggs.count.ToDecimal(), "7");
+
+  // SUM over the same 7 trends: prices 1,2,3; trends {1},{2},{3},{1,2},
+  // {1,3},{2,3},{1,2,3} -> per-trend sums 1+2+3+3+4+5+6 = 24.
+  std::vector<ResultRow> q1 = engine.value()->TakeResults(1);
+  ASSERT_EQ(q1.size(), 1u);
+  EXPECT_EQ(q1[0].aggs.sum, 24.0);
+  EXPECT_TRUE(engine.value()->agg_plan_for(1).need_sum);
+  EXPECT_FALSE(engine.value()->agg_plan_for(0).need_sum);
+
+  EXPECT_EQ(engine.value()->stats().events_processed, 3u);
+  // One merged graph: 3 stored vertices, not 6.
+  EXPECT_EQ(engine.value()->stats().vertices_stored, 3u);
+}
+
+TEST(SharedWorkloadEngineTest, MultiQueryEngineDrainsAllSlotsViaInterface) {
+  // GretaEngine::TakeResults() (the EngineInterface entry point) must drain
+  // every query slot of a CreateMulti runtime, not just slot 0.
+  auto catalog = StockCatalog();
+  QuerySpec q0 = Parse("RETURN COUNT(*) PATTERN Stock S+", catalog.get());
+  QuerySpec q1 = Parse("RETURN SUM(S.price) PATTERN Stock S+",
+                       catalog.get());
+  auto engine = GretaEngine::CreateMulti(catalog.get(), {&q0, &q1});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine.value()->num_queries(), 2u);
+
+  Event e = EventBuilder(catalog.get(), "Stock", 1)
+                .Set("company", int64_t{1})
+                .Set("sector", int64_t{1})
+                .Set("price", 5.0)
+                .Set("volume", int64_t{1})
+                .Set("kind", int64_t{0})
+                .Set("tx", int64_t{0})
+                .Build();
+  ASSERT_TRUE(engine.value()->Process(e).ok());
+  ASSERT_TRUE(engine.value()->Flush().ok());
+  std::vector<ResultRow> all = engine.value()->TakeResults();
+  ASSERT_EQ(all.size(), 2u);  // one row per query slot
+  EXPECT_EQ(all[0].aggs.count.ToDecimal(), "1");
+  EXPECT_EQ(all[1].aggs.sum, 5.0);
+  EXPECT_TRUE(engine.value()->TakeResults().empty());  // drained
+}
+
+TEST(SharedWorkloadEngineTest, TakeResultsConcatenatesAllQueries) {
+  auto catalog = StockCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN Stock S+",
+                           catalog.get()));
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN Stock S+ "
+                           "WHERE S.price > 1000",
+                           catalog.get()));
+
+  auto engine = SharedWorkloadEngine::Create(catalog.get(), workload);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Event e = EventBuilder(catalog.get(), "Stock", 1)
+                .Set("company", int64_t{1})
+                .Set("sector", int64_t{1})
+                .Set("price", 5.0)
+                .Set("volume", int64_t{1})
+                .Set("kind", int64_t{0})
+                .Set("tx", int64_t{0})
+                .Build();
+  ASSERT_TRUE(engine.value()->Process(e).ok());
+  ASSERT_TRUE(engine.value()->Flush().ok());
+  // Query 0 matches the single event, query 1's predicate rejects it.
+  std::vector<ResultRow> all = engine.value()->TakeResults();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].aggs.count.ToDecimal(), "1");
+}
+
+}  // namespace
+}  // namespace greta
