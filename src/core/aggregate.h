@@ -165,6 +165,32 @@ struct AggCell {
     }
   }
 
+  /// Partial sharing (Hamlet snapshot propagation): predecessor fold of the
+  /// non-count components only. The trend count lives once in the shared
+  /// snapshot cell; this cell carries one query's attribute aggregates.
+  void AddPredecessorFold(const AggCell& pred, const AggPlan& plan) {
+    if (plan.need_type_count) type_count.Add(pred.type_count, plan.mode);
+    if (plan.need_min && pred.min < min) min = pred.min;
+    if (plan.need_max && pred.max > max) max = pred.max;
+    if (plan.need_sum) sum += pred.sum;
+  }
+
+  /// Partial sharing: the vertex's own contribution to the non-count
+  /// components, with `count` read from the shared snapshot cell (which must
+  /// already include the vertex's own +1, i.e. call after the snapshot's
+  /// FinishVertex).
+  void FinishVertexFold(const Event& e, const Counter& count,
+                        const AggPlan& plan) {
+    if (e.type != plan.target_type) return;
+    if (plan.need_type_count) type_count.Add(count, plan.mode);
+    if (plan.need_min || plan.need_max || plan.need_sum) {
+      double attr = e.attr(plan.target_attr).ToDouble();
+      if (plan.need_min && attr < min) min = attr;
+      if (plan.need_max && attr > max) max = attr;
+      if (plan.need_sum) sum += attr * count.ToDouble();
+    }
+  }
+
   /// Applies the vertex's own contribution after all predecessors are in:
   /// the +1 for START events, and the e.attr terms when the vertex is of the
   /// target type. Must be called exactly once, last.
@@ -177,10 +203,14 @@ struct AggCell {
       if (plan.need_type_count) {
         type_count.Add(count, plan.mode);  // e.countE = e.count + Σ p.countE
       }
-      double attr = e.attr(plan.target_attr).ToDouble();
-      if (plan.need_min && attr < min) min = attr;
-      if (plan.need_max && attr > max) max = attr;
-      if (plan.need_sum) sum += attr * count.ToDouble();
+      // COUNT(E)-only plans carry no target attribute; touching it would
+      // read out of the event's attribute vector.
+      if (plan.need_min || plan.need_max || plan.need_sum) {
+        double attr = e.attr(plan.target_attr).ToDouble();
+        if (plan.need_min && attr < min) min = attr;
+        if (plan.need_max && attr > max) max = attr;
+        if (plan.need_sum) sum += attr * count.ToDouble();
+      }
     }
   }
 };
@@ -202,6 +232,22 @@ struct AggOutputs {
     if (plan.need_min && cell.min < min) min = cell.min;
     if (plan.need_max && cell.max > max) max = cell.max;
     if (plan.need_sum) sum += cell.sum;
+    any = true;
+  }
+
+  /// Partial sharing: accumulate an END vertex whose trend count lives in a
+  /// shared snapshot and whose attribute components live in `fold` (null for
+  /// COUNT-only queries).
+  void AccumulateEndShared(const Counter& snapshot_count, const AggCell* fold,
+                           const AggPlan& plan) {
+    if (snapshot_count.IsZero()) return;
+    count.Add(snapshot_count, plan.mode);
+    if (fold != nullptr) {
+      if (plan.need_type_count) type_count.Add(fold->type_count, plan.mode);
+      if (plan.need_min && fold->min < min) min = fold->min;
+      if (plan.need_max && fold->max > max) max = fold->max;
+      if (plan.need_sum) sum += fold->sum;
+    }
     any = true;
   }
 

@@ -40,10 +40,21 @@ StatusOr<std::unique_ptr<GretaEngine>> GretaEngine::CreateMulti(
       new GretaEngine(catalog, std::move(plan).value(), options));
 }
 
+StatusOr<std::unique_ptr<GretaEngine>> GretaEngine::CreatePartial(
+    const Catalog* catalog, const std::vector<const QuerySpec*>& specs,
+    const EngineOptions& options) {
+  StatusOr<std::unique_ptr<ExecPlan>> plan =
+      BuildPartialSharedPlan(specs, *catalog, PlannerOptionsFrom(options));
+  if (!plan.ok()) return plan.status();
+  return std::unique_ptr<GretaEngine>(
+      new GretaEngine(catalog, std::move(plan).value(), options));
+}
+
 GretaEngine::GretaEngine(const Catalog* catalog,
                          std::unique_ptr<ExecPlan> plan,
                          const EngineOptions& options)
     : catalog_(catalog), plan_(std::move(plan)), options_(options) {
+  if (options_.memory != nullptr) memory_ = options_.memory;
   emitted_.resize(plan_->num_queries());
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -75,7 +86,7 @@ Status GretaEngine::Process(const Event& e) {
   } else {
     Route(e);
   }
-  stats_.peak_bytes = memory_.peak_bytes();
+  stats_.peak_bytes = memory_->peak_bytes();
   return Status::Ok();
 }
 
@@ -168,8 +179,10 @@ void GretaEngine::EmitWindow(WindowId wid) {
       rows.push_back(std::move(row));
     }
     SortRows(&rows);
+    const bool has_callback =
+        q < result_callbacks_.size() && result_callbacks_[q];
     for (ResultRow& row : rows) {
-      if (q == 0 && result_callback_) result_callback_(row);
+      if (has_callback) result_callbacks_[q](row);
       emitted_[q].push_back(std::move(row));
     }
   }
@@ -239,7 +252,7 @@ GretaEngine::Partition* GretaEngine::GetOrCreatePartition(
     AltRuntime alt;
     for (const GraphPlan& gp : alt_plan.graphs) {
       alt.graphs.push_back(
-          std::make_unique<GretaGraph>(&gp, plan_.get(), &memory_));
+          std::make_unique<GretaGraph>(&gp, plan_.get(), memory_));
     }
     // Wire negation links: negative graph i reports into the graph it
     // invalidates (its parent), per its placement case.
@@ -275,7 +288,7 @@ GretaEngine::Partition* GretaEngine::GetOrCreatePartition(
 
   Partition* raw = partition.get();
   partitions_.emplace(key, std::move(partition));
-  memory_.Add(sizeof(Partition) + key.size() * sizeof(Value));
+  memory_->Add(sizeof(Partition) + key.size() * sizeof(Value));
 
   // Replay buffered broadcast events that precede the creating event.
   for (const BroadcastEvent& b : broadcast_buffer_) {
@@ -400,7 +413,7 @@ void GretaEngine::RefreshAggregateStats() {
   stats_.vertices_stored = vertices;
   stats_.edges_traversed = edges;
   stats_.work_units = edges;
-  stats_.peak_bytes = memory_.peak_bytes();
+  stats_.peak_bytes = memory_->peak_bytes();
 }
 
 }  // namespace greta

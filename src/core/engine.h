@@ -28,6 +28,12 @@ struct EngineOptions {
   bool enable_tree_ranges = true;
   /// Ablation knob: disable invalid event pruning (Theorem 5.1).
   bool enable_pruning = true;
+  /// External memory tracker shared across engines (multi-query runtimes,
+  /// src/sharing/): when set, allocations are accounted there so the peak
+  /// is a true point-in-time workload peak instead of a sum of per-engine
+  /// peaks reached at different times. Must outlive the engine. Null: the
+  /// engine tracks its own memory.
+  MemoryTracker* memory = nullptr;
 };
 
 /// The GRETA runtime (Figure 4): filters and partitions the stream on vertex
@@ -51,6 +57,20 @@ class GretaEngine : public EngineInterface {
       const Catalog* catalog, const std::vector<const QuerySpec*>& specs,
       const EngineOptions& options = {});
 
+  /// Partial sharing (Hamlet): compiles a cluster of queries sharing a
+  /// common Kleene sub-pattern prefix — but differing in pattern suffix or
+  /// window length (equal slide) — into ONE runtime over a merged template.
+  /// The shared core propagates one structural snapshot per (vertex,
+  /// window); each query folds the snapshot into its own aggregates through
+  /// its own continuation states and window range (BuildPartialSharedPlan).
+  /// Emission timing: windows close on the cluster's UNION window, so a
+  /// shorter-WITHIN query's rows (identical in content) surface up to
+  /// `max_within - within` ticks of stream time later than a dedicated
+  /// engine would emit them.
+  static StatusOr<std::unique_ptr<GretaEngine>> CreatePartial(
+      const Catalog* catalog, const std::vector<const QuerySpec*>& specs,
+      const EngineOptions& options = {});
+
   Status Process(const Event& e) override;
   Status Flush() override;
   std::vector<ResultRow> TakeResults() override;
@@ -65,13 +85,18 @@ class GretaEngine : public EngineInterface {
 
   const ExecPlan& plan() const { return *plan_; }
 
-  /// Optional push-style delivery: invoked for every result row of the
-  /// PRIMARY query (slot 0) the moment its window closes (before it is
-  /// queued for TakeResults), e.g. to fire the paper's real-time sell
-  /// signals without polling. Rows of other slots of a multi-query runtime
-  /// are not pushed — drain them with TakeResultsFor().
+  /// Optional push-style delivery: invoked for every result row of query
+  /// slot `q` the moment its window closes (before it is queued for
+  /// TakeResults), e.g. to fire the paper's real-time sell signals without
+  /// polling. Every slot of a multi-query runtime can register its own
+  /// consumer; the one-argument overload targets the primary slot 0.
+  void set_result_callback(size_t q,
+                           std::function<void(const ResultRow&)> callback) {
+    if (result_callbacks_.size() <= q) result_callbacks_.resize(q + 1);
+    result_callbacks_[q] = std::move(callback);
+  }
   void set_result_callback(std::function<void(const ResultRow&)> callback) {
-    result_callback_ = std::move(callback);
+    set_result_callback(0, std::move(callback));
   }
 
  private:
@@ -128,7 +153,8 @@ class GretaEngine : public EngineInterface {
   const Catalog* catalog_;
   std::unique_ptr<ExecPlan> plan_;
   EngineOptions options_;
-  MemoryTracker memory_;
+  MemoryTracker own_memory_;
+  MemoryTracker* memory_ = &own_memory_;  // EngineOptions::memory if set
   std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
 
   std::unordered_map<std::vector<Value>, std::unique_ptr<Partition>,
@@ -147,7 +173,7 @@ class GretaEngine : public EngineInterface {
   bool next_close_valid_ = false;
 
   std::vector<std::vector<ResultRow>> emitted_;  // per query slot
-  std::function<void(const ResultRow&)> result_callback_;
+  std::vector<std::function<void(const ResultRow&)>> result_callbacks_;
   EngineStats stats_;
 };
 

@@ -50,7 +50,8 @@ void GretaGraph::Insert(const Event& e) {
   if (states.empty()) return;
   bool seen = false;
   for (StateId s : states) {
-    seen |= InsertAtState(e, s);
+    seen |= exec_->partial.has_value() ? InsertAtStatePartial(e, s)
+                                       : InsertAtState(e, s);
   }
   // Contiguous semantics: remember the newest event this graph has seen
   // (events failing vertex predicates "cannot be matched" and are skipped
@@ -224,6 +225,169 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
       }
       if (out_link_ != nullptr) {
         out_link_->ReportTrendEnd(wid, e.time, cell.max_start);
+      }
+    }
+  }
+  return true;
+}
+
+bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
+  const PartialSharingPlan& partial = *exec_->partial;
+  const StatePlan& sp = plan_->states[s];
+  for (const Expr* pred : sp.local_preds) {
+    if (!pred->EvalVertex(e).Truthy()) return false;
+  }
+
+  // Core vertices span the cluster's union window range; a continuation
+  // vertex spans its owner's own range (same slide, so the same window-id
+  // grid — the per-query WITHIN only trims the front of the range).
+  const int owner = partial.state_owner[s];
+  const WindowSpec& window =
+      owner < 0 ? exec_->window : partial.windows[owner];
+  WindowId first_wid = FirstWindowOf(e.time, window);
+  WindowId last_wid = LastWindowOf(e.time, window);
+  int k = static_cast<int>(last_wid - first_wid + 1);
+  GRETA_DCHECK(k >= 1 && k <= 64);
+  const int stride =
+      owner < 0 ? 1 + static_cast<int>(partial.num_fold_slots) : 1;
+
+  GraphVertex v;
+  v.state = s;
+  v.first_wid = first_wid;
+  v.num_wids = k;
+  v.num_queries = stride;
+  v.cells.resize(static_cast<size_t>(k) * stride);
+
+  // The merged start state is the shared Kleene core's start, shared by
+  // every query; continuation states are never starts.
+  const bool is_start = plan_->templ.IsStart(s);
+  bool found_pred = false;
+
+  for (StateId p : plan_->templ.pred_states(s)) {
+    int t_idx = plan_->templ.FindTransition(p, s);
+    GRETA_DCHECK(t_idx >= 0);
+    const TransitionPlan& tp = plan_->transitions[t_idx];
+    const int t_owner = partial.transition_owner[t_idx];
+    const int p_owner = partial.state_owner[p];
+
+    KeyBounds bounds;
+    for (const EdgePredicatePlan& ep : tp.preds) {
+      if (!ep.drives_sort_key || !ep.range.has_value()) continue;
+      KeyBounds b = ep.range->ComputeBounds(e);
+      if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
+        bounds.lo = b.lo;
+        bounds.lo_strict = b.lo_strict;
+      }
+      if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
+        bounds.hi = b.hi;
+        bounds.hi_strict = b.hi_strict;
+      }
+    }
+
+    Ts lo_time =
+        window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
+    panes_.ScanBucket(lo_time, e.time, static_cast<size_t>(p), bounds,
+                      [&](GraphVertex* u) {
+      if (u->event.time >= e.time) return;  // Strict trend order (Def. 1).
+      for (const EdgePredicatePlan& ep : tp.preds) {
+        if (ep.drives_sort_key && ep.range.has_value()) continue;
+        if (!ep.expr->EvalEdge(u->event, e).Truthy()) return;
+      }
+      WindowId lo_w = std::max(first_wid, u->first_wid);
+      WindowId hi_w =
+          std::min(last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+      if (lo_w > hi_w) return;
+      bool contributed = false;
+      if (t_owner < 0) {
+        // Core-internal edge: ONE snapshot propagation per window (the
+        // structural count every query reads), plus the per-query folds.
+        for (WindowId w = lo_w; w <= hi_w; ++w) {
+          const AggCell* uc = u->cell(w);
+          if (uc->count.IsZero()) continue;
+          v.cell(w)->count.Add(uc->count, exec_->mode);
+          for (size_t f = 1; f <= partial.num_fold_slots; ++f) {
+            v.cell(w, f)->AddPredecessorFold(
+                *u->cell(w, f), AggAt(partial.fold_queries[f - 1]));
+          }
+          contributed = true;
+          ++edges_;
+        }
+      } else {
+        // Query-owned edge (core hand-off or continuation-internal): only
+        // the owner's aggregates move.
+        const size_t q = static_cast<size_t>(t_owner);
+        const AggPlan& qagg = AggAt(q);
+        const int fold = partial.fold_slots[q];
+        for (WindowId w = lo_w; w <= hi_w; ++w) {
+          AggCell* vc = v.cell(w);
+          const AggCell* uc = u->cell(w);
+          if (uc->count.IsZero()) continue;
+          if (p_owner < 0) {
+            // Hand-off: fold the shared snapshot into q's continuation.
+            vc->count.Add(uc->count, qagg.mode);
+            if (fold >= 0) vc->AddPredecessorFold(*u->cell(w, fold), qagg);
+          } else {
+            vc->AddPredecessor(*uc, qagg);
+          }
+          contributed = true;
+          ++edges_;
+        }
+      }
+      if (contributed) found_pred = true;
+    });
+  }
+
+  if (!is_start && !found_pred) return true;  // Not inserted (Algorithm 2).
+
+  if (owner < 0) {
+    for (int i = 0; i < k; ++i) {
+      AggCell& snap = v.cells[static_cast<size_t>(i) * stride];
+      if (is_start) snap.count.AddOne(exec_->mode);
+      for (size_t f = 1; f <= partial.num_fold_slots; ++f) {
+        v.cells[static_cast<size_t>(i) * stride + f].FinishVertexFold(
+            e, snap.count, AggAt(partial.fold_queries[f - 1]));
+      }
+    }
+  } else {
+    for (int i = 0; i < k; ++i) {
+      v.cells[i].FinishVertex(e, /*is_start=*/false, AggAt(owner));
+    }
+  }
+
+  v.event = e;
+  double key = (sp.sort_attr == kInvalidAttr)
+                   ? static_cast<double>(e.time)
+                   : e.attr(sp.sort_attr).ToDouble();
+  GraphVertex* stored =
+      panes_.Insert(e.time, static_cast<size_t>(s), key, std::move(v));
+  memory_->Add(stored->ApproxBytes());
+  ++total_vertices_;
+
+  // Incremental final aggregates for every query whose END is this state.
+  const size_t nq = plan_->aggs.size();
+  for (size_t q = 0; q < nq; ++q) {
+    if (partial.end_states[q] != s) continue;
+    const AggPlan& qagg = AggAt(q);
+    if (owner < 0) {
+      // Core END (the query's whole pattern is the shared core): only the
+      // windows live under q's own WITHIN read the snapshot.
+      WindowId q_first = FirstWindowOf(e.time, partial.windows[q]);
+      const int fold = partial.fold_slots[q];
+      for (WindowId w = std::max(first_wid, q_first); w <= last_wid; ++w) {
+        const AggCell* snap = stored->cell(w);
+        if (snap->count.IsZero()) continue;
+        std::vector<AggOutputs>& out = results_[w];
+        if (out.empty()) out.resize(nq);
+        out[q].AccumulateEndShared(
+            snap->count, fold >= 0 ? stored->cell(w, fold) : nullptr, qagg);
+      }
+    } else {
+      for (int i = 0; i < k; ++i) {
+        const AggCell& cell = stored->cells[i];
+        if (cell.count.IsZero()) continue;
+        std::vector<AggOutputs>& out = results_[first_wid + i];
+        if (out.empty()) out.resize(nq);
+        out[q].AccumulateEnd(cell, qagg);
       }
     }
   }

@@ -103,6 +103,15 @@ class GretaGraph {
   // Returns true if the event passed this state's vertex predicates.
   bool InsertAtState(const Event& e, StateId s);
 
+  // Partial sharing (ExecPlan::partial): insertion over a merged template.
+  // Shared-core vertices carry one structural snapshot cell per window
+  // (slot 0: the trend count, identical for every query) plus one fold cell
+  // per query that aggregates attributes; per-query continuation vertices
+  // carry a single full cell laid out over the owning query's own window
+  // range. Negation, pruning and the restricted semantics never reach this
+  // path (the planner rejects them for partial clusters).
+  bool InsertAtStatePartial(const Event& e, StateId s);
+
   // Aggregate plan of query slot `q` (plans predating the multi-query
   // extension may leave GraphPlan::aggs empty; they have exactly one slot).
   const AggPlan& AggAt(size_t q) const {

@@ -10,6 +10,7 @@
 #include "core/aggregate.h"
 #include "core/engine_interface.h"
 #include "core/negation.h"
+#include "predicate/classify.h"
 #include "predicate/range.h"
 #include "query/query.h"
 #include "query/split.h"
@@ -61,6 +62,31 @@ struct AlternativePlan {
   std::vector<GraphPlan> graphs;
 };
 
+/// Partial sharing of a common Kleene sub-pattern (Hamlet snapshot
+/// propagation): layout of one merged template whose shared core prefix
+/// feeds per-query continuation states.
+///
+/// The shared core propagates ONE structural snapshot per (vertex, window)
+/// — the trend count, identical for every query because the core is each
+/// query's pattern prefix and its predicates agree cluster-wide — while
+/// queries whose aggregates need attribute components (SUM/MIN/MAX/COUNT(E))
+/// fold them through a dedicated *fold slot* next to the snapshot. Window
+/// ids share one grid (equal slide); per-query `within` values only change
+/// which windows of a vertex are live for a query, never a live cell's
+/// content, so the snapshot serves every window length at once.
+struct PartialSharingPlan {
+  size_t num_core_states = 0;  // merged-template states [0, n) are shared
+  std::vector<int> state_owner;       // per state: query index, or -1 = core
+  std::vector<int> transition_owner;  // per transition, same convention
+  std::vector<StateId> end_states;    // per query: its END state
+  std::vector<WindowSpec> windows;    // per query; ExecPlan::window = union
+  /// Per query: index of its fold slot within a core vertex's cells
+  /// (1 + slot, slot 0 is the snapshot), or -1 when COUNT-only.
+  std::vector<int> fold_slots;
+  std::vector<size_t> fold_queries;  // inverse: fold slot index - 1 -> query
+  size_t num_fold_slots = 0;  // core cells per (vertex, window) = 1 + this
+};
+
 /// A term group of the final combination. The final COUNT is the product
 /// over groups of the sum over each group's alternatives (Section 9):
 /// a plain pattern is one group; `P1 & P2` contributes one group per side.
@@ -94,6 +120,11 @@ struct ExecPlan {
   // always the plan's primary query (query_aggs[0] == agg).
   std::vector<AggPlan> query_aggs;
   std::vector<std::vector<AggSpec>> query_agg_specs;
+
+  // Set for plans built by BuildPartialSharedPlan: the merged-template
+  // layout. ExecPlan::window is then the cluster's union window (max within,
+  // shared slide); per-query windows live in partial->windows.
+  std::optional<PartialSharingPlan> partial;
 
   size_t num_queries() const { return query_aggs.empty() ? 1 : query_aggs.size(); }
 
@@ -138,6 +169,38 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
 /// ensuring the specs agree on pattern/WHERE/keys/window; this function only
 /// re-validates each query's aggregates.
 StatusOr<std::unique_ptr<ExecPlan>> BuildSharedPlan(
+    const std::vector<const QuerySpec*>& specs, const Catalog& catalog,
+    const PlannerOptions& options);
+
+/// The Kleene-prefix core of a desugared, positive, disjunction-free
+/// alternative: the pattern itself when it is `K+`, or the first child of a
+/// SEQ whose first child is `K+`. Returns nullptr when the pattern has no
+/// Kleene prefix (then it cannot join a partial-sharing cluster).
+const Pattern* KleenePrefixCore(const Pattern& alt);
+
+/// True when one classified WHERE conjunct constrains the shared Kleene
+/// core — a vertex predicate on a core type or an edge predicate between
+/// core types. Such conjuncts shape the partial-sharing snapshot and must
+/// agree across a cluster; one definition serves both the sharing
+/// planner's pooling key and BuildPartialSharedPlan's re-validation, so
+/// the two can never drift apart.
+bool IsCoreSnapshotPredicate(const ClassifiedPredicate& cp,
+                             const std::vector<TypeId>& core_types);
+
+/// Compiles a cluster of queries that share a common Kleene sub-pattern
+/// prefix (the Hamlet-style *partial sharing* case) into one merged plan
+/// carrying a PartialSharingPlan. Requirements, re-validated here:
+///  - every pattern is positive, desugars to exactly one alternative, and
+///    starts with the same Kleene core (equal template fingerprint);
+///  - WHERE conjuncts touching core types agree across the cluster (they
+///    shape the shared snapshot); suffix predicates are per query;
+///  - equivalence and GROUP-BY attributes agree (shared partitioning);
+///  - windows are all unbounded, or all bounded with equal slide (within
+///    may differ: the plan window is the union, per-query ranges select
+///    live windows);
+///  - semantics is skip-till-any-match (the restricted semantics tie
+///    bookkeeping to a single query's structure and are planned unshared).
+StatusOr<std::unique_ptr<ExecPlan>> BuildPartialSharedPlan(
     const std::vector<const QuerySpec*>& specs, const Catalog& catalog,
     const PlannerOptions& options);
 

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "core/plan.h"
@@ -113,52 +114,69 @@ Status BuildGraphPlans(const SplitResult& split, const Catalog& catalog,
   return Status::Ok();
 }
 
+// Attaches one classified predicate list to the states and transitions of
+// `gp` admitted by the filters (null = all; partial sharing restricts each
+// query's predicates to the states/transitions it owns).
+void AttachPredicatesToGraph(
+    const std::vector<ClassifiedPredicate>& preds, bool enable_tree_ranges,
+    GraphPlan* gp, const std::function<bool(StateId)>& state_ok,
+    const std::function<bool(size_t)>& transition_ok) {
+  // Vertex predicates.
+  for (const ClassifiedPredicate& cp : preds) {
+    if (cp.cls != PredicateClass::kLocal) continue;
+    for (const TemplateState& s : gp->templ.states()) {
+      if (s.type != cp.base_type) continue;
+      if (state_ok && !state_ok(s.id)) continue;
+      gp->states[s.id].local_preds.push_back(cp.expr);
+    }
+  }
+  // Edge predicates per transition.
+  const auto& transitions = gp->templ.transitions();
+  for (size_t t = 0; t < transitions.size(); ++t) {
+    if (transition_ok && !transition_ok(t)) continue;
+    StateId from = transitions[t].from;
+    StateId to = transitions[t].to;
+    for (const ClassifiedPredicate& cp : preds) {
+      if (cp.cls != PredicateClass::kEdge) continue;
+      if (gp->states[from].type != cp.base_type ||
+          gp->states[to].type != cp.next_type) {
+        continue;
+      }
+      EdgePredicatePlan ep;
+      ep.expr = cp.expr;
+      if (enable_tree_ranges) {
+        ep.range = RangeExtraction::FromPredicate(*cp.expr);
+      }
+      gp->transitions[t].preds.push_back(std::move(ep));
+    }
+  }
+}
+
+// Sort keys: for each state, the key attr of the first extractable edge
+// predicate on any outgoing transition wins ("sorted by the most selective
+// predicate", Section 7). Run once after ALL predicates are attached.
+void AssignSortKeys(GraphPlan* gp) {
+  const auto& transitions = gp->templ.transitions();
+  for (size_t t = 0; t < transitions.size(); ++t) {
+    StateId from = transitions[t].from;
+    for (EdgePredicatePlan& ep : gp->transitions[t].preds) {
+      if (!ep.range.has_value()) continue;
+      AttrId key = ep.range->key_attr();
+      if (gp->states[from].sort_attr == kInvalidAttr) {
+        gp->states[from].sort_attr = key;
+      }
+      ep.drives_sort_key = (gp->states[from].sort_attr == key);
+    }
+  }
+}
+
 // Attaches classified predicates and picks Vertex-Tree sort keys.
 Status AttachPredicates(const std::vector<ClassifiedPredicate>& preds,
                         bool enable_tree_ranges, AlternativePlan* alt) {
   for (GraphPlan& gp : alt->graphs) {
-    // Vertex predicates.
-    for (const ClassifiedPredicate& cp : preds) {
-      if (cp.cls != PredicateClass::kLocal) continue;
-      for (const TemplateState& s : gp.templ.states()) {
-        if (s.type == cp.base_type) {
-          gp.states[s.id].local_preds.push_back(cp.expr);
-        }
-      }
-    }
-    // Edge predicates per transition.
-    const auto& transitions = gp.templ.transitions();
-    for (size_t t = 0; t < transitions.size(); ++t) {
-      StateId from = transitions[t].from;
-      StateId to = transitions[t].to;
-      for (const ClassifiedPredicate& cp : preds) {
-        if (cp.cls != PredicateClass::kEdge) continue;
-        if (gp.states[from].type != cp.base_type ||
-            gp.states[to].type != cp.next_type) {
-          continue;
-        }
-        EdgePredicatePlan ep;
-        ep.expr = cp.expr;
-        if (enable_tree_ranges) {
-          ep.range = RangeExtraction::FromPredicate(*cp.expr);
-        }
-        gp.transitions[t].preds.push_back(std::move(ep));
-      }
-    }
-    // Sort keys: for each state, the key attr of the first extractable edge
-    // predicate on any outgoing transition wins ("sorted by the most
-    // selective predicate", Section 7).
-    for (size_t t = 0; t < transitions.size(); ++t) {
-      StateId from = transitions[t].from;
-      for (EdgePredicatePlan& ep : gp.transitions[t].preds) {
-        if (!ep.range.has_value()) continue;
-        AttrId key = ep.range->key_attr();
-        if (gp.states[from].sort_attr == kInvalidAttr) {
-          gp.states[from].sort_attr = key;
-        }
-        ep.drives_sort_key = (gp.states[from].sort_attr == key);
-      }
-    }
+    AttachPredicatesToGraph(preds, enable_tree_ranges, &gp, nullptr,
+                            nullptr);
+    AssignSortKeys(&gp);
   }
   return Status::Ok();
 }
@@ -304,6 +322,297 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
     }
   }
 
+  return plan;
+}
+
+const Pattern* KleenePrefixCore(const Pattern& alt) {
+  if (alt.op() == PatternOp::kPlus) return &alt;
+  if (alt.op() == PatternOp::kSeq && !alt.children().empty() &&
+      alt.children()[0]->op() == PatternOp::kPlus) {
+    return alt.children()[0].get();
+  }
+  return nullptr;
+}
+
+bool IsCoreSnapshotPredicate(const ClassifiedPredicate& cp,
+                             const std::vector<TypeId>& core_types) {
+  auto in_core = [&](TypeId t) {
+    return std::find(core_types.begin(), core_types.end(), t) !=
+           core_types.end();
+  };
+  if (cp.cls == PredicateClass::kLocal) return in_core(cp.base_type);
+  if (cp.cls == PredicateClass::kEdge) {
+    return in_core(cp.base_type) && in_core(cp.next_type);
+  }
+  return false;
+}
+
+namespace {
+
+// One query of a partial-sharing cluster, desugared and decomposed.
+struct PartialQuery {
+  PatternPtr alt;           // the single desugared alternative (owned)
+  const Pattern* core;      // Kleene prefix inside `alt`
+  GretaTemplate full;       // template of `alt`
+  AggPlan agg;
+  std::vector<ClassifiedPredicate> preds;    // non-constant conjuncts
+  std::vector<std::string> core_pred_texts;  // sorted, for agreement checks
+};
+
+// Desugars and validates one query of a partial cluster. Predicates are
+// classified against clones owned by `plan`.
+Status DecomposePartialQuery(const QuerySpec& spec, const Catalog& catalog,
+                             ExecPlan* plan, PartialQuery* out) {
+  if (spec.pattern == nullptr) {
+    return Status::InvalidArgument("query has no pattern");
+  }
+  Status valid = ValidatePattern(*spec.pattern);
+  if (!valid.ok()) return valid;
+  if (!spec.pattern->IsPositive()) {
+    return Status::Unsupported("partial sharing requires positive patterns");
+  }
+  std::vector<const Pattern*> sides;
+  CollectConjuncts(*spec.pattern, &sides);
+  if (sides.size() > 1) {
+    return Status::Unsupported(
+        "partial sharing does not cover conjunctive patterns");
+  }
+  StatusOr<std::vector<PatternPtr>> alts = ExpandSugar(*spec.pattern);
+  if (!alts.ok()) return alts.status();
+  if (alts.value().size() != 1) {
+    return Status::Unsupported(
+        "partial sharing requires a single disjunction-free alternative");
+  }
+  out->alt = std::move(alts.value()[0]);
+  out->core = KleenePrefixCore(*out->alt);
+  if (out->core == nullptr) {
+    return Status::Unsupported(
+        "partial sharing requires a Kleene sub-pattern prefix");
+  }
+  StatusOr<GretaTemplate> full = BuildTemplate(*out->alt, catalog);
+  if (!full.ok()) return full.status();
+  out->full = std::move(full).value();
+
+  for (const ExprPtr& conjunct : spec.where) {
+    plan->owned_exprs.push_back(conjunct->Clone());
+    StatusOr<ClassifiedPredicate> cp =
+        ClassifyPredicate(*plan->owned_exprs.back());
+    if (!cp.ok()) return cp.status();
+    if (cp.value().cls == PredicateClass::kConstant) {
+      Event dummy;
+      if (!plan->owned_exprs.back()->EvalVertex(dummy).Truthy()) {
+        return Status::Unsupported(
+            "constant-false WHERE clause in a partial-sharing cluster");
+      }
+      continue;
+    }
+    out->preds.push_back(cp.value());
+  }
+  std::vector<TypeId> core_types = out->core->CollectTypes();
+  for (const ClassifiedPredicate& cp : out->preds) {
+    if (IsCoreSnapshotPredicate(cp, core_types)) {
+      out->core_pred_texts.push_back(cp.expr->ToString(catalog));
+    }
+  }
+  std::sort(out->core_pred_texts.begin(), out->core_pred_texts.end());
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ExecPlan>> BuildPartialSharedPlan(
+    const std::vector<const QuerySpec*>& specs, const Catalog& catalog,
+    const PlannerOptions& options) {
+  if (specs.size() < 2) {
+    return Status::InvalidArgument(
+        "partial shared plan needs at least two queries");
+  }
+  if (options.semantics != Semantics::kSkipTillAnyMatch) {
+    return Status::Unsupported(
+        "partial sharing requires skip-till-any-match semantics (the "
+        "restricted semantics tie per-event bookkeeping to one query's "
+        "pattern structure)");
+  }
+
+  auto plan = std::make_unique<ExecPlan>();
+  plan->semantics = options.semantics;
+  plan->mode = options.counter_mode;
+  plan->enable_pruning = options.enable_pruning;
+
+  // Decompose every query and re-validate cluster agreement.
+  std::vector<PartialQuery> queries(specs.size());
+  for (size_t q = 0; q < specs.size(); ++q) {
+    Status s = DecomposePartialQuery(*specs[q], catalog, plan.get(),
+                                     &queries[q]);
+    if (!s.ok()) {
+      // Keep the code: Unsupported marks shapes the caller may degrade to
+      // dedicated runtimes, InvalidArgument marks planner disagreement.
+      return Status(s.code(),
+                    "query " + std::to_string(q) + ": " + s.message());
+    }
+  }
+  StatusOr<GretaTemplate> core_templ =
+      BuildTemplate(*queries[0].core, catalog);
+  if (!core_templ.ok()) return core_templ.status();
+  const std::string core_fp =
+      TemplateStructureFingerprint(core_templ.value());
+  for (size_t q = 1; q < specs.size(); ++q) {
+    StatusOr<GretaTemplate> qc = BuildTemplate(*queries[q].core, catalog);
+    if (!qc.ok()) return qc.status();
+    if (TemplateStructureFingerprint(qc.value()) != core_fp) {
+      return Status::InvalidArgument(
+          "queries of a partial-sharing cluster must share their Kleene "
+          "sub-pattern");
+    }
+    if (queries[q].core_pred_texts != queries[0].core_pred_texts) {
+      return Status::InvalidArgument(
+          "queries of a partial-sharing cluster must agree on WHERE "
+          "predicates over the shared sub-pattern");
+    }
+  }
+
+  // Keys: shared partitioning requires identical grouping and equivalence.
+  std::vector<std::string> equiv0 = specs[0]->equivalence;
+  std::sort(equiv0.begin(), equiv0.end());
+  for (size_t q = 1; q < specs.size(); ++q) {
+    std::vector<std::string> equiv = specs[q]->equivalence;
+    std::sort(equiv.begin(), equiv.end());
+    if (equiv != equiv0 || specs[q]->group_by != specs[0]->group_by) {
+      return Status::InvalidArgument(
+          "queries of a partial-sharing cluster must agree on GROUP-BY and "
+          "equivalence attributes");
+    }
+  }
+
+  // Windows: all unbounded, or all bounded with one slide; the plan window
+  // is the union (max within) so shared vertices cover every query's range.
+  WindowSpec union_window = specs[0]->window;
+  for (size_t q = 1; q < specs.size(); ++q) {
+    const WindowSpec& w = specs[q]->window;
+    if (w.unbounded() != union_window.unbounded() ||
+        (!w.unbounded() && w.slide != union_window.slide)) {
+      return Status::InvalidArgument(
+          "queries of a partial-sharing cluster must agree on window slide "
+          "(or all be unbounded)");
+    }
+    if (!w.unbounded() && w.within > union_window.within) {
+      union_window.within = w.within;
+    }
+  }
+  if (!union_window.unbounded() &&
+      MaxWindowsPerEvent(union_window) > options.max_windows_per_event) {
+    return Status::Unsupported(
+        "an event would fall into more than " +
+        std::to_string(options.max_windows_per_event) +
+        " windows of the cluster's union window; increase SLIDE or "
+        "PlannerOptions::max_windows_per_event");
+  }
+  plan->window = union_window;
+
+  // Merge the per-query templates over the shared core.
+  PartialSharingPlan partial;
+  std::vector<const GretaTemplate*> fulls;
+  fulls.reserve(queries.size());
+  for (const PartialQuery& pq : queries) fulls.push_back(&pq.full);
+  StatusOr<GretaTemplate> merged = MergeSharedCoreTemplates(
+      core_templ.value(), fulls, &partial.end_states, &partial.state_owner,
+      &partial.transition_owner);
+  if (!merged.ok()) return merged.status();
+  partial.num_core_states = core_templ.value().num_states();
+
+  // Per-query aggregate plans and snapshot fold slots.
+  for (size_t q = 0; q < specs.size(); ++q) {
+    StatusOr<AggPlan> agg =
+        AggPlan::FromSpecs(specs[q]->aggs, options.counter_mode);
+    if (!agg.ok()) return agg.status();
+    queries[q].agg = agg.value();
+    const AggPlan& a = queries[q].agg;
+    bool needs_fold =
+        a.need_type_count || a.need_min || a.need_max || a.need_sum;
+    if (needs_fold) {
+      partial.fold_slots.push_back(
+          static_cast<int>(1 + partial.num_fold_slots++));
+      partial.fold_queries.push_back(q);
+    } else {
+      partial.fold_slots.push_back(-1);
+    }
+    partial.windows.push_back(specs[q]->window);
+    plan->query_aggs.push_back(a);
+    plan->query_agg_specs.push_back(specs[q]->aggs);
+  }
+  plan->agg = plan->query_aggs[0];
+  plan->agg_specs = specs[0]->aggs;
+
+  // One positive graph over the merged template, all queries' plans on it.
+  AlternativePlan alt;
+  alt.graphs.resize(1);
+  GraphPlan& gp = alt.graphs[0];
+  gp.templ = std::move(merged).value();
+  gp.agg = plan->agg;
+  gp.aggs = plan->query_aggs;
+  gp.states.resize(gp.templ.num_states());
+  for (const TemplateState& s : gp.templ.states()) {
+    gp.states[s.id].type = s.type;
+  }
+  gp.transitions.resize(gp.templ.transitions().size());
+
+  // Predicate attachment, owner-aware: query q's conjuncts reach only the
+  // states/transitions q owns; the shared core takes query 0's copies (the
+  // agreement check above makes every query's core conjuncts identical).
+  for (size_t q = 0; q < queries.size(); ++q) {
+    AttachPredicatesToGraph(
+        queries[q].preds, options.enable_tree_ranges, &gp,
+        [&partial, q](StateId s) {
+          int owner = partial.state_owner[s];
+          return owner == static_cast<int>(q) || (owner < 0 && q == 0);
+        },
+        [&partial, q](size_t t) {
+          int owner = partial.transition_owner[t];
+          return owner == static_cast<int>(q) || (owner < 0 && q == 0);
+        });
+  }
+  AssignSortKeys(&gp);
+
+  plan->alternatives.push_back(std::move(alt));
+  TermGroupPlan group;
+  group.alternative_indices.push_back(0);
+  plan->groups.push_back(std::move(group));
+  plan->partial = std::move(partial);
+
+  // Partition keys over the merged template's types (as in BuildPlan).
+  plan->key_attrs = specs[0]->group_by;
+  plan->num_group_attrs = specs[0]->group_by.size();
+  for (const std::string& attr : specs[0]->equivalence) {
+    if (std::find(plan->key_attrs.begin(), plan->key_attrs.end(), attr) ==
+        plan->key_attrs.end()) {
+      plan->key_attrs.push_back(attr);
+    }
+  }
+  std::set<TypeId> relevant;
+  for (const TemplateState& s :
+       plan->alternatives[0].graphs[0].templ.states()) {
+    relevant.insert(s.type);
+  }
+  for (TypeId type : relevant) {
+    std::vector<AttrId> ids;
+    for (const std::string& attr : plan->key_attrs) {
+      ids.push_back(catalog.type(type).FindAttr(attr));
+    }
+    plan->key_attr_ids[type] = std::move(ids);
+  }
+  for (size_t i = 0; i < plan->key_attrs.size(); ++i) {
+    bool found = false;
+    for (const auto& [type, ids] : plan->key_attr_ids) {
+      (void)type;
+      if (ids[i] != kInvalidAttr) found = true;
+    }
+    if (!found) {
+      return Status::InvalidArgument("grouping/equivalence attribute '" +
+                                     plan->key_attrs[i] +
+                                     "' exists on no event type used by the "
+                                     "pattern");
+    }
+  }
   return plan;
 }
 

@@ -1,6 +1,7 @@
 #include "query/template.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -181,6 +182,102 @@ StatusOr<GretaTemplate> BuildTemplate(const Pattern& pattern,
   TemplateBuilder builder(catalog, &out);
   Status s = builder.Build(pattern);
   if (!s.ok()) return s;
+  return out;
+}
+
+std::string TemplateStructureFingerprint(const GretaTemplate& templ) {
+  std::ostringstream out;
+  out << "S[";
+  for (const TemplateState& s : templ.states()) {
+    out << s.type << (templ.IsStart(s.id) ? "^" : "")
+        << (templ.IsEnd(s.id) ? "$" : "") << ",";
+  }
+  out << "]T[";
+  std::vector<std::string> edges;
+  for (const TemplateTransition& t : templ.transitions()) {
+    std::ostringstream e;
+    e << t.from << ">" << t.to
+      << (t.label == TransitionLabel::kPlus ? "+" : "");
+    edges.push_back(e.str());
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const std::string& e : edges) out << e << ",";
+  out << "]";
+  return out.str();
+}
+
+StatusOr<GretaTemplate> MergeSharedCoreTemplates(
+    const GretaTemplate& core, const std::vector<const GretaTemplate*>& full,
+    std::vector<StateId>* end_states, std::vector<int>* state_owner,
+    std::vector<int>* transition_owner) {
+  const size_t num_core = core.states_.size();
+  GretaTemplate out;
+  out.states_ = core.states_;
+  out.transitions_ = core.transitions_;
+  out.start_state_ = core.start_state_;
+  out.end_state_ = core.end_state_;  // Nominal; real END states are
+                                     // per-query (`end_states`).
+  state_owner->assign(num_core, -1);
+  transition_owner->assign(core.transitions_.size(), -1);
+  end_states->clear();
+
+  for (size_t q = 0; q < full.size(); ++q) {
+    const GretaTemplate& t = *full[q];
+    if (t.states_.size() < num_core || t.start_state_ != core.start_state_) {
+      return Status::InvalidArgument(
+          "query template does not begin with the shared core");
+    }
+    for (size_t i = 0; i < num_core; ++i) {
+      if (t.states_[i].type != core.states_[i].type) {
+        return Status::InvalidArgument(
+            "query template core states disagree with the shared core");
+      }
+    }
+    // Map state ids: core states keep their ids, suffix states get fresh
+    // ones appended after every earlier query's.
+    std::vector<StateId> remap(t.states_.size());
+    for (size_t i = 0; i < t.states_.size(); ++i) {
+      if (i < num_core) {
+        remap[i] = static_cast<StateId>(i);
+      } else {
+        StateId id = static_cast<StateId>(out.states_.size());
+        TemplateState s = t.states_[i];
+        s.id = id;
+        out.states_.push_back(std::move(s));
+        state_owner->push_back(static_cast<int>(q));
+        remap[i] = id;
+      }
+    }
+    for (const TemplateTransition& tr : t.transitions_) {
+      StateId from = remap[tr.from];
+      StateId to = remap[tr.to];
+      bool core_internal = static_cast<size_t>(tr.from) < num_core &&
+                           static_cast<size_t>(tr.to) < num_core;
+      if (core_internal) {
+        // Must already exist in the shared core (suffixes never loop back).
+        if (core.FindTransition(from, to) < 0) {
+          return Status::InvalidArgument(
+              "query template adds a transition inside the shared core");
+        }
+        continue;
+      }
+      out.transitions_.push_back(TemplateTransition{from, to, tr.label});
+      transition_owner->push_back(static_cast<int>(q));
+    }
+    end_states->push_back(remap[t.end_state_]);
+  }
+
+  // Rebuild the derived indexes over the merged state set.
+  out.by_type_.clear();
+  for (const TemplateState& s : out.states_) {
+    out.by_type_[s.type].push_back(s.id);
+  }
+  out.pred_states_.assign(out.states_.size(), {});
+  out.succ_states_.assign(out.states_.size(), {});
+  for (const TemplateTransition& t : out.transitions_) {
+    out.pred_states_[t.to].push_back(t.from);
+    out.succ_states_[t.from].push_back(t.to);
+  }
   return out;
 }
 

@@ -83,6 +83,11 @@ class GretaTemplate {
 
  private:
   friend class TemplateBuilder;
+  friend StatusOr<GretaTemplate> MergeSharedCoreTemplates(
+      const GretaTemplate& core,
+      const std::vector<const GretaTemplate*>& full,
+      std::vector<StateId>* end_states, std::vector<int>* state_owner,
+      std::vector<int>* transition_owner);
 
   std::vector<TemplateState> states_;
   std::vector<TemplateTransition> transitions_;
@@ -99,6 +104,28 @@ class GretaTemplate {
 /// NodeStartState/NodeEndState that reference its nodes.
 StatusOr<GretaTemplate> BuildTemplate(const Pattern& pattern,
                                       const Catalog& catalog);
+
+/// Partial sharing (src/sharing/): merges per-query templates that share an
+/// identical core prefix into ONE template. Each template in `full` must
+/// begin with the states of `core` (same ids, types, start state, and
+/// core-internal transitions — guaranteed when every query's pattern starts
+/// with the same Kleene sub-pattern, since TemplateBuilder allocates state
+/// ids left to right). Suffix states and transitions of query q are appended
+/// with fresh ids; `state_owner`/`transition_owner` record which query owns
+/// each (-1 for the shared core), and `end_states[q]` is query q's END state
+/// in the merged template. The merged start state is the shared core start.
+StatusOr<GretaTemplate> MergeSharedCoreTemplates(
+    const GretaTemplate& core, const std::vector<const GretaTemplate*>& full,
+    std::vector<StateId>* end_states, std::vector<int>* state_owner,
+    std::vector<int>* transition_owner);
+
+/// Canonical structural rendering of one template automaton:
+/// occurrence-unique states in id order (construction order is deterministic
+/// for a given pattern shape), transitions sorted, start/end marked. Two
+/// patterns with equal fingerprints build byte-identical GRETA graphs — the
+/// normalization behind both exact sharing fingerprints and partial-sharing
+/// core clustering (src/sharing/).
+std::string TemplateStructureFingerprint(const GretaTemplate& templ);
 
 }  // namespace greta
 

@@ -5,8 +5,14 @@ namespace greta::sharing {
 StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
     const Catalog* catalog, const std::vector<QuerySpec>& workload,
     const SharedEngineOptions& options) {
-  StatusOr<SharingPlan> plan =
-      PlanSharing(workload, *catalog, options.sharing);
+  // Partial sharing leans on skip-till-any-match semantics (the restricted
+  // semantics tie per-event bookkeeping to one query's structure); other
+  // semantics fall back to exact sharing + dedicated runtimes.
+  SharingOptions sharing = options.sharing;
+  if (options.engine.semantics != Semantics::kSkipTillAnyMatch) {
+    sharing.enable_partial_sharing = false;
+  }
+  StatusOr<SharingPlan> plan = PlanSharing(workload, *catalog, sharing);
   if (!plan.ok()) return plan.status();
 
   auto engine =
@@ -14,14 +20,46 @@ StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
   engine->plan_ = std::move(plan).value();
   engine->routes_.resize(workload.size());
 
-  for (const QueryCluster& cluster : engine->plan_.clusters) {
+  // Every unit runtime accounts into the workload-wide tracker so
+  // stats().peak_bytes is a true point-in-time peak.
+  EngineOptions unit_options = options.engine;
+  unit_options.memory = &engine->memory_;
+
+  auto add_dedicated = [&](size_t q) -> Status {
+    StatusOr<std::unique_ptr<GretaEngine>> unit =
+        GretaEngine::Create(catalog, workload[q], unit_options);
+    if (!unit.ok()) return unit.status();
+    engine->routes_[q] = {engine->units_.size(), 0};
+    engine->units_.push_back(std::move(unit).value());
+    return Status::Ok();
+  };
+
+  for (QueryCluster& cluster : engine->plan_.clusters) {
     if (cluster.shared) {
       std::vector<const QuerySpec*> specs;
       specs.reserve(cluster.query_ids.size());
       for (size_t q : cluster.query_ids) specs.push_back(&workload[q]);
       StatusOr<std::unique_ptr<GretaEngine>> unit =
-          GretaEngine::CreateMulti(catalog, specs, options.engine);
-      if (!unit.ok()) return unit.status();
+          cluster.partial
+              ? GretaEngine::CreatePartial(catalog, specs, unit_options)
+              : GretaEngine::CreateMulti(catalog, specs, unit_options);
+      if (!unit.ok()) {
+        if (cluster.partial &&
+            unit.status().code() == StatusCode::kUnsupported) {
+          // A partial cluster the merged planner cannot execute (e.g. the
+          // union window exceeds the per-event window limit) degrades to
+          // dedicated runtimes instead of failing the workload. Any other
+          // error means the pooling and the plan builder disagree — a bug
+          // that must surface, not be silently papered over.
+          cluster.shared = false;
+          for (size_t q : cluster.query_ids) {
+            Status s = add_dedicated(q);
+            if (!s.ok()) return s;
+          }
+          continue;
+        }
+        return unit.status();
+      }
       for (size_t slot = 0; slot < cluster.query_ids.size(); ++slot) {
         engine->routes_[cluster.query_ids[slot]] = {engine->units_.size(),
                                                     slot};
@@ -29,15 +67,24 @@ StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
       engine->units_.push_back(std::move(unit).value());
     } else {
       for (size_t q : cluster.query_ids) {
-        StatusOr<std::unique_ptr<GretaEngine>> unit =
-            GretaEngine::Create(catalog, workload[q], options.engine);
-        if (!unit.ok()) return unit.status();
-        engine->routes_[q] = {engine->units_.size(), 0};
-        engine->units_.push_back(std::move(unit).value());
+        Status s = add_dedicated(q);
+        if (!s.ok()) return s;
       }
     }
   }
   return engine;
+}
+
+void SharedWorkloadEngine::set_result_callback(
+    std::function<void(size_t query_id, const ResultRow& row)> callback) {
+  callback_ = std::move(callback);
+  for (size_t q = 0; q < routes_.size(); ++q) {
+    const Route& route = routes_[q];
+    units_[route.unit]->set_result_callback(
+        route.slot, [this, q](const ResultRow& row) {
+          if (callback_) callback_(q, row);
+        });
+  }
 }
 
 Status SharedWorkloadEngine::Process(const Event& e) {
@@ -81,15 +128,20 @@ const AggPlan& SharedWorkloadEngine::agg_plan_for(size_t query_id) const {
 }
 
 const EngineStats& SharedWorkloadEngine::stats() const {
-  stats_ = EngineStats{};
-  stats_.events_processed = events_processed_;
+  // Build the aggregate in a local and publish it in one assignment — the
+  // mutable member never holds a half-accumulated state.
+  EngineStats total;
+  total.events_processed = events_processed_;
   for (const std::unique_ptr<GretaEngine>& unit : units_) {
     const EngineStats& s = unit->stats();
-    stats_.vertices_stored += s.vertices_stored;
-    stats_.edges_traversed += s.edges_traversed;
-    stats_.work_units += s.work_units;
-    stats_.peak_bytes += s.peak_bytes;
+    total.vertices_stored += s.vertices_stored;
+    total.edges_traversed += s.edges_traversed;
+    total.work_units += s.work_units;
   }
+  // Peak memory comes from the shared tracker: summing per-unit peaks would
+  // add maxima reached at different times and overstate the workload peak.
+  total.peak_bytes = memory_.peak_bytes();
+  stats_ = total;
   return stats_;
 }
 

@@ -24,9 +24,13 @@ struct SharedEngineOptions {
 /// (sharing_planner.h), and runs each shared cluster as ONE multi-query
 /// GRETA runtime whose graph vertices carry query-indexed aggregate cells —
 /// the stream is filtered, partitioned and connected once per cluster
-/// instead of once per query. Clusters the cost model rejects run as
-/// dedicated per-query engines, so the runtime never loses to independent
-/// execution by construction.
+/// instead of once per query. Queries that differ in pattern suffix or
+/// window length but agree on a Kleene sub-pattern prefix run as one
+/// *partially shared* runtime (GretaEngine::CreatePartial): the common core
+/// propagates a structural snapshot per (vertex, window) and each query
+/// folds it through its own continuation states. Clusters the cost model
+/// rejects run as dedicated per-query engines, so the runtime never loses
+/// to independent execution by construction.
 ///
 /// EngineInterface contract: Process/Flush as usual; TakeResults() drains
 /// every query's rows concatenated in query order (each query's rows keep
@@ -46,15 +50,30 @@ class SharedWorkloadEngine : public EngineInterface {
   /// Pending rows of one query of the workload.
   std::vector<ResultRow> TakeResults(size_t query_id);
 
+  /// Push-style delivery for EVERY query of the workload: `callback` fires
+  /// with the workload query index for each result row the moment its
+  /// window closes, whatever unit runtime (shared, partial or dedicated)
+  /// computed it. Queries of a PARTIAL cluster close on the cluster's
+  /// union window, so a shorter-WITHIN member's rows fire up to
+  /// `max_within - within` ticks later than a dedicated engine would push
+  /// them (see GretaEngine::CreatePartial).
+  void set_result_callback(
+      std::function<void(size_t query_id, const ResultRow& row)> callback);
+
   size_t num_queries() const { return routes_.size(); }
   const SharingPlan& sharing_plan() const { return plan_; }
   const AggPlan& agg_plan_for(size_t query_id) const;
 
-  /// Aggregated stats: events counted once, vertices/edges/memory summed
-  /// over unit runtimes (so sharing wins show up as fewer stored vertices).
+  /// Aggregated stats: events counted once; vertices/edges/work summed over
+  /// unit runtimes (so sharing wins show up as fewer stored vertices);
+  /// peak_bytes is the true point-in-time workload peak from the shared
+  /// MemoryTracker, NOT a sum of per-unit peaks reached at different times.
   const EngineStats& stats() const override;
   const AggPlan& agg_plan() const override { return agg_plan_for(0); }
   std::string name() const override { return "SHARED"; }
+
+  /// The workload-wide memory tracker every unit runtime accounts into.
+  const MemoryTracker& memory() const { return memory_; }
 
  private:
   // Query -> (unit runtime, query slot within that runtime).
@@ -66,8 +85,13 @@ class SharedWorkloadEngine : public EngineInterface {
   SharedWorkloadEngine() = default;
 
   SharingPlan plan_;
+  // Declared before units_: the unit engines hold pointers into the
+  // tracker (EngineOptions::memory, "must outlive the engine"), so it must
+  // be destroyed after them.
+  MemoryTracker memory_;
   std::vector<std::unique_ptr<GretaEngine>> units_;
   std::vector<Route> routes_;
+  std::function<void(size_t, const ResultRow&)> callback_;
   size_t events_processed_ = 0;
   mutable EngineStats stats_;
 };

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
+#include "core/plan.h"
+#include "predicate/classify.h"
 #include "query/pattern.h"
 #include "query/template.h"
+#include "storage/window.h"
 
 namespace greta::sharing {
 
@@ -19,32 +23,9 @@ bool HasConjunction(const Pattern& p) {
   return false;
 }
 
-// Canonical rendering of one template automaton: occurrence-unique states in
-// id order (construction order is deterministic for a given pattern shape),
-// transitions sorted, start/end marked. Two patterns with equal automata
-// build byte-identical GRETA graphs.
-std::string TemplateFingerprint(const GretaTemplate& templ) {
-  std::ostringstream out;
-  out << "S[";
-  for (const TemplateState& s : templ.states()) {
-    out << s.type << (templ.IsStart(s.id) ? "^" : "")
-        << (templ.IsEnd(s.id) ? "$" : "") << ",";
-  }
-  out << "]T[";
-  std::vector<std::string> edges;
-  for (const TemplateTransition& t : templ.transitions()) {
-    std::ostringstream e;
-    e << t.from << ">" << t.to
-      << (t.label == TransitionLabel::kPlus ? "+" : "");
-    edges.push_back(e.str());
-  }
-  std::sort(edges.begin(), edges.end());
-  for (const std::string& e : edges) out << e << ",";
-  out << "]";
-  return out.str();
-}
-
-// Pattern part of the fingerprint: template-normalized when possible.
+// Pattern part of the fingerprint: template-normalized when possible
+// (TemplateStructureFingerprint: two patterns with equal automata build
+// byte-identical GRETA graphs).
 StatusOr<std::string> PatternFingerprint(const Pattern& pattern,
                                          const Catalog& catalog) {
   if (pattern.IsPositive() && !HasConjunction(pattern)) {
@@ -54,7 +35,7 @@ StatusOr<std::string> PatternFingerprint(const Pattern& pattern,
       for (const PatternPtr& alt : alts.value()) {
         StatusOr<GretaTemplate> templ = BuildTemplate(*alt, catalog);
         if (!templ.ok()) return templ.status();
-        fps.push_back(TemplateFingerprint(templ.value()));
+        fps.push_back(TemplateStructureFingerprint(templ.value()));
       }
       std::sort(fps.begin(), fps.end());  // Alternatives are summed.
       std::string joined = "tpl:";
@@ -73,16 +54,142 @@ std::string WindowFingerprint(const WindowSpec& w) {
   return "w:" + std::to_string(w.within) + "/" + std::to_string(w.slide);
 }
 
-// Per-event work estimate of one runtime for a cluster of `n` queries.
-// `size` is the pattern size (states + operators), a proxy for the number of
-// template transitions whose predecessor lookups, predicate evaluations and
-// vertex insertions dominate graph construction.
-void EstimateCosts(int size, size_t n, const SharingOptions& options,
-                   double* shared, double* independent) {
-  double structural = options.structural_weight * size;
-  double aggregate = options.aggregate_weight * size;
-  *shared = structural + static_cast<double>(n) * aggregate;
-  *independent = static_cast<double>(n) * (structural + aggregate);
+// ------------------------------------------------------------- cost model
+
+// Multiplier for per-window aggregate cell maintenance: an event of a
+// sliding window with overlap k touches k cells per vertex.
+double OverlapFactor(const WindowSpec& w, const SharingOptions& options) {
+  int k = w.unbounded() ? 1 : MaxWindowsPerEvent(w);
+  return 1.0 + options.window_overlap_weight * (k - 1);
+}
+
+// Structural per-event work of building one graph of pattern size `size`
+// under `preds` WHERE conjuncts: predecessor range queries, predicate
+// evaluation, vertex storage.
+double StructuralCost(int size, size_t preds, const WindowSpec& w,
+                      const SharingOptions& options) {
+  return (options.structural_weight * size +
+          options.predicate_weight * static_cast<double>(preds)) *
+         OverlapFactor(w, options);
+}
+
+// Aggregate propagation per query per event.
+double AggregateCost(int size, const WindowSpec& w,
+                     const SharingOptions& options) {
+  return options.aggregate_weight * size * OverlapFactor(w, options);
+}
+
+double IndependentCost(const QuerySpec& spec, const SharingOptions& options) {
+  int size = spec.pattern->Size();
+  return StructuralCost(size, spec.where.size(), spec.window, options) +
+         AggregateCost(size, spec.window, options);
+}
+
+// Exact cluster of `n` fingerprint-identical queries: structural work once,
+// aggregate propagation per query.
+void EstimateExactCosts(const QuerySpec& representative, size_t n,
+                        const SharingOptions& options, double* shared,
+                        double* independent) {
+  int size = representative.pattern->Size();
+  *shared = StructuralCost(size, representative.where.size(),
+                           representative.window, options) +
+            static_cast<double>(n) *
+                AggregateCost(size, representative.window, options);
+  *independent = static_cast<double>(n) * IndependentCost(representative,
+                                                          options);
+}
+
+// ---------------------------------------------------- partial eligibility
+
+// Decomposition of one query for partial-sharing pooling: queries pool when
+// they agree on the Kleene core automaton, the WHERE conjuncts over core
+// types, the partition keys, and the window slide — the cluster-agreement
+// surface that BuildPartialSharedPlan re-validates.
+struct PartialProfile {
+  std::string key;
+  int core_size = 0;        // Pattern::Size of the shared Kleene core
+  size_t core_preds = 0;    // conjuncts shaping the shared snapshot
+};
+
+std::optional<PartialProfile> MakePartialProfile(const QuerySpec& spec,
+                                                 const Catalog& catalog) {
+  if (spec.pattern == nullptr || !spec.pattern->IsPositive() ||
+      HasConjunction(*spec.pattern)) {
+    return std::nullopt;
+  }
+  StatusOr<std::vector<PatternPtr>> alts = ExpandSugar(*spec.pattern);
+  if (!alts.ok() || alts.value().size() != 1) return std::nullopt;
+  const Pattern* core = KleenePrefixCore(*alts.value()[0]);
+  if (core == nullptr) return std::nullopt;
+  StatusOr<GretaTemplate> core_templ = BuildTemplate(*core, catalog);
+  if (!core_templ.ok()) return std::nullopt;
+
+  // WHERE conjuncts over core types shape the shared snapshot and must
+  // agree; suffix conjuncts stay per query. The same
+  // IsCoreSnapshotPredicate test drives BuildPartialSharedPlan's
+  // re-validation, so pooling and planning cannot drift apart.
+  std::vector<TypeId> core_types = core->CollectTypes();
+  std::vector<std::string> core_pred_texts;
+  for (const ExprPtr& conjunct : spec.where) {
+    StatusOr<ClassifiedPredicate> cp = ClassifyPredicate(*conjunct);
+    if (!cp.ok()) return std::nullopt;
+    if (cp.value().cls == PredicateClass::kConstant) return std::nullopt;
+    if (IsCoreSnapshotPredicate(cp.value(), core_types)) {
+      core_pred_texts.push_back(conjunct->ToString(catalog));
+    }
+  }
+  std::sort(core_pred_texts.begin(), core_pred_texts.end());
+
+  std::vector<std::string> equiv = spec.equivalence;
+  std::sort(equiv.begin(), equiv.end());
+
+  std::ostringstream key;
+  key << "pcore:" << TemplateStructureFingerprint(core_templ.value())
+      << ";preds:";
+  for (const std::string& p : core_pred_texts) key << p << "&";
+  key << ";equiv:";
+  for (const std::string& a : equiv) key << a << ",";
+  key << ";group:";
+  for (const std::string& a : spec.group_by) key << a << ",";
+  key << ";slide:"
+      << (spec.window.unbounded() ? std::string("u")
+                                  : std::to_string(spec.window.slide));
+
+  PartialProfile profile;
+  profile.key = key.str();
+  profile.core_size = core->Size();
+  profile.core_preds = core_pred_texts.size();
+  return profile;
+}
+
+// Partial cluster: the shared Kleene core's structural work once (over the
+// union window), each query's continuation structure and aggregate work
+// separately.
+void EstimatePartialCosts(const std::vector<QuerySpec>& workload,
+                          const std::vector<size_t>& query_ids,
+                          const PartialProfile& profile,
+                          const SharingOptions& options, double* shared,
+                          double* independent) {
+  WindowSpec union_window = workload[query_ids[0]].window;
+  for (size_t q : query_ids) {
+    const WindowSpec& w = workload[q].window;
+    if (!w.unbounded() && (union_window.unbounded() ||
+                           w.within > union_window.within)) {
+      union_window = w;
+    }
+  }
+  *shared = StructuralCost(profile.core_size, profile.core_preds,
+                           union_window, options);
+  *independent = 0.0;
+  for (size_t q : query_ids) {
+    const QuerySpec& spec = workload[q];
+    int size = spec.pattern->Size();
+    *shared += StructuralCost(size - profile.core_size,
+                              spec.where.size() - profile.core_preds,
+                              spec.window, options) +
+               AggregateCost(size, spec.window, options);
+    *independent += IndependentCost(spec, options);
+  }
 }
 
 }  // namespace
@@ -125,7 +232,9 @@ std::string SharingPlan::ToString() const {
     for (size_t j = 0; j < c.query_ids.size(); ++j) {
       out << (j ? "," : "") << c.query_ids[j];
     }
-    out << "} " << (c.shared ? "SHARED" : "DEDICATED")
+    out << "} "
+        << (c.shared ? (c.partial ? "SHARED-PARTIAL" : "SHARED")
+                     : "DEDICATED")
         << " (cost/event shared=" << c.shared_cost
         << " independent=" << c.independent_cost << ")\n";
   }
@@ -164,15 +273,71 @@ StatusOr<SharingPlan> PlanSharing(const std::vector<QuerySpec>& workload,
     }
   }
 
-  // Share/no-share per cluster.
+  // Share/no-share per exact cluster.
   for (QueryCluster& cluster : plan.clusters) {
     size_t n = cluster.query_ids.size();
-    int size = workload[cluster.query_ids[0]].pattern->Size();
-    EstimateCosts(size, n, options, &cluster.shared_cost,
-                  &cluster.independent_cost);
+    EstimateExactCosts(workload[cluster.query_ids[0]], n, options,
+                       &cluster.shared_cost, &cluster.independent_cost);
     cluster.shared = options.enable_sharing &&
                      n >= options.min_cluster_size &&
                      cluster.shared_cost < cluster.independent_cost;
+  }
+
+  // Partial sharing (Hamlet): pool the queries exact clustering left
+  // unshared by common Kleene sub-pattern prefix. A pool that reaches the
+  // cluster-size threshold and wins on cost becomes one snapshot-propagating
+  // runtime; its members leave their dedicated clusters.
+  if (options.enable_sharing && options.enable_partial_sharing) {
+    std::map<std::string, size_t> by_key;     // key -> pool index
+    std::vector<std::vector<size_t>> pools;   // first-seen order
+    std::vector<PartialProfile> profiles;
+    for (const QueryCluster& cluster : plan.clusters) {
+      if (cluster.shared) continue;
+      for (size_t q : cluster.query_ids) {
+        std::optional<PartialProfile> profile =
+            MakePartialProfile(workload[q], catalog);
+        if (!profile.has_value()) continue;
+        auto [it, inserted] = by_key.emplace(profile->key, pools.size());
+        if (inserted) {
+          pools.emplace_back();
+          profiles.push_back(std::move(profile).value());
+        }
+        pools[it->second].push_back(q);
+      }
+    }
+
+    std::vector<bool> pooled(workload.size(), false);
+    std::vector<QueryCluster> partial_clusters;
+    for (size_t i = 0; i < pools.size(); ++i) {
+      if (pools[i].size() < options.min_cluster_size) continue;
+      QueryCluster cluster;
+      cluster.query_ids = pools[i];
+      std::sort(cluster.query_ids.begin(), cluster.query_ids.end());
+      cluster.fingerprint = profiles[i].key;
+      cluster.partial = true;
+      EstimatePartialCosts(workload, cluster.query_ids, profiles[i], options,
+                           &cluster.shared_cost, &cluster.independent_cost);
+      cluster.shared = cluster.shared_cost < cluster.independent_cost;
+      if (!cluster.shared) continue;
+      for (size_t q : cluster.query_ids) pooled[q] = true;
+      partial_clusters.push_back(std::move(cluster));
+    }
+    if (!partial_clusters.empty()) {
+      std::vector<QueryCluster> remaining;
+      for (QueryCluster& cluster : plan.clusters) {
+        std::vector<size_t> keep;
+        for (size_t q : cluster.query_ids) {
+          if (!pooled[q]) keep.push_back(q);
+        }
+        if (keep.empty()) continue;
+        cluster.query_ids = std::move(keep);
+        remaining.push_back(std::move(cluster));
+      }
+      plan.clusters = std::move(remaining);
+      for (QueryCluster& cluster : partial_clusters) {
+        plan.clusters.push_back(std::move(cluster));
+      }
+    }
   }
   return plan;
 }

@@ -46,20 +46,40 @@ class TemplateMerger {
 struct SharingOptions {
   /// Master switch: false plans every query as its own dedicated runtime.
   bool enable_sharing = true;
+  /// Partial sharing of common Kleene sub-pattern prefixes (Hamlet): pools
+  /// queries whose exact-fingerprint clusters stay unshared into merged
+  /// snapshot-propagating runtimes. Requires skip-till-any-match semantics;
+  /// SharedWorkloadEngine::Create clears the flag for other semantics.
+  bool enable_partial_sharing = true;
   /// Smallest cluster worth merging. 1 clusters trivially (each shared
   /// "cluster" of one query is just a dedicated runtime).
   size_t min_cluster_size = 2;
-  /// Cost model weights: structural work per template transition per event,
-  /// vs. aggregate propagation work per query per event.
+  /// Cost model weights of the per-event work estimate:
+  ///   unit(q) = (structural_weight * size + predicate_weight * preds
+  ///              + aggregate_weight * size) * overlap(q)
+  ///   overlap(q) = 1 + window_overlap_weight * (MaxWindowsPerEvent - 1)
+  /// A shared runtime pays the structural + predicate terms once per
+  /// cluster (exact sharing) or once for the common Kleene core plus per
+  /// query for its continuation (partial sharing), and the aggregate term
+  /// per query; dedicated runtimes pay everything per query.
   double structural_weight = 4.0;
   double aggregate_weight = 1.0;
+  /// Work per WHERE conjunct evaluated per candidate vertex/edge.
+  double predicate_weight = 1.0;
+  /// Marginal work per extra overlapping window (per-window aggregate cells
+  /// touched per vertex, Section 6's shared sliding windows keep this well
+  /// under 1 per window).
+  double window_overlap_weight = 0.25;
 };
 
-/// One cluster of fingerprint-identical queries plus the planner's decision.
+/// One cluster of queries plus the planner's decision: either
+/// fingerprint-identical (exact sharing) or agreeing on a common Kleene
+/// sub-pattern prefix, predicates over it, keys and slide (partial sharing).
 struct QueryCluster {
   std::vector<size_t> query_ids;  // indices into the workload, ascending
-  std::string fingerprint;
+  std::string fingerprint;        // exact fingerprint, or partial pool key
   bool shared = false;            // merge into one multi-query runtime?
+  bool partial = false;           // merged via snapshot-propagating core?
   double shared_cost = 0.0;       // estimated work units per event
   double independent_cost = 0.0;
 };
@@ -83,7 +103,12 @@ struct SharingPlan {
 /// cluster with a simple cost model: a merged runtime pays the structural
 /// graph work (predicate evaluation, predecessor range queries, vertex
 /// storage) once per event plus aggregate propagation per query, while
-/// dedicated runtimes pay both per query.
+/// dedicated runtimes pay both per query. Queries left unshared by exact
+/// clustering are then pooled by common Kleene sub-pattern prefix (same
+/// core template, core predicates, keys, and window slide) into *partial*
+/// clusters executed via snapshot propagation (BuildPartialSharedPlan); the
+/// cost model charges the shared core once and each query's continuation
+/// and aggregate work separately.
 StatusOr<SharingPlan> PlanSharing(const std::vector<QuerySpec>& workload,
                                   const Catalog& catalog,
                                   const SharingOptions& options = {});

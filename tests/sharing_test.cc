@@ -291,5 +291,209 @@ TEST(SharedWorkloadEngineTest, TakeResultsConcatenatesAllQueries) {
   EXPECT_EQ(all[0].aggs.count.ToDecimal(), "1");
 }
 
+TEST(SharedWorkloadEngineTest, CallbacksDeliverEveryQuerySlot) {
+  // Regression: EmitWindow used to fire the push callback for query slot 0
+  // only, so streaming consumers of queries 1..n-1 silently got nothing.
+  auto catalog = StockCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN Stock S+",
+                           catalog.get()));
+  workload.push_back(Parse("RETURN SUM(S.price) PATTERN Stock S+",
+                           catalog.get()));
+  workload.push_back(Parse(
+      "RETURN COUNT(*) PATTERN SEQ(Stock S, Halt H) WITHIN 10 seconds",
+      catalog.get()));
+
+  auto engine = SharedWorkloadEngine::Create(catalog.get(), workload);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<std::vector<ResultRow>> pushed(workload.size());
+  engine.value()->set_result_callback(
+      [&](size_t query_id, const ResultRow& row) {
+        ASSERT_LT(query_id, pushed.size());
+        pushed[query_id].push_back(row);
+      });
+
+  Stream stream;
+  for (Ts t = 1; t <= 3; ++t) {
+    stream.Append(EventBuilder(catalog.get(), "Stock", t)
+                      .Set("company", int64_t{1})
+                      .Set("sector", int64_t{1})
+                      .Set("price", static_cast<double>(t))
+                      .Set("volume", int64_t{10})
+                      .Set("kind", int64_t{0})
+                      .Set("tx", int64_t{0})
+                      .Build());
+  }
+  stream.Append(EventBuilder(catalog.get(), "Halt", 4)
+                    .Set("company", int64_t{1})
+                    .Set("sector", int64_t{1})
+                    .Build());
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(engine.value()->Process(e).ok());
+  }
+  ASSERT_TRUE(engine.value()->Flush().ok());
+
+  // Pushed rows match the polled rows of EVERY query, including slot 1 of
+  // the shared runtime and the dedicated unit.
+  for (size_t q = 0; q < workload.size(); ++q) {
+    std::vector<ResultRow> polled = engine.value()->TakeResults(q);
+    ASSERT_EQ(pushed[q].size(), polled.size()) << "query " << q;
+  }
+  ASSERT_EQ(pushed[0].size(), 1u);
+  EXPECT_EQ(pushed[0][0].aggs.count.ToDecimal(), "7");
+  ASSERT_EQ(pushed[1].size(), 1u);
+  EXPECT_EQ(pushed[1][0].aggs.sum, 24.0);
+  ASSERT_EQ(pushed[2].size(), 1u);
+  EXPECT_EQ(pushed[2][0].aggs.count.ToDecimal(), "3");
+}
+
+TEST(SharedWorkloadEngineTest, PerSlotCallbacksOnMultiQueryEngine) {
+  auto catalog = StockCatalog();
+  QuerySpec q0 = Parse("RETURN COUNT(*) PATTERN Stock S+", catalog.get());
+  QuerySpec q1 = Parse("RETURN SUM(S.price) PATTERN Stock S+",
+                       catalog.get());
+  auto engine = GretaEngine::CreateMulti(catalog.get(), {&q0, &q1});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  int slot0 = 0;
+  int slot1 = 0;
+  engine.value()->set_result_callback([&](const ResultRow&) { ++slot0; });
+  engine.value()->set_result_callback(1,
+                                      [&](const ResultRow&) { ++slot1; });
+  Event e = EventBuilder(catalog.get(), "Stock", 1)
+                .Set("company", int64_t{1})
+                .Set("sector", int64_t{1})
+                .Set("price", 5.0)
+                .Set("volume", int64_t{1})
+                .Set("kind", int64_t{0})
+                .Set("tx", int64_t{0})
+                .Build();
+  ASSERT_TRUE(engine.value()->Process(e).ok());
+  ASSERT_TRUE(engine.value()->Flush().ok());
+  EXPECT_EQ(slot0, 1);
+  EXPECT_EQ(slot1, 1);
+}
+
+TEST(SharedWorkloadEngineTest, PeakMemoryIsPointInTimeNotSumOfPeaks) {
+  // Regression: stats() used to sum per-unit peak_bytes, adding maxima
+  // reached at different times. Build a workload whose units peak apart:
+  // query 0's small-window graph fills up early and is purged; query 1's
+  // unbounded graph grows late.
+  auto catalog = testing::PaperCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN A+ WITHIN 2 seconds",
+                           catalog.get()));
+  workload.push_back(Parse("RETURN COUNT(*) PATTERN B+", catalog.get()));
+
+  Stream stream;
+  auto add = [&](const char* type, Ts time) {
+    stream.Append(EventBuilder(catalog.get(), type, time)
+                      .Set("attr", static_cast<double>(time))
+                      .Build());
+  };
+  for (int i = 0; i < 60; ++i) add("A", 1);   // early burst, expires fast
+  for (Ts t = 10; t < 40; ++t) add("B", t);   // late steady growth
+
+  auto shared = SharedWorkloadEngine::Create(catalog.get(), workload);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  // Track per-unit peaks by also running each query alone.
+  size_t independent_peak_sum = 0;
+  for (const QuerySpec& spec : workload) {
+    auto engine = GretaEngine::Create(catalog.get(), spec.Clone());
+    ASSERT_TRUE(engine.ok());
+    testing::RunEngine(engine.value().get(), stream);
+    independent_peak_sum += engine.value()->stats().peak_bytes;
+  }
+  testing::RunEngine(shared.value().get(), stream);
+
+  size_t workload_peak = shared.value()->stats().peak_bytes;
+  EXPECT_GT(workload_peak, 0u);
+  // The true point-in-time peak is strictly below the sum of unit peaks
+  // (query 0's burst is long gone when query 1 peaks) and matches the
+  // shared tracker.
+  EXPECT_LT(workload_peak, independent_peak_sum);
+  EXPECT_EQ(workload_peak, shared.value()->memory().peak_bytes());
+  // stats() is repeatable (no reset-then-accumulate visible state).
+  EXPECT_EQ(shared.value()->stats().peak_bytes, workload_peak);
+}
+
+TEST(SharingPlannerTest, CostModelCountsPredicates) {
+  // Regression: EstimateCosts ignored WHERE predicates; clusters with more
+  // predicates must now estimate strictly more work on both sides.
+  auto catalog = StockCatalog();
+  auto cost_of = [&](const std::string& where) {
+    std::vector<QuerySpec> workload;
+    workload.push_back(Parse(
+        "RETURN COUNT(*) PATTERN Stock S+" + where + " WITHIN 10 seconds",
+        catalog.get()));
+    workload.push_back(Parse(
+        "RETURN SUM(S.price) PATTERN Stock S+" + where +
+            " WITHIN 10 seconds",
+        catalog.get()));
+    auto plan = PlanSharing(workload, *catalog.get());
+    EXPECT_TRUE(plan.ok());
+    return plan.value().clusters[0];
+  };
+  sharing::QueryCluster bare = cost_of("");
+  sharing::QueryCluster one = cost_of(" WHERE S.price > 10");
+  sharing::QueryCluster two = cost_of(" WHERE S.price > 10 AND S.volume > 5");
+  EXPECT_LT(bare.shared_cost, one.shared_cost);
+  EXPECT_LT(one.shared_cost, two.shared_cost);
+  EXPECT_LT(bare.independent_cost, one.independent_cost);
+  EXPECT_LT(one.independent_cost, two.independent_cost);
+  EXPECT_LT(two.shared_cost, two.independent_cost);
+}
+
+TEST(SharingPlannerTest, CostModelCountsWindowOverlap) {
+  // Regression: EstimateCosts ignored MaxWindowsPerEvent; high-overlap
+  // windows (small slide) touch more per-window cells per event and must
+  // estimate strictly more work.
+  auto catalog = StockCatalog();
+  auto cost_of = [&](const std::string& window) {
+    std::vector<QuerySpec> workload;
+    workload.push_back(Parse(
+        "RETURN COUNT(*) PATTERN Stock S+ WITHIN 10 seconds SLIDE " + window,
+        catalog.get()));
+    workload.push_back(Parse(
+        "RETURN SUM(S.price) PATTERN Stock S+ WITHIN 10 seconds SLIDE " +
+            window,
+        catalog.get()));
+    auto plan = PlanSharing(workload, *catalog.get());
+    EXPECT_TRUE(plan.ok());
+    return plan.value().clusters[0];
+  };
+  sharing::QueryCluster tumbling = cost_of("10 seconds");
+  sharing::QueryCluster overlap2 = cost_of("5 seconds");
+  sharing::QueryCluster overlap10 = cost_of("1 seconds");
+  EXPECT_LT(tumbling.shared_cost, overlap2.shared_cost);
+  EXPECT_LT(overlap2.shared_cost, overlap10.shared_cost);
+  EXPECT_LT(tumbling.independent_cost, overlap2.independent_cost);
+  EXPECT_LT(overlap2.independent_cost, overlap10.independent_cost);
+  EXPECT_LT(overlap10.shared_cost, overlap10.independent_cost);
+}
+
+TEST(SharingPlannerTest, WeightsAreExposedInOptions) {
+  auto catalog = StockCatalog();
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE S.price > 10 "
+      "WITHIN 10 seconds SLIDE 2 seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN SUM(S.price) PATTERN Stock S+ WHERE S.price > 10 "
+      "WITHIN 10 seconds SLIDE 2 seconds",
+      catalog.get()));
+  SharingOptions cheap;
+  cheap.predicate_weight = 0.0;
+  cheap.window_overlap_weight = 0.0;
+  SharingOptions costly;
+  costly.predicate_weight = 10.0;
+  costly.window_overlap_weight = 2.0;
+  auto a = PlanSharing(workload, *catalog.get(), cheap);
+  auto b = PlanSharing(workload, *catalog.get(), costly);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a.value().clusters[0].independent_cost,
+            b.value().clusters[0].independent_cost);
+}
+
 }  // namespace
 }  // namespace greta
