@@ -1,0 +1,140 @@
+// Hot-path benchmark: per-event insert cost of the GRETA engine across the
+// propagation-kernel grid (COUNT(*)-modular fast kernel, COUNT(*)-exact,
+// generic attribute aggregates, multi-query shared cells) on the stock
+// stream. Reports events/sec and peak tracked bytes per configuration, and
+// emits one JSON row per configuration for the BENCH_core.json trajectory
+// artifact (CI uploads it next to BENCH_sharing.json; the perf-smoke step
+// diffs it against bench/baselines/BENCH_core_baseline.json).
+//
+// Flags: --rate/--duration size the stream, --within/--slide the window,
+// --factor the Q1 predicate selectivity, --reps best-of repetitions.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "bench_util/metrics.h"
+#include "query/parser.h"
+#include "workload/stock.h"
+
+namespace greta::bench {
+namespace {
+
+struct Config {
+  const char* name;       // JSON config id
+  const char* aggs;       // RETURN list
+  CounterMode mode = CounterMode::kModular;
+  int num_queries = 1;    // >1: CreateMulti with this many query slots
+  bool specialized = true;
+};
+
+QuerySpec MakeQuery(Catalog* catalog, const Config& config, Ts within,
+                    Ts slide, double factor, int variant) {
+  const char* agg_variants[] = {"COUNT(*)", "SUM(S.price)",
+                                "MIN(S.price), MAX(S.price)",
+                                "AVG(S.volume)"};
+  std::string text = "RETURN sector, " +
+                     std::string(config.num_queries > 1
+                                     ? agg_variants[variant % 4]
+                                     : config.aggs) +
+                     " PATTERN Stock S+ WHERE [company, sector] AND "
+                     "S.price * " +
+                     std::to_string(factor) +
+                     " > NEXT(S).price GROUP-BY sector WITHIN " +
+                     std::to_string(within) + " seconds SLIDE " +
+                     std::to_string(slide) + " seconds";
+  auto spec = ParseQuery(text, catalog);
+  GRETA_CHECK(spec.ok());
+  return std::move(spec).value();
+}
+
+int Run(const Flags& flags) {
+  int64_t rate = flags.GetInt("rate", 800);
+  Ts duration = flags.GetInt("duration", 60);
+  Ts within = flags.GetInt("within", 10);
+  Ts slide = flags.GetInt("slide", 10);
+  double factor = flags.GetDouble("factor", 1.0);
+  int64_t reps = flags.GetInt("reps", 3);
+
+  PrintHeader(
+      "Hot path: per-event insert cost across propagation kernels",
+      "Q1-shaped Kleene queries on the stock stream; one row per kernel "
+      "configuration (see src/core/README.md for the dispatch table).",
+      "count_modular (the specialized fast kernel) leads; count_generic "
+      "(same query, kernels disabled) trails it; attribute aggregates pay "
+      "for their extra cell state; multi4 amortizes one graph pass over "
+      "four query slots.");
+
+  Catalog catalog;
+  StockConfig stock;
+  stock.rate = static_cast<int>(rate);
+  stock.duration = duration;
+  Stream stream = GenerateStockStream(&catalog, stock);
+
+  const Config configs[] = {
+      {"count_modular", "COUNT(*)", CounterMode::kModular, 1, true},
+      {"count_exact", "COUNT(*)", CounterMode::kExact, 1, true},
+      {"count_generic", "COUNT(*)", CounterMode::kModular, 1, false},
+      {"sum", "SUM(S.price)", CounterMode::kModular, 1, true},
+      {"minmax", "MIN(S.price), MAX(S.price)", CounterMode::kModular, 1,
+       true},
+      {"avg", "AVG(S.price)", CounterMode::kModular, 1, true},
+      {"multi4", "COUNT(*)", CounterMode::kModular, 4, true},
+  };
+
+  Table table({"config", "events/s", "peak memory", "vertices", "edges"});
+  for (const Config& config : configs) {
+    EngineOptions options;
+    options.counter_mode = config.mode;
+    options.enable_specialized_kernels = config.specialized;
+
+    RunResult best;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      std::unique_ptr<GretaEngine> engine;
+      if (config.num_queries > 1) {
+        std::vector<QuerySpec> specs;
+        std::vector<const QuerySpec*> spec_ptrs;
+        for (int q = 0; q < config.num_queries; ++q) {
+          specs.push_back(MakeQuery(&catalog, config, within, slide, factor,
+                                    q));
+        }
+        for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+        auto built = GretaEngine::CreateMulti(&catalog, spec_ptrs, options);
+        GRETA_CHECK(built.ok());
+        engine = std::move(built).value();
+      } else {
+        QuerySpec spec =
+            MakeQuery(&catalog, config, within, slide, factor, 0);
+        auto built = GretaEngine::Create(&catalog, spec, options);
+        GRETA_CHECK(built.ok());
+        engine = std::move(built).value();
+      }
+      RunResult r = RunStream(engine.get(), stream);
+      if (rep == 0 || r.throughput_eps > best.throughput_eps) best = r;
+    }
+
+    table.AddRow({config.name, best.ThroughputCell(), best.MemoryCell(),
+                  FormatCount(static_cast<double>(best.stats.vertices_stored)),
+                  FormatCount(
+                      static_cast<double>(best.stats.edges_traversed))});
+    std::printf(
+        "{\"bench\":\"hotpath\",\"config\":\"%s\",\"events\":%zu,"
+        "\"events_per_sec\":%.1f,\"peak_bytes\":%zu,\"vertices\":%zu,"
+        "\"edges\":%zu,\"rows\":%zu}\n",
+        config.name, stream.size(), best.throughput_eps,
+        best.peak_memory_bytes, best.stats.vertices_stored,
+        best.stats.edges_traversed, best.rows_emitted);
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace greta::bench
+
+int main(int argc, char** argv) {
+  return greta::bench::Run(greta::bench::Flags(argc, argv));
+}

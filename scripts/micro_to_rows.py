@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Folds google-benchmark JSON output into the repo's one-object-per-line
+bench row shape (items_per_second -> events_per_sec) so perf_smoke.py can
+diff micro-benchmarks and the hot-path grid uniformly."""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: micro_to_rows.py <benchmark.json>", file=sys.stderr)
+        return 1
+    try:
+        with open(sys.argv[1]) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("::warning::perf-smoke: no micro results (%s)" % e,
+              file=sys.stderr)
+        return 0
+    for bench in data.get("benchmarks", []):
+        ips = bench.get("items_per_second")
+        if ips:
+            print(json.dumps({"bench": "micro", "config": bench["name"],
+                              "events_per_sec": ips}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

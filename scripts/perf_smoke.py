@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Report-only perf-smoke comparison for CI.
+
+Compares the current run's benchmark JSON lines against a committed
+baseline and prints a GitHub-Actions warning for every configuration whose
+throughput dropped more than the threshold. Never fails the build: CI
+runners are noisy and the baseline was recorded on different hardware, so
+this is a trend signal, not a gate.
+
+Inputs are files of JSON objects, one per line:
+  {"bench": "hotpath", "config": "count_modular", "events_per_sec": ...}
+  {"bench": "micro", "config": "BM_GretaProcessEvent", "events_per_sec": ...}
+
+Usage:
+  perf_smoke.py --baseline bench/baselines/BENCH_core_baseline.json \
+                --current BENCH_core.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = "%s/%s" % (obj.get("bench", "?"), obj.get("config", "?"))
+                eps = obj.get("events_per_sec")
+                if eps:
+                    rows[key] = float(eps)
+    except OSError as e:
+        print("::warning::perf-smoke: cannot read %s: %s" % (path, e))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.30)
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    if not baseline or not current:
+        print("perf-smoke: missing data (baseline=%d rows, current=%d rows);"
+              " skipping" % (len(baseline), len(current)))
+        return 0
+
+    regressions = 0
+    for key, base_eps in sorted(baseline.items()):
+        cur_eps = current.get(key)
+        if cur_eps is None:
+            print("::warning::perf-smoke: %s missing from current run" % key)
+            continue
+        ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
+        line = "perf-smoke: %-28s baseline %12.0f ev/s, current %12.0f ev/s" \
+               " (%.2fx)" % (key, base_eps, cur_eps, ratio)
+        if ratio < 1.0 - args.threshold:
+            regressions += 1
+            print("::warning::%s -- regression beyond %.0f%%"
+                  % (line, args.threshold * 100))
+        else:
+            print(line)
+
+    for key in sorted(set(current) - set(baseline)):
+        print("perf-smoke: %s is new (no baseline); %.0f ev/s"
+              % (key, current[key]))
+
+    print("perf-smoke: %d regression(s) beyond threshold (report-only)"
+          % regressions)
+    return 0  # report-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,26 @@ struct Event {
   std::string ToString(const Catalog& catalog) const;
 };
 
+/// A borrowed, 16-byte view of an event's attribute values, the currency of
+/// predicate evaluation. Graph vertices store their event payload as a bare
+/// arena-backed `Value` span (only the attributes the plan reads) instead of
+/// a full `Event` copy; both `Event` and such spans convert to this view.
+/// The view does not own the values and must not outlive them.
+struct EventView {
+  const Value* attrs = nullptr;
+  size_t num_attrs = 0;
+
+  EventView() = default;
+  EventView(const Event& e)  // NOLINT: implicit by design
+      : attrs(e.attrs.data()), num_attrs(e.attrs.size()) {}
+  EventView(const Value* values, size_t n) : attrs(values), num_attrs(n) {}
+
+  const Value& attr(AttrId id) const {
+    GRETA_DCHECK(id >= 0 && static_cast<size_t>(id) < num_attrs);
+    return attrs[id];
+  }
+};
+
 /// Convenience builder for events used in tests and examples:
 ///
 ///   Event e = EventBuilder(catalog, "Stock", /*time=*/7)

@@ -15,6 +15,14 @@ namespace greta {
 /// tracker records current and peak usage. This is intentionally analytic
 /// rather than RSS-based so runs are reproducible and comparable across
 /// engines and machines. Thread-safe (parallel group processing).
+///
+/// Scope note: the GRETA engine charges structural bytes at their
+/// allocation sites (panes, vertex slots, tree nodes, arena chunks — O(1)
+/// per insert, see storage/pane.h). Heap storage of exact-mode counters
+/// promoted past 2^64 (Counter::ApproxHeapBytes) is NOT charged: promotion
+/// happens inside aggregate propagation with no tracker in reach, and the
+/// benchmark regime (modular counters) never promotes. Metric comparisons
+/// across engines are unaffected as long as modes match.
 class MemoryTracker {
  public:
   MemoryTracker() = default;

@@ -4,24 +4,6 @@
 
 namespace greta {
 
-bool Value::operator==(const Value& other) const {
-  if (is_numeric() && other.is_numeric()) {
-    if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
-      return int_ == other.int_;
-    }
-    return ToDouble() == other.ToDouble();
-  }
-  if (kind_ != other.kind_) return false;
-  switch (kind_) {
-    case Kind::kNull:
-      return true;
-    case Kind::kStr:
-      return str_ == other.str_;
-    default:
-      return false;  // Numerics handled above.
-  }
-}
-
 int Value::Compare(const Value& other) const {
   if (is_numeric() && other.is_numeric()) {
     if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
@@ -46,27 +28,7 @@ int Value::Compare(const Value& other) const {
   return a - b;
 }
 
-size_t Value::Hash() const {
-  switch (kind_) {
-    case Kind::kNull:
-      return 0x9e3779b97f4a7c15ULL;
-    case Kind::kInt:
-      return std::hash<int64_t>()(int_);
-    case Kind::kDouble: {
-      // Hash ints and integral doubles identically so mixed-kind group keys
-      // that compare equal also hash equal.
-      double d = dbl_;
-      int64_t as_int = static_cast<int64_t>(d);
-      if (static_cast<double>(as_int) == d) {
-        return std::hash<int64_t>()(as_int);
-      }
-      return std::hash<double>()(d);
-    }
-    case Kind::kStr:
-      return std::hash<int64_t>()(0x5bd1e995LL ^ str_);
-  }
-  return 0;
-}
+size_t Value::HashDouble(double v) { return std::hash<double>()(v); }
 
 std::string Value::ToString(const StringPool* pool) const {
   switch (kind_) {

@@ -2,6 +2,7 @@
 #define GRETA_COMMON_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -94,8 +95,26 @@ class Value {
     return false;
   }
 
-  /// Structural equality (numerics compare across int/double).
-  bool operator==(const Value& other) const;
+  /// Structural equality (numerics compare across int/double). Inline: the
+  /// engine's per-event partition routing hashes and compares keys on the
+  /// hot path.
+  bool operator==(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) {
+      if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
+        return int_ == other.int_;
+      }
+      return ToDouble() == other.ToDouble();
+    }
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kStr:
+        return str_ == other.str_;
+      default:
+        return false;  // Numerics handled above.
+    }
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Three-way comparison for numerics and string ids. Returns <0, 0, >0.
@@ -104,12 +123,35 @@ class Value {
   int Compare(const Value& other) const;
 
   /// Hash suitable for unordered containers and group keys.
-  size_t Hash() const;
+  size_t Hash() const {
+    switch (kind_) {
+      case Kind::kNull:
+        return 0x9e3779b97f4a7c15ULL;
+      case Kind::kInt:
+        return HashInt(int_);
+      case Kind::kDouble: {
+        // Hash ints and integral doubles identically so mixed-kind group
+        // keys that compare equal also hash equal.
+        double d = dbl_;
+        int64_t as_int = static_cast<int64_t>(d);
+        if (static_cast<double>(as_int) == d) return HashInt(as_int);
+        return HashDouble(d);
+      }
+      case Kind::kStr:
+        return HashInt(0x5bd1e995LL ^ str_);
+    }
+    return 0;
+  }
 
   /// Debug rendering; resolves interned strings when a pool is given.
   std::string ToString(const StringPool* pool = nullptr) const;
 
  private:
+  static size_t HashInt(int64_t v) { return std::hash<int64_t>()(v); }
+  // Out-of-line (value.cc): doubles hash through std::hash's byte mixer and
+  // non-integral doubles are rare in partition keys.
+  static size_t HashDouble(double v);
+
   Kind kind_;
   union {
     int64_t int_;

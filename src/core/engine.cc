@@ -15,6 +15,7 @@ PlannerOptions PlannerOptionsFrom(const EngineOptions& options) {
   popts.max_windows_per_event = options.max_windows_per_event;
   popts.enable_tree_ranges = options.enable_tree_ranges;
   popts.enable_pruning = options.enable_pruning;
+  popts.enable_specialized_kernels = options.enable_specialized_kernels;
   return popts;
 }
 
@@ -56,6 +57,12 @@ GretaEngine::GretaEngine(const Catalog* catalog,
     : catalog_(catalog), plan_(std::move(plan)), options_(options) {
   if (options_.memory != nullptr) memory_ = options_.memory;
   emitted_.resize(plan_->num_queries());
+  for (const auto& [type, ids] : plan_->key_attr_ids) {
+    if (static_cast<size_t>(type) >= route_table_.size()) {
+      route_table_.resize(type + 1, nullptr);
+    }
+    route_table_[type] = &ids;
+  }
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -199,18 +206,19 @@ void GretaEngine::EmitWindow(WindowId wid) {
 }
 
 void GretaEngine::Route(const Event& e) {
-  auto ids_it = plan_->key_attr_ids.find(e.type);
-  if (ids_it == plan_->key_attr_ids.end()) return;  // Irrelevant type.
-  const std::vector<AttrId>& ids = ids_it->second;
+  if (static_cast<size_t>(e.type) >= route_table_.size() ||
+      route_table_[e.type] == nullptr) {
+    return;  // Irrelevant type.
+  }
+  const std::vector<AttrId>& ids = *route_table_[e.type];
 
   bool full = true;
   for (AttrId id : ids) full &= (id != kInvalidAttr);
 
   if (full) {
-    std::vector<Value> key;
-    key.reserve(ids.size());
-    for (AttrId id : ids) key.push_back(e.attr(id));
-    Partition* p = GetOrCreatePartition(key, e.seq);
+    route_key_.clear();
+    for (AttrId id : ids) route_key_.push_back(e.attr(id));
+    Partition* p = GetOrCreatePartition(route_key_, e.seq);
     DeliverToPartition(p, e);
     return;
   }
@@ -246,7 +254,6 @@ GretaEngine::Partition* GretaEngine::GetOrCreatePartition(
   if (it != partitions_.end()) return it->second.get();
 
   auto partition = std::make_unique<Partition>();
-  partition->key = key;
   partition->alts.reserve(plan_->alternatives.size());
   for (const AlternativePlan& alt_plan : plan_->alternatives) {
     AltRuntime alt;
@@ -317,16 +324,17 @@ void GretaEngine::FlushBatch() {
   // independent event trend groups (Section 7).
   std::unordered_map<Partition*, std::vector<Event>> per_partition;
   for (const Event& e : batch_) {
-    auto ids_it = plan_->key_attr_ids.find(e.type);
-    if (ids_it == plan_->key_attr_ids.end()) continue;
-    const std::vector<AttrId>& ids = ids_it->second;
+    if (static_cast<size_t>(e.type) >= route_table_.size() ||
+        route_table_[e.type] == nullptr) {
+      continue;  // Irrelevant type.
+    }
+    const std::vector<AttrId>& ids = *route_table_[e.type];
     bool full = true;
     for (AttrId id : ids) full &= (id != kInvalidAttr);
     if (full) {
-      std::vector<Value> key;
-      key.reserve(ids.size());
-      for (AttrId id : ids) key.push_back(e.attr(id));
-      Partition* p = GetOrCreatePartition(key, e.seq);
+      route_key_.clear();
+      for (AttrId id : ids) route_key_.push_back(e.attr(id));
+      Partition* p = GetOrCreatePartition(route_key_, e.seq);
       per_partition[p].push_back(e);
     } else {
       BroadcastEvent b;
@@ -379,6 +387,13 @@ std::vector<ResultRow> GretaEngine::TakeResults() {
   // EngineInterface contract: drain everything. For a multi-query runtime
   // that is every query slot in query order — otherwise rows of slots
   // 1..n-1 would accumulate unbounded behind a generic harness.
+  //
+  // Refreshing the aggregate stats walks every partition's graphs, and
+  // harnesses drain after every event — skip it while there is nothing to
+  // drain (Flush() refreshes unconditionally, so final stats are exact).
+  bool any = false;
+  for (const std::vector<ResultRow>& rows : emitted_) any |= !rows.empty();
+  if (!any) return {};
   RefreshAggregateStats();
   std::vector<ResultRow> out = std::move(emitted_[0]);
   emitted_[0].clear();
@@ -390,8 +405,22 @@ std::vector<ResultRow> GretaEngine::TakeResults() {
   return out;
 }
 
+size_t GretaEngine::RecomputeTrackedBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, partition] : partitions_) {
+    bytes += sizeof(Partition) + key.size() * sizeof(Value);
+    for (const AltRuntime& alt : partition->alts) {
+      for (const std::unique_ptr<GretaGraph>& g : alt.graphs) {
+        bytes += g->RecomputeTrackedBytes();
+      }
+    }
+  }
+  return bytes;
+}
+
 std::vector<ResultRow> GretaEngine::TakeResultsFor(size_t q) {
   GRETA_CHECK(q < emitted_.size());
+  if (emitted_[q].empty()) return {};
   RefreshAggregateStats();
   std::vector<ResultRow> out = std::move(emitted_[q]);
   emitted_[q].clear();

@@ -28,6 +28,9 @@ struct EngineOptions {
   bool enable_tree_ranges = true;
   /// Ablation knob: disable invalid event pruning (Theorem 5.1).
   bool enable_pruning = true;
+  /// Ablation knob: disable the COUNT(*)-specialized propagation kernels
+  /// and force the generic flag-tested path (kernel equivalence tests).
+  bool enable_specialized_kernels = true;
   /// External memory tracker shared across engines (multi-query runtimes,
   /// src/sharing/): when set, allocations are accounted there so the peak
   /// is a true point-in-time workload peak instead of a sum of per-engine
@@ -85,6 +88,15 @@ class GretaEngine : public EngineInterface {
 
   const ExecPlan& plan() const { return *plan_; }
 
+  /// The engine's memory tracker (own or shared via EngineOptions::memory).
+  const MemoryTracker& memory() const { return *memory_; }
+
+  /// Re-derives the bytes currently charged to the tracker by walking every
+  /// partition's graphs and panes. O(everything) — accounting invariant
+  /// tests only; must equal memory().current_bytes() for a single-engine
+  /// tracker.
+  size_t RecomputeTrackedBytes() const;
+
   /// Optional push-style delivery: invoked for every result row of query
   /// slot `q` the moment its window closes (before it is queued for
   /// TakeResults), e.g. to fire the paper's real-time sell signals without
@@ -107,8 +119,8 @@ class GretaEngine : public EngineInterface {
     std::vector<std::unique_ptr<GretaGraph>> graphs;
     std::vector<std::unique_ptr<NegationLink>> links;
   };
+  // The partition key lives only as the partitions_ map key.
   struct Partition {
-    std::vector<Value> key;
     std::vector<AltRuntime> alts;
   };
 
@@ -160,6 +172,12 @@ class GretaEngine : public EngineInterface {
   std::unordered_map<std::vector<Value>, std::unique_ptr<Partition>,
                      ValueVecHash, ValueVecEq>
       partitions_;
+  // Scratch partition key reused across Route() calls: the hot path fills
+  // it in place and only GetOrCreatePartition's miss branch copies it.
+  std::vector<Value> route_key_;
+  // Dense per-type routing table derived from plan_->key_attr_ids: the
+  // per-event hash lookup becomes an index; nullptr marks irrelevant types.
+  std::vector<const std::vector<AttrId>*> route_table_;
   std::deque<BroadcastEvent> broadcast_buffer_;
 
   // Micro-batch of the current timestamp (parallel mode only).

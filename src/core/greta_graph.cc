@@ -1,6 +1,7 @@
 #include "core/greta_graph.h"
 
 #include <algorithm>
+#include <new>
 
 #include "storage/window.h"
 
@@ -10,12 +11,47 @@ GretaGraph::GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
                        MemoryTracker* memory)
     : plan_(plan),
       exec_(exec),
-      memory_(memory),
       num_queries_(plan->aggs.empty() ? 1
                                       : static_cast<int>(plan->aggs.size())),
-      panes_(PaneSize(exec->window), plan->templ.num_states()),
+      panes_(PaneSize(exec->window), plan->templ.num_states(), memory),
       single_window_(MaxWindowsPerEvent(exec->window) == 1) {
   transition_links_.resize(plan_->templ.transitions().size());
+  if (!exec_->window.unbounded() &&
+      exec_->window.within == exec_->window.slide) {
+    tumbling_slide_ = exec_->window.slide;
+  }
+  // Kernel dispatch: resolved once per graph, not branch-tested per edge.
+  if (exec_->partial.has_value()) {
+    insert_fn_ = &GretaGraph::InsertAtStatePartial;
+  } else if (num_queries_ == 1) {
+    switch (plan_->kernel) {
+      case PropKernel::kCountModular:
+        insert_fn_ =
+            &GretaGraph::InsertAtState<PropKernel::kCountModular, true>;
+        break;
+      case PropKernel::kCountExact:
+        insert_fn_ =
+            &GretaGraph::InsertAtState<PropKernel::kCountExact, true>;
+        break;
+      case PropKernel::kGeneric:
+        insert_fn_ = &GretaGraph::InsertAtState<PropKernel::kGeneric, true>;
+        break;
+    }
+  } else {
+    switch (plan_->kernel) {
+      case PropKernel::kCountModular:
+        insert_fn_ =
+            &GretaGraph::InsertAtState<PropKernel::kCountModular, false>;
+        break;
+      case PropKernel::kCountExact:
+        insert_fn_ =
+            &GretaGraph::InsertAtState<PropKernel::kCountExact, false>;
+        break;
+      case PropKernel::kGeneric:
+        insert_fn_ = &GretaGraph::InsertAtState<PropKernel::kGeneric, false>;
+        break;
+    }
+  }
 }
 
 void GretaGraph::AttachTransitionLink(int transition_index,
@@ -50,8 +86,7 @@ void GretaGraph::Insert(const Event& e) {
   if (states.empty()) return;
   bool seen = false;
   for (StateId s : states) {
-    seen |= exec_->partial.has_value() ? InsertAtStatePartial(e, s)
-                                       : InsertAtState(e, s);
+    seen |= (this->*insert_fn_)(e, s);
   }
   // Contiguous semantics: remember the newest event this graph has seen
   // (events failing vertex predicates "cannot be matched" and are skipped
@@ -59,6 +94,54 @@ void GretaGraph::Insert(const Event& e) {
   if (seen) last_seen_seq_ = e.seq;
 }
 
+GraphVertex* GretaGraph::StoreVertex(const Event& e, StateId s,
+                                     WindowId first_wid, int k, int nq) {
+  const StatePlan& sp = plan_->states[s];
+  const int total = k * nq;
+
+  // Move the finished scratch cells and the stored attribute prefix into
+  // the arena of the pane that will own the vertex, then insert. The
+  // following Insert() into the same pane picks up the arena growth for
+  // incremental accounting.
+  Arena* arena = panes_.ArenaFor(e.time);
+  AggCell* cells = arena->AllocateArray<AggCell>(total);
+  for (int i = 0; i < total; ++i) {
+    new (&cells[i]) AggCell(std::move(scratch_cells_[i]));
+  }
+  uint16_t num_attrs = sp.stored_attr_count;
+  GRETA_DCHECK(num_attrs <= e.attrs.size());
+  if (num_attrs > e.attrs.size()) {
+    num_attrs = static_cast<uint16_t>(e.attrs.size());
+  }
+  const Value* attrs = nullptr;
+  if (num_attrs > 0) {
+    Value* copy = arena->AllocateArray<Value>(num_attrs);
+    std::copy_n(e.attrs.data(), num_attrs, copy);
+    attrs = copy;
+  }
+
+  GraphVertex v;
+  v.time = e.time;
+  v.seq = e.seq;
+  v.cells = cells;
+  v.attrs = attrs;
+  v.first_wid = first_wid;
+  v.state = s;
+  v.num_cells = total;
+  v.num_wids = static_cast<int16_t>(k);
+  v.num_queries = static_cast<int16_t>(nq);
+  v.num_attrs = num_attrs;
+
+  double key = (sp.sort_attr == kInvalidAttr)
+                   ? static_cast<double>(e.time)
+                   : e.attr(sp.sort_attr).ToDouble();
+  GraphVertex* stored =
+      panes_.Insert(e.time, static_cast<size_t>(s), key, std::move(v));
+  ++total_vertices_;
+  return stored;
+}
+
+template <PropKernel K, bool kSingleQuery>
 bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   const StatePlan& sp = plan_->states[s];
   for (const Expr* pred : sp.local_preds) {
@@ -66,18 +149,22 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   }
 
   const WindowSpec& window = exec_->window;
-  WindowId first_wid = FirstWindowOf(e.time, window);
-  WindowId last_wid = LastWindowOf(e.time, window);
+  WindowId first_wid, last_wid;
+  if (tumbling_slide_ > 0) {
+    // Tumbling window: one id, one division.
+    first_wid = last_wid = LastWindowOf(e.time, window);
+  } else {
+    first_wid = FirstWindowOf(e.time, window);
+    last_wid = LastWindowOf(e.time, window);
+  }
   int k = static_cast<int>(last_wid - first_wid + 1);
   GRETA_DCHECK(k >= 1 && k <= 64);
 
-  const int nq = num_queries_;
-  GraphVertex v;
-  v.state = s;
-  v.first_wid = first_wid;
-  v.num_wids = k;
-  v.num_queries = nq;
-  v.cells.resize(static_cast<size_t>(k) * nq);
+  const int nq = kSingleQuery ? 1 : num_queries_;
+  GRETA_DCHECK(nq == num_queries_);
+  scratch_cells_.assign(static_cast<size_t>(k) * nq, AggCell());
+  AggCell* const cells = scratch_cells_.data();
+  auto vcell = [&](WindowId wid) { return cells + (wid - first_wid) * nq; };
 
   // Case-3 negation: windows in which a leading negative sub-pattern has
   // already finished reject new following-state events entirely. Activity is
@@ -94,7 +181,7 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
       }
     }
     for (int q = 0; q < nq; ++q) {
-      v.cells[static_cast<size_t>(i) * nq + q].active = active;
+      cells[static_cast<size_t>(i) * nq + q].active = active;
     }
     any_active |= active;
   }
@@ -146,13 +233,12 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
     panes_.ScanBucket(lo_time, e.time, static_cast<size_t>(p), bounds,
                       [&](GraphVertex* u) {
       if (u->dead) return;
-      if (u->event.time >= e.time) return;  // Strict trend order (Def. 1).
-      if (contiguous && u->event.seq != last_seen_seq_) return;
+      if (u->time >= e.time) return;  // Strict trend order (Def. 1).
+      if (contiguous && u->seq != last_seen_seq_) return;
       if (skip_till_next && ((u->used_transitions >> t_idx) & 1)) return;
       // Residual edge predicates (those not enforced by the key range).
-      for (const EdgePredicatePlan& ep : tp.preds) {
-        if (ep.drives_sort_key && ep.range.has_value()) continue;
-        if (!ep.expr->EvalEdge(u->event, e).Truthy()) return;
+      for (const Expr* pred : tp.residual_preds) {
+        if (!pred->EvalEdge(u->view(), e).Truthy()) return;
       }
       WindowId lo_w = std::max(first_wid, u->first_wid);
       WindowId hi_w =
@@ -164,16 +250,33 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
         // Connectivity (active, count, barriers) is per (vertex, window) and
         // identical across query slots — only the propagated aggregates
         // differ, so the per-query loop sits inside the structural checks.
-        const AggCell* uc = u->cell(w);
-        AggCell* vc = v.cell(w);
-        if (!uc->active || !vc->active || uc->count.IsZero()) {
+        // (nq is a compile-time 1 in the kSingleQuery instantiations, so
+        // the stride arithmetic and the slot loops fold away.)
+        const AggCell* urow = u->cells + (w - u->first_wid) * nq;
+        AggCell* vrow = vcell(w);
+        if (!urow->active || !vrow->active || urow->count.IsZero()) {
           barred_everywhere = false;
           continue;
         }
-        if (has_barriers && u->event.time < barrier[w - first_wid]) continue;
-        vc->AddPredecessor(*uc, AggAt(0));
-        for (int q = 1; q < num_queries_; ++q) {
-          v.cell(w, q)->AddPredecessor(*u->cell(w, q), AggAt(q));
+        if (has_barriers && u->time < barrier[w - first_wid]) continue;
+        if constexpr (K == PropKernel::kCountModular) {
+          // COUNT(*)-only, wrapping counters: a tight u64 add over the
+          // contiguous (window, query) cell span — no flag tests, no
+          // promotion checks (Counter::Add inlines to low_ += low_).
+          for (int q = 0; q < nq; ++q) {
+            vrow[q].count.Add(urow[q].count, CounterMode::kModular);
+          }
+        } else if constexpr (K == PropKernel::kCountExact) {
+          // COUNT(*)-only exact: same span add through the u64 fast path,
+          // promoting to BigUInt only at 64-bit overflow.
+          for (int q = 0; q < nq; ++q) {
+            vrow[q].count.Add(urow[q].count, CounterMode::kExact);
+          }
+        } else {
+          vrow[0].AddPredecessor(urow[0], AggAt(0));
+          for (int q = 1; q < nq; ++q) {
+            vrow[q].AddPredecessor(urow[q], AggAt(q));
+          }
         }
         contributed = true;
         barred_everywhere = false;
@@ -195,36 +298,46 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
 
   for (int i = 0; i < k; ++i) {
     for (int q = 0; q < nq; ++q) {
-      AggCell& cell = v.cells[static_cast<size_t>(i) * nq + q];
-      if (cell.active) cell.FinishVertex(e, is_start, AggAt(q));
+      AggCell& cell = cells[static_cast<size_t>(i) * nq + q];
+      if (!cell.active) continue;
+      if constexpr (K == PropKernel::kCountModular) {
+        if (is_start) cell.count.AddOne(CounterMode::kModular);
+      } else if constexpr (K == PropKernel::kCountExact) {
+        if (is_start) cell.count.AddOne(CounterMode::kExact);
+      } else {
+        cell.FinishVertex(e, is_start, AggAt(q));
+      }
     }
   }
 
-  v.event = e;
-  double key = (sp.sort_attr == kInvalidAttr)
-                   ? static_cast<double>(e.time)
-                   : e.attr(sp.sort_attr).ToDouble();
-  GraphVertex* stored =
-      panes_.Insert(e.time, static_cast<size_t>(s), key, std::move(v));
-  memory_->Add(stored->ApproxBytes());
-  ++total_vertices_;
+  GraphVertex* stored = StoreVertex(e, s, first_wid, k, nq);
 
   if (plan_->templ.IsEnd(s)) {
     const bool incremental_final = graph_links_.empty();
     for (int i = 0; i < k; ++i) {
-      const AggCell& cell = stored->cells[static_cast<size_t>(i) * nq];
-      if (!cell.active || cell.count.IsZero()) continue;
+      const AggCell* row = stored->cells + static_cast<size_t>(i) * nq;
+      if (!row->active || row->count.IsZero()) continue;
       WindowId wid = first_wid + i;
       if (incremental_final) {
-        std::vector<AggOutputs>& out = results_[wid];
-        if (out.empty()) out.resize(nq);
-        for (int q = 0; q < nq; ++q) {
-          out[q].AccumulateEnd(stored->cells[static_cast<size_t>(i) * nq + q],
-                               AggAt(q));
+        std::vector<AggOutputs>& out = *ResultsFor(wid);
+        if constexpr (K == PropKernel::kCountModular) {
+          for (int q = 0; q < nq; ++q) {
+            out[q].count.Add(row[q].count, CounterMode::kModular);
+            out[q].any = true;
+          }
+        } else if constexpr (K == PropKernel::kCountExact) {
+          for (int q = 0; q < nq; ++q) {
+            out[q].count.Add(row[q].count, CounterMode::kExact);
+            out[q].any = true;
+          }
+        } else {
+          for (int q = 0; q < nq; ++q) {
+            out[q].AccumulateEnd(row[q], AggAt(q));
+          }
         }
       }
       if (out_link_ != nullptr) {
-        out_link_->ReportTrendEnd(wid, e.time, cell.max_start);
+        out_link_->ReportTrendEnd(wid, e.time, row->max_start);
       }
     }
   }
@@ -251,12 +364,11 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
   const int stride =
       owner < 0 ? 1 + static_cast<int>(partial.num_fold_slots) : 1;
 
-  GraphVertex v;
-  v.state = s;
-  v.first_wid = first_wid;
-  v.num_wids = k;
-  v.num_queries = stride;
-  v.cells.resize(static_cast<size_t>(k) * stride);
+  scratch_cells_.assign(static_cast<size_t>(k) * stride, AggCell());
+  AggCell* const cells = scratch_cells_.data();
+  auto vcell = [&](WindowId wid, size_t q = 0) {
+    return cells + (wid - first_wid) * stride + q;
+  };
 
   // The merged start state is the shared Kleene core's start, shared by
   // every query; continuation states are never starts.
@@ -288,10 +400,9 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
         window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
     panes_.ScanBucket(lo_time, e.time, static_cast<size_t>(p), bounds,
                       [&](GraphVertex* u) {
-      if (u->event.time >= e.time) return;  // Strict trend order (Def. 1).
-      for (const EdgePredicatePlan& ep : tp.preds) {
-        if (ep.drives_sort_key && ep.range.has_value()) continue;
-        if (!ep.expr->EvalEdge(u->event, e).Truthy()) return;
+      if (u->time >= e.time) return;  // Strict trend order (Def. 1).
+      for (const Expr* pred : tp.residual_preds) {
+        if (!pred->EvalEdge(u->view(), e).Truthy()) return;
       }
       WindowId lo_w = std::max(first_wid, u->first_wid);
       WindowId hi_w =
@@ -304,9 +415,9 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
         for (WindowId w = lo_w; w <= hi_w; ++w) {
           const AggCell* uc = u->cell(w);
           if (uc->count.IsZero()) continue;
-          v.cell(w)->count.Add(uc->count, exec_->mode);
+          vcell(w)->count.Add(uc->count, exec_->mode);
           for (size_t f = 1; f <= partial.num_fold_slots; ++f) {
-            v.cell(w, f)->AddPredecessorFold(
+            vcell(w, f)->AddPredecessorFold(
                 *u->cell(w, f), AggAt(partial.fold_queries[f - 1]));
           }
           contributed = true;
@@ -319,7 +430,7 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
         const AggPlan& qagg = AggAt(q);
         const int fold = partial.fold_slots[q];
         for (WindowId w = lo_w; w <= hi_w; ++w) {
-          AggCell* vc = v.cell(w);
+          AggCell* vc = vcell(w);
           const AggCell* uc = u->cell(w);
           if (uc->count.IsZero()) continue;
           if (p_owner < 0) {
@@ -341,27 +452,20 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
 
   if (owner < 0) {
     for (int i = 0; i < k; ++i) {
-      AggCell& snap = v.cells[static_cast<size_t>(i) * stride];
+      AggCell& snap = cells[static_cast<size_t>(i) * stride];
       if (is_start) snap.count.AddOne(exec_->mode);
       for (size_t f = 1; f <= partial.num_fold_slots; ++f) {
-        v.cells[static_cast<size_t>(i) * stride + f].FinishVertexFold(
+        cells[static_cast<size_t>(i) * stride + f].FinishVertexFold(
             e, snap.count, AggAt(partial.fold_queries[f - 1]));
       }
     }
   } else {
     for (int i = 0; i < k; ++i) {
-      v.cells[i].FinishVertex(e, /*is_start=*/false, AggAt(owner));
+      cells[i].FinishVertex(e, /*is_start=*/false, AggAt(owner));
     }
   }
 
-  v.event = e;
-  double key = (sp.sort_attr == kInvalidAttr)
-                   ? static_cast<double>(e.time)
-                   : e.attr(sp.sort_attr).ToDouble();
-  GraphVertex* stored =
-      panes_.Insert(e.time, static_cast<size_t>(s), key, std::move(v));
-  memory_->Add(stored->ApproxBytes());
-  ++total_vertices_;
+  GraphVertex* stored = StoreVertex(e, s, first_wid, k, stride);
 
   // Incremental final aggregates for every query whose END is this state.
   const size_t nq = plan_->aggs.size();
@@ -376,8 +480,7 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
       for (WindowId w = std::max(first_wid, q_first); w <= last_wid; ++w) {
         const AggCell* snap = stored->cell(w);
         if (snap->count.IsZero()) continue;
-        std::vector<AggOutputs>& out = results_[w];
-        if (out.empty()) out.resize(nq);
+        std::vector<AggOutputs>& out = *ResultsFor(w);
         out[q].AccumulateEndShared(
             snap->count, fold >= 0 ? stored->cell(w, fold) : nullptr, qagg);
       }
@@ -385,8 +488,7 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
       for (int i = 0; i < k; ++i) {
         const AggCell& cell = stored->cells[i];
         if (cell.count.IsZero()) continue;
-        std::vector<AggOutputs>& out = results_[first_wid + i];
-        if (out.empty()) out.resize(nq);
+        std::vector<AggOutputs>& out = *ResultsFor(first_wid + i);
         out[q].AccumulateEnd(cell, qagg);
       }
     }
@@ -411,7 +513,7 @@ void GretaGraph::CollectWindow(WindowId wid, size_t q, AggOutputs* out) {
     if (u->dead || !u->InWindow(wid)) return;
     const AggCell* cell = u->cell(wid, q);
     if (!cell->active || cell->count.IsZero()) return;
-    if (u->event.time < barrier) return;
+    if (u->time < barrier) return;
     out->AccumulateEnd(*cell, AggAt(q));
   });
 }
@@ -438,22 +540,27 @@ void GretaGraph::CollectWindowAll(WindowId wid, std::vector<AggOutputs>* outs) {
     if (u->dead || !u->InWindow(wid)) return;
     const AggCell* first = u->cell(wid);
     if (!first->active || first->count.IsZero()) return;
-    if (u->event.time < barrier) return;
+    if (u->time < barrier) return;
     for (size_t q = 0; q < nq; ++q) {
       (*outs)[q].AccumulateEnd(*u->cell(wid, q), AggAt(q));
     }
   });
 }
 
-void GretaGraph::ForgetWindow(WindowId wid) { results_.erase(wid); }
+void GretaGraph::ForgetWindow(WindowId wid) {
+  if (results_cache_ != nullptr && results_cache_wid_ == wid) {
+    results_cache_ = nullptr;
+  }
+  results_.erase(wid);
+}
 
 void GretaGraph::Purge(Ts watermark) {
   if (exec_->window.unbounded()) return;
   Ts cutoff = WindowStartTime(FirstWindowOf(watermark, exec_->window),
                               exec_->window);
-  panes_.PurgeBefore(cutoff, [this](const GraphVertex& v) {
-    memory_->Release(v.ApproxBytes());
-  });
+  // Wholesale pane deletion: the pane store releases each dropped pane's
+  // charged bytes in one step (no per-vertex accounting walk).
+  panes_.PurgeBefore(cutoff);
 }
 
 size_t GretaGraph::ApproxBytes() const {

@@ -1,6 +1,7 @@
 #ifndef GRETA_CORE_GRETA_GRAPH_H_
 #define GRETA_CORE_GRETA_GRAPH_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/memory.h"
@@ -16,20 +17,63 @@ namespace greta {
 /// each edge is traversed exactly once while the aggregate of the new event
 /// is computed (Section 7).
 ///
-/// Under multi-query shared execution (src/sharing/) the cell storage is
-/// additionally query-indexed: cells are laid out row-major by window, one
-/// AggCell per (window, query), so a single structural graph pass propagates
-/// every query's aggregates. num_queries == 1 reproduces the single-query
-/// layout bit for bit.
+/// The vertex is a single flat struct with zero per-vertex heap
+/// allocations: both side arrays live in the owning pane's arena and are
+/// freed wholesale when the pane expires (Section 7 batch deletion).
+///  - `cells` — the aggregate cells, laid out row-major by window, one
+///    AggCell per (window, query) under multi-query shared execution
+///    (src/sharing/). num_queries == 1 reproduces the single-query layout
+///    bit for bit.
+///  - `attrs` — the stored-event payload: instead of a full Event copy the
+///    vertex keeps time/seq plus only the leading attribute values scan-time
+///    residual edge predicates read (StatePlan::stored_attr_count; zero for
+///    tree-indexed queries).
+///
+/// The vertex destroys its cells itself (a promoted exact-mode Counter owns
+/// heap storage); the pane destroys its vertex deque before its arena, so
+/// this is safe. Move-only: moving transfers cell ownership.
 struct GraphVertex {
-  Event event;
-  StateId state = kInvalidState;
-  WindowId first_wid = 0;
-  int num_wids = 0;
-  int num_queries = 1;
-  bool dead = false;              // tombstone (invalid event pruning)
+  Ts time = 0;
+  SeqNo seq = 0;
+  AggCell* cells = nullptr;     // pane-arena backed; owned (runs dtors)
+  const Value* attrs = nullptr; // pane-arena backed; borrowed view
   uint64_t used_transitions = 0;  // skip-till-next-match bookkeeping
-  std::vector<AggCell> cells;     // (wid - first_wid) * num_queries + q
+  WindowId first_wid = 0;
+  StateId state = kInvalidState;
+  int32_t num_cells = 0;  // num_wids * num_queries
+  int16_t num_wids = 0;
+  int16_t num_queries = 1;
+  uint16_t num_attrs = 0;
+  bool dead = false;  // tombstone (invalid event pruning)
+
+  GraphVertex() = default;
+  GraphVertex(const GraphVertex&) = delete;
+  GraphVertex& operator=(const GraphVertex&) = delete;
+  GraphVertex(GraphVertex&& other) noexcept { *this = std::move(other); }
+  GraphVertex& operator=(GraphVertex&& other) noexcept {
+    if (this != &other) {
+      DestroyCells();
+      time = other.time;
+      seq = other.seq;
+      cells = other.cells;
+      attrs = other.attrs;
+      used_transitions = other.used_transitions;
+      first_wid = other.first_wid;
+      state = other.state;
+      num_cells = other.num_cells;
+      num_wids = other.num_wids;
+      num_queries = other.num_queries;
+      num_attrs = other.num_attrs;
+      dead = other.dead;
+      other.cells = nullptr;
+      other.num_cells = 0;
+    }
+    return *this;
+  }
+  ~GraphVertex() { DestroyCells(); }
+
+  /// The stored-event attribute view for predicate evaluation.
+  EventView view() const { return EventView(attrs, num_attrs); }
 
   bool InWindow(WindowId wid) const {
     return wid >= first_wid && wid < first_wid + num_wids;
@@ -41,13 +85,9 @@ struct GraphVertex {
     return &cells[(wid - first_wid) * num_queries + q];
   }
 
-  size_t ApproxBytes() const {
-    size_t bytes = sizeof(GraphVertex) + cells.capacity() * sizeof(AggCell) +
-                   event.attrs.capacity() * sizeof(Value);
-    for (const AggCell& c : cells) {
-      bytes += c.count.ApproxHeapBytes() + c.type_count.ApproxHeapBytes();
-    }
-    return bytes;
+ private:
+  void DestroyCells() {
+    for (int32_t i = 0; i < num_cells; ++i) cells[i].~AggCell();
   }
 };
 
@@ -55,6 +95,12 @@ struct GraphVertex {
 /// (Section 4.2 / Algorithm 2, generalized to occurrence-unique states and
 /// per-window aggregate cells). Invalidation by negative sub-patterns
 /// arrives through attached NegationLinks (Section 5.2).
+///
+/// The per-event insert path is compiled once per graph into one of the
+/// PropKernel variants (plan_->kernel; src/core/README.md) instead of
+/// re-testing AggPlan flags per edge per window per query. Memory
+/// accounting is incremental: the pane store charges the shared
+/// MemoryTracker at its allocation sites, so inserts never walk cells.
 class GretaGraph {
  public:
   GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
@@ -91,7 +137,8 @@ class GretaGraph {
   /// Releases per-window state after the window was emitted.
   void ForgetWindow(WindowId wid);
 
-  /// Batch-deletes panes no future window can reach (Section 7).
+  /// Batch-deletes panes no future window can reach (Section 7); their
+  /// charged bytes are released from the tracker wholesale.
   void Purge(Ts watermark);
 
   size_t num_vertices() const { return panes_.size(); }
@@ -99,8 +146,19 @@ class GretaGraph {
   size_t edges_traversed() const { return edges_; }
   size_t ApproxBytes() const;
 
+  /// Re-derives the bytes this graph has charged to the MemoryTracker by
+  /// walking every pane (accounting invariant tests only).
+  size_t RecomputeTrackedBytes() const {
+    return panes_.RecomputeApproxBytes();
+  }
+
  private:
-  // Returns true if the event passed this state's vertex predicates.
+  // The propagation kernels: InsertAtState specialized on plan_->kernel and
+  // on the dominant single-query layout (kSingleQuery folds the per-slot
+  // loop and the cell-stride arithmetic away). Every structural decision is
+  // identical across instantiations — only the aggregate ops differ — so
+  // results are bit-identical by construction.
+  template <PropKernel K, bool kSingleQuery>
   bool InsertAtState(const Event& e, StateId s);
 
   // Partial sharing (ExecPlan::partial): insertion over a merged template.
@@ -112,6 +170,11 @@ class GretaGraph {
   // path (the planner rejects them for partial clusters).
   bool InsertAtStatePartial(const Event& e, StateId s);
 
+  // Moves the scratch cells and the stored attribute prefix of `e` into the
+  // arena of the pane covering e.time and inserts the assembled vertex.
+  GraphVertex* StoreVertex(const Event& e, StateId s, WindowId first_wid,
+                           int k, int nq);
+
   // Aggregate plan of query slot `q` (plans predating the multi-query
   // extension may leave GraphPlan::aggs empty; they have exactly one slot).
   const AggPlan& AggAt(size_t q) const {
@@ -122,9 +185,13 @@ class GretaGraph {
 
   const GraphPlan* plan_;
   const ExecPlan* exec_;
-  MemoryTracker* memory_;
   int num_queries_;  // query slots per (vertex, window): plan_->aggs.size()
   PaneStore<GraphVertex> panes_;
+  bool (GretaGraph::*insert_fn_)(const Event&, StateId);  // kernel dispatch
+  // Cells of the vertex being built: filled during the predecessor scan,
+  // moved into the pane arena only if the vertex is actually inserted (so
+  // rejected events never consume arena space). Reused across inserts.
+  std::vector<AggCell> scratch_cells_;
   std::unordered_map<WindowId, std::vector<AggOutputs>> results_;
   std::vector<std::vector<NegationLink*>> transition_links_;
   std::vector<NegationLink*> graph_links_;   // Case 2: all transitions
@@ -134,6 +201,24 @@ class GretaGraph {
   size_t edges_ = 0;
   size_t total_vertices_ = 0;
   bool single_window_;  // enables eager invalid-event pruning
+  Ts tumbling_slide_ = 0;  // within == slide: window ids need one division
+  // One-entry cache for the per-END-insert results_[wid] hash lookup
+  // (window ids advance monotonically, so consecutive END inserts hit the
+  // same entry). Entries are stable across rehash (node-based map);
+  // invalidated on ForgetWindow.
+  WindowId results_cache_wid_ = 0;
+  std::vector<AggOutputs>* results_cache_ = nullptr;
+
+  std::vector<AggOutputs>* ResultsFor(WindowId wid) {
+    if (results_cache_ != nullptr && results_cache_wid_ == wid) {
+      return results_cache_;
+    }
+    std::vector<AggOutputs>& out = results_[wid];
+    if (out.empty()) out.resize(num_queries_);
+    results_cache_wid_ = wid;
+    results_cache_ = &out;
+    return &out;
+  }
 };
 
 }  // namespace greta

@@ -30,10 +30,40 @@ struct StatePlan {
   TypeId type = kInvalidType;
   AttrId sort_attr = kInvalidAttr;  // kInvalidAttr: sort by time
   std::vector<const Expr*> local_preds;
+  /// How many leading attribute values a stored vertex of this state keeps
+  /// (1 + the highest attr id any scan-time residual edge predicate reads on
+  /// the predecessor side). Sort-key-driving range predicates are enforced
+  /// by the Vertex Tree and never re-evaluated, so their attributes are not
+  /// stored; the common tree-indexed Kleene query stores zero attributes.
+  uint16_t stored_attr_count = 0;
 };
 
 struct TransitionPlan {
   std::vector<EdgePredicatePlan> preds;
+  /// The predicates a predecessor scan must re-evaluate: everything not
+  /// already enforced by the Vertex Tree's key range. Derived from `preds`
+  /// once sort keys are assigned, so the hot loop never tests the
+  /// drives_sort_key/range flags (empty for fully tree-indexed queries).
+  std::vector<const Expr*> residual_preds;
+};
+
+/// Propagation kernel compiled for one graph at plan time from its AggPlan
+/// flag set and CounterMode (see src/core/README.md for the dispatch table).
+/// The kernels change only how aggregate state moves along an edge — every
+/// structural decision (windows, barriers, pruning, semantics bookkeeping)
+/// is identical across them, so results are bit-identical by construction.
+enum class PropKernel : uint8_t {
+  /// Every query slot is COUNT(*)-only and counters wrap mod 2^64: edge
+  /// propagation is a tight u64 add over the contiguous (window, query) cell
+  /// span, with no aggregate-flag tests and no promotion checks.
+  kCountModular,
+  /// COUNT(*)-only with exact counters: the same tight span add through the
+  /// u64 fast path, promoting to BigUInt only at 64-bit overflow.
+  kCountExact,
+  /// Any attribute aggregate (COUNT(E)/MIN/MAX/SUM/AVG), negation barrier
+  /// auxiliaries, or kernel specialization disabled: the flag-tested
+  /// AggCell::AddPredecessor path.
+  kGeneric,
 };
 
 /// Compilation of one sub-pattern (positive core or negative sub-pattern)
@@ -54,6 +84,10 @@ struct GraphPlan {
   /// Negative sub-pattern graphs keep a single barrier-aux entry — their
   /// count/max_start state is identical for every query of the cluster.
   std::vector<AggPlan> aggs;
+  /// Propagation kernel dispatched once per graph (not branch-tested per
+  /// edge per window per query). Chosen by the planner after all query
+  /// slots' aggregate plans are known.
+  PropKernel kernel = PropKernel::kGeneric;
 };
 
 /// One disjunction-free alternative: sub-pattern 0 is the positive core,
@@ -152,6 +186,10 @@ struct PlannerOptions {
   /// Ablation knob: false disables invalid event pruning (Theorem 5.1
   /// tombstoning); results must be identical either way.
   bool enable_pruning = true;
+  /// Ablation knob: false forces the generic propagation kernel everywhere,
+  /// disabling the COUNT(*)-specialized fast paths. Results must be
+  /// bit-identical either way (the kernel equivalence tests assert it).
+  bool enable_specialized_kernels = true;
 };
 
 /// Compiles a QuerySpec: validates the pattern, expands sugar into disjoint

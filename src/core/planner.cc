@@ -168,6 +168,15 @@ void AssignSortKeys(GraphPlan* gp) {
       ep.drives_sort_key = (gp->states[from].sort_attr == key);
     }
   }
+  // With sort keys fixed, split off the scan-time residual predicates so
+  // the hot loop iterates them directly.
+  for (TransitionPlan& tp : gp->transitions) {
+    tp.residual_preds.clear();
+    for (const EdgePredicatePlan& ep : tp.preds) {
+      if (ep.drives_sort_key && ep.range.has_value()) continue;
+      tp.residual_preds.push_back(ep.expr);
+    }
+  }
 }
 
 // Attaches classified predicates and picks Vertex-Tree sort keys.
@@ -179,6 +188,55 @@ Status AttachPredicates(const std::vector<ClassifiedPredicate>& preds,
     AssignSortKeys(&gp);
   }
   return Status::Ok();
+}
+
+// Per state, how many leading attribute values stored vertices must keep:
+// the scan-time residual edge predicates (those not enforced by the Vertex
+// Tree's key range) re-read the predecessor's attributes, so the highest
+// base-side attr id they reference bounds the stored prefix. Must run after
+// AssignSortKeys (drives_sort_key decides what is residual).
+void ComputeStoredAttrCounts(GraphPlan* gp) {
+  const auto& transitions = gp->templ.transitions();
+  for (size_t t = 0; t < transitions.size(); ++t) {
+    StateId from = transitions[t].from;
+    for (const EdgePredicatePlan& ep : gp->transitions[t].preds) {
+      if (ep.drives_sort_key && ep.range.has_value()) continue;
+      std::vector<AttrRef> base, next;
+      ep.expr->CollectRefs(&base, &next);
+      for (const AttrRef& ref : base) {
+        uint16_t need = static_cast<uint16_t>(ref.attr + 1);
+        if (need > gp->states[from].stored_attr_count) {
+          gp->states[from].stored_attr_count = need;
+        }
+      }
+    }
+  }
+}
+
+// Compiles the graph's AggPlan flag set + CounterMode into its propagation
+// kernel. Must run after every query slot's aggregate plan is attached
+// (BuildSharedPlan appends slots to an already-built plan).
+void SelectKernels(ExecPlan* plan, const PlannerOptions& options) {
+  for (AlternativePlan& alt : plan->alternatives) {
+    for (GraphPlan& gp : alt.graphs) {
+      ComputeStoredAttrCounts(&gp);
+      gp.kernel = PropKernel::kGeneric;
+      if (!options.enable_specialized_kernels) continue;
+      // Partial sharing propagates snapshot/fold cells through its own
+      // dedicated path; the flag-set kernels do not apply.
+      if (plan->partial.has_value()) continue;
+      auto count_only = [](const AggPlan& a) {
+        return !a.need_type_count && !a.need_min && !a.need_max &&
+               !a.need_sum && !a.need_max_start;
+      };
+      bool all_count_only = count_only(gp.agg);
+      for (const AggPlan& a : gp.aggs) all_count_only &= count_only(a);
+      if (!all_count_only) continue;
+      gp.kernel = plan->mode == CounterMode::kModular
+                      ? PropKernel::kCountModular
+                      : PropKernel::kCountExact;
+    }
+  }
 }
 
 }  // namespace
@@ -322,6 +380,7 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
     }
   }
 
+  SelectKernels(plan.get(), options);
   return plan;
 }
 
@@ -613,6 +672,7 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPartialSharedPlan(
                                      "pattern");
     }
   }
+  SelectKernels(plan.get(), options);
   return plan;
 }
 
@@ -650,6 +710,9 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildSharedPlan(
       }
     }
   }
+  // Re-select: the query slots appended above may demote a COUNT(*)-only
+  // graph to the generic kernel (stored-attr counts only grow, idempotent).
+  SelectKernels(plan.get(), options);
   return plan;
 }
 

@@ -108,12 +108,11 @@ ExprPtr Expr::Clone() const {
   }
 }
 
-Value Expr::EvalVertex(const Event& e) const {
+Value Expr::EvalVertex(const EventView e) const {
   switch (op_) {
     case ExprOp::kConst:
       return const_;
     case ExprOp::kAttr:
-      GRETA_DCHECK(e.type == ref_.type);
       return e.attr(ref_.attr);
     case ExprOp::kNextAttr:
       GRETA_CHECK(false);  // Vertex predicates have no NEXT references.
@@ -140,15 +139,13 @@ Value Expr::EvalVertex(const Event& e) const {
   }
 }
 
-Value Expr::EvalEdge(const Event& prev, const Event& next) const {
+Value Expr::EvalEdge(const EventView prev, const EventView next) const {
   switch (op_) {
     case ExprOp::kConst:
       return const_;
     case ExprOp::kAttr:
-      GRETA_DCHECK(prev.type == ref_.type);
       return prev.attr(ref_.attr);
     case ExprOp::kNextAttr:
-      GRETA_DCHECK(next.type == ref_.type);
       return next.attr(ref_.attr);
     case ExprOp::kAnd: {
       if (!lhs_->EvalEdge(prev, next).Truthy()) return Value::Bool(false);

@@ -63,11 +63,13 @@ class Expr {
   ExprPtr Clone() const;
 
   /// Evaluates a vertex predicate on a single event. kNextAttr aborts.
-  Value EvalVertex(const Event& e) const;
+  /// Takes the 16-byte attribute view (an `Event` converts implicitly); the
+  /// GRETA graph passes the compact arena-backed payload of stored vertices.
+  Value EvalVertex(const EventView e) const;
 
   /// Evaluates an edge predicate on an adjacency: kAttr reads `prev`,
   /// kNextAttr reads `next`.
-  Value EvalEdge(const Event& prev, const Event& next) const;
+  Value EvalEdge(const EventView prev, const EventView next) const;
 
   /// Collects kAttr references into `base` and kNextAttr into `next`.
   void CollectRefs(std::vector<AttrRef>* base,

@@ -109,11 +109,10 @@ RangeExtraction::Cmp FlipForNegativeScale(RangeExtraction::Cmp cmp) {
 
 }  // namespace
 
-KeyBounds RangeExtraction::ComputeBounds(const Event& next) const {
+KeyBounds RangeExtraction::ResolveBounds(Value rhs) const {
+  // rhs_ is next-only, so ComputeBounds passes `next` for both sides; the
+  // prev argument is never read.
   KeyBounds out;
-  Value rhs = rhs_->EvalEdge(/*prev=*/next, /*next=*/next);
-  // rhs_ is next-only, so passing `next` for both sides is safe; the prev
-  // argument is never read.
   if (!rhs.is_numeric()) {
     // Non-numeric bound: empty range (the residual filter would reject
     // every candidate anyway).
@@ -168,6 +167,9 @@ std::optional<RangeExtraction> RangeExtraction::FromPredicate(
     out.a_ = linear->a;
     out.b_ = linear->b;
     out.rhs_ = std::shared_ptr<const Expr>(next_side.Clone().release());
+    if (out.rhs_->op() == ExprOp::kNextAttr) {
+      out.rhs_attr_ = out.rhs_->attr_ref().attr;
+    }
     return out;
   }
   return std::nullopt;

@@ -38,15 +38,24 @@ class RangeExtraction {
   /// Attribute of the *previous* event serving as the tree sort key.
   AttrId key_attr() const { return key_attr_; }
 
-  /// Resolves the bounds for a concrete next event.
-  KeyBounds ComputeBounds(const Event& next) const;
+  /// Resolves the bounds for a concrete next event. The common bare
+  /// `NEXT(T).attr` right-hand side is read directly (per-insert hot path);
+  /// composite expressions evaluate through rhs_.
+  KeyBounds ComputeBounds(const Event& next) const {
+    return ResolveBounds(rhs_attr_ == kInvalidAttr
+                             ? rhs_->EvalEdge(next, next)
+                             : next.attr(rhs_attr_));
+  }
 
   /// Attempts extraction; nullopt when the predicate is not of an
   /// extractable shape (the runtime then falls back to scan + filter).
   static std::optional<RangeExtraction> FromPredicate(const Expr& edge_pred);
 
  private:
+  KeyBounds ResolveBounds(Value rhs) const;
+
   AttrId key_attr_ = kInvalidAttr;
+  AttrId rhs_attr_ = kInvalidAttr;  // set when rhs_ is a bare NEXT(T).attr
   Cmp cmp_ = Cmp::kEq;
   double a_ = 1.0;
   double b_ = 0.0;

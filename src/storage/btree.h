@@ -55,19 +55,36 @@ class BPlusTree {
   }
 
   /// Invokes `fn(value)` for every entry whose key is within `bounds`, in
-  /// ascending key order.
+  /// ascending key order. Keys ascend across the scan, so the lower bound
+  /// is only tested until it first passes (the leading entries of the
+  /// starting leaf); the steady-state loop tests the upper bound alone.
   template <typename Fn>
   void Scan(const KeyBounds& bounds, Fn&& fn) const {
     if (root_ == nullptr) return;
+    // Skip phase: advance past keys below the lower bound. Keys equal to a
+    // strict bound can fill whole leaves (duplicates), so the skip spans
+    // leaves; once one key passes, every later key passes too.
     const Leaf* leaf = FindLeaf(bounds.lo);
+    int i = 0;
     while (leaf != nullptr) {
-      for (int i = 0; i < leaf->count; ++i) {
+      while (i < leaf->count &&
+             (bounds.lo_strict ? leaf->keys[i] <= bounds.lo
+                               : leaf->keys[i] < bounds.lo)) {
+        ++i;
+      }
+      if (i < leaf->count) break;
+      leaf = leaf->next;
+      i = 0;
+    }
+    // Emit phase: only the upper bound remains to test.
+    while (leaf != nullptr) {
+      for (; i < leaf->count; ++i) {
         double k = leaf->keys[i];
-        if (bounds.lo_strict ? k <= bounds.lo : k < bounds.lo) continue;
         if (bounds.hi_strict ? k >= bounds.hi : k > bounds.hi) return;
         fn(leaf->values[i]);
       }
       leaf = leaf->next;
+      i = 0;
     }
   }
 
@@ -216,13 +233,18 @@ class BPlusTree {
     ++leaf->count;
   }
 
-  // Returns the first leaf that may contain keys >= lo.
+  // Returns the first leaf that may contain keys >= lo. Descends LEFT past
+  // separators equal to lo: a mid-duplicate leaf split leaves keys equal to
+  // the pushed-up separator in the left leaf, so a right-equal descent
+  // (insertion order) would strand them outside a non-strict scan. Landing
+  // early is safe — Scan skips leading keys below its bound — and every
+  // leaf after the landing leaf holds keys >= lo only.
   const Leaf* FindLeaf(double lo) const {
     const Node* node = root_;
     while (!node->leaf) {
       const Inner* inner = static_cast<const Inner*>(node);
       int i = inner->count;
-      while (i > 0 && lo < inner->keys[i - 1]) --i;
+      while (i > 0 && lo <= inner->keys[i - 1]) --i;
       node = inner->children[i];
     }
     return static_cast<const Leaf*>(node);

@@ -3,9 +3,12 @@
 
 #include <deque>
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/memory.h"
 #include "common/types.h"
 #include "storage/btree.h"
 
@@ -18,28 +21,59 @@ namespace greta {
 /// deleted wholesale ("instead of removing single expired events ... a whole
 /// pane with its associated data structures is deleted").
 ///
+/// Each pane additionally owns a chunked Arena from which callers draw
+/// vertex side storage (aggregate cells, stored-event attribute payloads):
+/// obtain it with ArenaFor(time) immediately before Insert()ing the vertex
+/// into the same pane. Pane expiry then frees those allocations wholesale
+/// with the pane.
+///
+/// Memory accounting is incremental and O(1) per insert: every pane tracks
+/// the bytes charged for it (vertex slots, tree-node growth, arena chunk
+/// growth, fixed overhead), `ApproxBytes()` returns the running total, and
+/// an optional MemoryTracker is credited/debited at the same sites — no
+/// per-cell walks on the hot path. `RecomputeApproxBytes()` re-derives the
+/// same total from scratch for invariant tests.
+///
 /// V is the vertex type; values handed to Insert are stored in a deque so
-/// the returned pointers stay stable for the lifetime of the pane.
+/// the returned pointers stay stable for the lifetime of the pane. The deque
+/// is destroyed before the pane's arena, so V's destructor may still touch
+/// arena-backed storage (GraphVertex destroys its aggregate cells there).
 template <typename V>
 class PaneStore {
  public:
-  PaneStore(Ts pane_size, size_t num_buckets)
-      : pane_size_(pane_size), num_buckets_(num_buckets) {
+  PaneStore(Ts pane_size, size_t num_buckets, MemoryTracker* memory = nullptr)
+      : pane_size_(pane_size), num_buckets_(num_buckets), memory_(memory) {
     GRETA_CHECK(pane_size_ > 0);
     GRETA_CHECK(num_buckets_ > 0);
   }
+
+  ~PaneStore() {
+    if (memory_ != nullptr) memory_->Release(bytes_);
+  }
+
+  PaneStore(const PaneStore&) = delete;
+  PaneStore& operator=(const PaneStore&) = delete;
+
+  /// The arena of the pane covering `time`, creating the pane if needed.
+  /// Allocations made here are accounted by the next Insert() into the same
+  /// pane — call Insert(time, ...) before touching any other pane.
+  Arena* ArenaFor(Ts time) { return &PaneFor(time).arena; }
 
   /// Inserts a vertex with the given tree key into the pane covering `time`.
   /// Returns a stable pointer.
   V* Insert(Ts time, size_t bucket, double key, V value) {
     GRETA_DCHECK(bucket < num_buckets_);
-    int64_t idx = FloorDivTs(time);
-    Pane& pane = GetOrCreatePane(idx);
+    Pane& pane = PaneFor(time);
     Bucket& b = pane.buckets[bucket];
+    size_t tree_before = b.index.ApproxBytes();
     b.vertices.push_back(std::move(value));
     V* stored = &b.vertices.back();
     b.index.Insert(key, stored);
     ++size_;
+    size_t grew = sizeof(V) + (b.index.ApproxBytes() - tree_before) +
+                  (pane.arena.footprint_bytes() - pane.arena_accounted);
+    pane.arena_accounted = pane.arena.footprint_bytes();
+    ChargePane(&pane, grew);
     return stored;
   }
 
@@ -68,14 +102,14 @@ class PaneStore {
     }
   }
 
-  /// Drops every pane that ends at or before `cutoff` (batch deletion).
-  /// Returns the number of vertices freed.
+  /// Drops every pane that ends at or before `cutoff` (batch deletion),
+  /// releasing its charged bytes wholesale. Returns the number of vertices
+  /// freed.
   size_t PurgeBefore(Ts cutoff) {
     return PurgeBefore(cutoff, [](const V&) {});
   }
 
-  /// PurgeBefore variant invoking `on_free(vertex)` for each dropped vertex
-  /// (e.g. to release memory accounting).
+  /// PurgeBefore variant invoking `on_free(vertex)` for each dropped vertex.
   template <typename Fn>
   size_t PurgeBefore(Ts cutoff, Fn&& on_free) {
     size_t freed = 0;
@@ -86,6 +120,9 @@ class PaneStore {
         for (const V& v : b.vertices) on_free(v);
         freed += b.vertices.size();
       }
+      bytes_ -= it->second.bytes;
+      if (memory_ != nullptr) memory_->Release(it->second.bytes);
+      if (last_pane_ == &it->second) last_pane_ = nullptr;
       panes_.erase(it);
     }
     size_ -= freed;
@@ -96,11 +133,18 @@ class PaneStore {
   size_t num_panes() const { return panes_.size(); }
   Ts pane_size() const { return pane_size_; }
 
-  /// Bytes held by vertices and tree nodes (memory metric).
-  size_t ApproxBytes() const {
+  /// Bytes held by vertices, tree nodes and pane arenas. O(1): maintained
+  /// incrementally at the allocation sites.
+  size_t ApproxBytes() const { return bytes_; }
+
+  /// Walks every pane and re-derives ApproxBytes() from scratch. For the
+  /// accounting invariant tests; the hot path never calls this.
+  size_t RecomputeApproxBytes() const {
     size_t bytes = 0;
     for (const auto& [idx, pane] : panes_) {
       (void)idx;
+      bytes += PaneOverheadBytes(pane);
+      bytes += pane.arena.footprint_bytes();
       for (const Bucket& b : pane.buckets) {
         bytes += b.vertices.size() * sizeof(V) + b.index.ApproxBytes();
       }
@@ -115,8 +159,24 @@ class PaneStore {
   };
   struct Pane {
     Ts start = 0;
+    size_t bytes = 0;            // everything charged for this pane
+    size_t arena_accounted = 0;  // arena footprint already in `bytes`
+    // The arena must outlive the vertex deques: ~V may destroy arena-backed
+    // cells, so `buckets` (destroyed first, reverse declaration order) comes
+    // after `arena`.
+    Arena arena;
     std::vector<Bucket> buckets;
   };
+
+  static size_t PaneOverheadBytes(const Pane& pane) {
+    return sizeof(Pane) + pane.buckets.capacity() * sizeof(Bucket);
+  }
+
+  void ChargePane(Pane* pane, size_t bytes) {
+    pane->bytes += bytes;
+    bytes_ += bytes;
+    if (memory_ != nullptr) memory_->Add(bytes);
+  }
 
   int64_t FloorDivTs(Ts t) const {
     int64_t q = t / pane_size_;
@@ -124,21 +184,38 @@ class PaneStore {
     return q;
   }
 
+  // Streams arrive in time order, so consecutive inserts overwhelmingly hit
+  // one pane; a one-entry cache keyed by the pane's time range answers hits
+  // with two comparisons — no division, no map lookup (ArenaFor + Insert
+  // would otherwise pay both twice per vertex).
+  Pane& PaneFor(Ts time) {
+    if (last_pane_ != nullptr && time >= last_pane_->start &&
+        time - last_pane_->start < pane_size_) {
+      return *last_pane_;
+    }
+    return GetOrCreatePane(FloorDivTs(time));
+  }
+
   Pane& GetOrCreatePane(int64_t idx) {
     auto it = panes_.find(idx);
     if (it == panes_.end()) {
-      Pane pane;
+      it = panes_.try_emplace(idx).first;
+      Pane& pane = it->second;
       pane.start = idx * pane_size_;
       pane.buckets.resize(num_buckets_);
-      it = panes_.emplace(idx, std::move(pane)).first;
+      ChargePane(&pane, PaneOverheadBytes(pane));
     }
+    last_pane_ = &it->second;
     return it->second;
   }
 
   Ts pane_size_;
   size_t num_buckets_;
+  MemoryTracker* memory_;
   std::map<int64_t, Pane> panes_;  // ordered by pane index
+  Pane* last_pane_ = nullptr;      // one-entry PaneFor cache
   size_t size_ = 0;
+  size_t bytes_ = 0;
 };
 
 }  // namespace greta

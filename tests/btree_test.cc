@@ -53,6 +53,39 @@ TEST(BPlusTreeTest, DuplicateKeysKeepInsertionOrder) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
 }
 
+TEST(BPlusTreeTest, InclusiveBoundFindsDuplicatesAcrossLeafSplit) {
+  // Regression: a leaf full of one key splits mid-duplicate, pushing the
+  // duplicated key up as the separator with copies left in BOTH halves.
+  // FindLeaf must descend LEFT on an equal separator or a non-strict scan
+  // at exactly that key silently misses the left half's copies.
+  BPlusTree<int> tree;
+  const int n = 40;  // > one leaf (32), all the same key
+  for (int i = 0; i < n; ++i) tree.Insert(5.0, i);
+  KeyBounds at;
+  at.lo = 5.0;
+  at.hi = 5.0;
+  std::vector<int> got = Collect(tree, at);
+  ASSERT_EQ(got.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], i);  // insertion order kept
+
+  // Strict lower bound at the duplicated key still excludes every copy.
+  KeyBounds above;
+  above.lo = 5.0;
+  above.lo_strict = true;
+  EXPECT_TRUE(Collect(tree, above).empty());
+
+  // Mixed keys around a duplicated separator: inclusive range picks up the
+  // duplicates and nothing below.
+  BPlusTree<int> mixed;
+  for (int i = 0; i < 20; ++i) mixed.Insert(1.0, -1);
+  for (int i = 0; i < 40; ++i) mixed.Insert(7.0, i);
+  KeyBounds from;
+  from.lo = 7.0;
+  std::vector<int> sevens = Collect(mixed, from);
+  ASSERT_EQ(sevens.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(sevens[i], i);
+}
+
 TEST(BPlusTreeTest, SplitsAcrossManyLevels) {
   BPlusTree<int> tree;
   const int n = 20000;

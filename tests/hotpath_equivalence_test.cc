@@ -1,0 +1,328 @@
+// Kernel equivalence suite: every propagation-kernel variant (COUNT-only
+// modular / COUNT-only exact / generic; single-query, multi-query shared
+// cells, partial sharing) must produce rows identical to the generic
+// flag-tested path on randomized streams — the kernels change only how
+// aggregate state moves, never what it computes. Plus Counter
+// promotion-boundary tests at the u64 overflow edge, including an
+// engine-level run whose trend count crosses 2^64.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workload/stock.h"
+
+namespace greta {
+namespace {
+
+using testing::MakeGreta;
+using testing::RunEngine;
+
+std::unique_ptr<Catalog> FuzzCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+  for (const char* name : {"A", "B", "C"}) {
+    catalog->DefineType(name, {{"x", Value::Kind::kDouble},
+                               {"g", Value::Kind::kInt}});
+  }
+  return catalog;
+}
+
+Stream FuzzStream(Catalog* catalog, uint64_t seed, int n) {
+  Random rng(seed);
+  const char* types[] = {"A", "B", "C"};
+  Stream stream;
+  Ts time = 0;
+  for (int i = 0; i < n; ++i) {
+    time += rng.UniformInt(0, 2);
+    stream.Append(EventBuilder(catalog, types[rng.UniformInt(0, 2)], time)
+                      .Set("x", rng.UniformDouble(0, 10))
+                      .Set("g", rng.UniformInt(0, 2))
+                      .Build());
+  }
+  return stream;
+}
+
+// Bit-exact row comparison: the kernels must not change results at all, so
+// unlike RowsEquivalent there is no floating-point tolerance.
+void ExpectIdenticalRows(const std::vector<ResultRow>& a,
+                         const std::vector<ResultRow>& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].wid, b[i].wid) << label << " row " << i;
+    ASSERT_EQ(a[i].group.size(), b[i].group.size()) << label << " row " << i;
+    for (size_t g = 0; g < a[i].group.size(); ++g) {
+      EXPECT_TRUE(a[i].group[g] == b[i].group[g]) << label << " row " << i;
+    }
+    EXPECT_EQ(a[i].aggs.count.ToDecimal(), b[i].aggs.count.ToDecimal())
+        << label << " row " << i;
+    EXPECT_EQ(a[i].aggs.type_count.ToDecimal(),
+              b[i].aggs.type_count.ToDecimal())
+        << label << " row " << i;
+    EXPECT_EQ(a[i].aggs.min, b[i].aggs.min) << label << " row " << i;
+    EXPECT_EQ(a[i].aggs.max, b[i].aggs.max) << label << " row " << i;
+    EXPECT_EQ(a[i].aggs.sum, b[i].aggs.sum) << label << " row " << i;
+  }
+}
+
+// Runs `spec` with kernels enabled and disabled and asserts identical rows.
+void ExpectKernelMatchesGeneric(const Catalog* catalog, const QuerySpec& spec,
+                                const Stream& stream, EngineOptions options,
+                                const std::string& label) {
+  options.enable_specialized_kernels = true;
+  auto fast = MakeGreta(catalog, spec.Clone(), options);
+  options.enable_specialized_kernels = false;
+  auto generic = MakeGreta(catalog, spec.Clone(), options);
+  std::vector<ResultRow> fast_rows = RunEngine(fast.get(), stream);
+  std::vector<ResultRow> generic_rows = RunEngine(generic.get(), stream);
+  ExpectIdenticalRows(fast_rows, generic_rows, label);
+}
+
+QuerySpec Parse(const std::string& text, Catalog* catalog) {
+  auto spec = ParseQuery(text, catalog);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+// Processes the stream WITHOUT draining rows (multi-query runtimes are
+// drained per slot with TakeResultsFor afterwards; RunEngine would swallow
+// every slot through TakeResults).
+void ProcessStream(GretaEngine* engine, const Stream& stream) {
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(engine->Process(e).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+}
+
+TEST(HotpathEquivalence, SingleQueryKernelGrid) {
+  auto catalog = FuzzCatalog();
+  const char* aggs[] = {"COUNT(*)", "COUNT(S)", "SUM(S.x)",
+                        "MIN(S.x), MAX(S.x)", "AVG(S.x)"};
+  const char* patterns[] = {"A S+", "SEQ(A S+, B E)",
+                            "SEQ(C H, A S+, B E)"};
+  const char* windows[] = {"", " WITHIN 8 seconds SLIDE 4 seconds",
+                           " WITHIN 10 seconds SLIDE 10 seconds"};
+  for (CounterMode mode : {CounterMode::kModular, CounterMode::kExact}) {
+    for (const char* agg : aggs) {
+      for (const char* pattern : patterns) {
+        for (const char* window : windows) {
+          // COUNT(A)/attribute aggregates need the Kleene type in scope for
+          // every pattern above (it is: S binds A).
+          std::string text = "RETURN " + std::string(agg) + " PATTERN " +
+                             pattern + " GROUP-BY g" + window;
+          QuerySpec spec = Parse(text, catalog.get());
+          Stream stream = FuzzStream(catalog.get(), 7, 120);
+          EngineOptions options;
+          options.counter_mode = mode;
+          ExpectKernelMatchesGeneric(
+              catalog.get(), spec, stream, options,
+              text + (mode == CounterMode::kExact ? " [exact]"
+                                                  : " [modular]"));
+        }
+      }
+    }
+  }
+}
+
+TEST(HotpathEquivalence, SemanticsAndPredicates) {
+  auto catalog = FuzzCatalog();
+  std::string text =
+      "RETURN COUNT(*) PATTERN A S+ WHERE S.x < NEXT(S).x "
+      "WITHIN 6 seconds SLIDE 3 seconds";
+  QuerySpec spec = Parse(text, catalog.get());
+  for (Semantics semantics :
+       {Semantics::kSkipTillAnyMatch, Semantics::kSkipTillNextMatch,
+        Semantics::kContiguous}) {
+    Stream stream = FuzzStream(catalog.get(), 13, 150);
+    EngineOptions options;
+    options.semantics = semantics;
+    ExpectKernelMatchesGeneric(catalog.get(), spec, stream, options,
+                               text + " semantics=" +
+                                   std::to_string(static_cast<int>(semantics)));
+  }
+}
+
+TEST(HotpathEquivalence, NegationStaysGenericAndIdentical) {
+  auto catalog = FuzzCatalog();
+  for (const char* pattern :
+       {"SEQ(A S+, NOT C N, B E)", "SEQ(A S+, NOT C N)",
+        "SEQ(NOT C N, A S+)"}) {
+    std::string text = "RETURN COUNT(*) PATTERN " + std::string(pattern) +
+                       " WITHIN 8 seconds SLIDE 4 seconds";
+    QuerySpec spec = Parse(text, catalog.get());
+    Stream stream = FuzzStream(catalog.get(), 29, 150);
+    ExpectKernelMatchesGeneric(catalog.get(), spec, stream, {}, text);
+  }
+}
+
+TEST(HotpathEquivalence, MultiQuerySharedCells) {
+  auto catalog = FuzzCatalog();
+  // All-COUNT cluster exercises the multi-slot count kernel; the mixed
+  // cluster must demote to the generic kernel and still match.
+  const std::vector<std::vector<std::string>> workloads = {
+      {"RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+       "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+       "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds"},
+      {"RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+       "RETURN SUM(S.x) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+       "RETURN MIN(S.x), MAX(S.x) PATTERN A S+ WITHIN 8 seconds SLIDE 4 "
+       "seconds"}};
+  for (const std::vector<std::string>& workload : workloads) {
+    std::vector<QuerySpec> specs;
+    for (const std::string& text : workload) {
+      specs.push_back(Parse(text, catalog.get()));
+    }
+    std::vector<const QuerySpec*> spec_ptrs;
+    for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+
+    Stream stream = FuzzStream(catalog.get(), 41, 150);
+    EngineOptions options;
+    options.enable_specialized_kernels = true;
+    auto fast = GretaEngine::CreateMulti(catalog.get(), spec_ptrs, options);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    options.enable_specialized_kernels = false;
+    auto generic =
+        GretaEngine::CreateMulti(catalog.get(), spec_ptrs, options);
+    ASSERT_TRUE(generic.ok()) << generic.status().ToString();
+
+    ProcessStream(fast.value().get(), stream);
+    ProcessStream(generic.value().get(), stream);
+    for (size_t q = 0; q < specs.size(); ++q) {
+      ExpectIdenticalRows(fast.value()->TakeResultsFor(q),
+                          generic.value()->TakeResultsFor(q),
+                          "multi-query slot " + std::to_string(q));
+    }
+  }
+}
+
+TEST(HotpathEquivalence, PartialSharingMatchesDedicatedKernels) {
+  auto catalog = FuzzCatalog();
+  // Shared Kleene core, differing suffixes and windows: the partial runtime
+  // (its own snapshot path, arena-backed vertices) must match dedicated
+  // engines running the specialized kernels.
+  std::vector<QuerySpec> specs;
+  specs.push_back(Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+      catalog.get()));
+  specs.push_back(Parse(
+      "RETURN COUNT(*) PATTERN SEQ(A S+, B E) WITHIN 4 seconds SLIDE 4 "
+      "seconds",
+      catalog.get()));
+  std::vector<const QuerySpec*> spec_ptrs;
+  for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+
+  Stream stream = FuzzStream(catalog.get(), 53, 150);
+  auto partial = GretaEngine::CreatePartial(catalog.get(), spec_ptrs, {});
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ProcessStream(partial.value().get(), stream);
+  for (size_t q = 0; q < specs.size(); ++q) {
+    auto dedicated = MakeGreta(catalog.get(), specs[q].Clone());
+    std::vector<ResultRow> expected = RunEngine(dedicated.get(), stream);
+    ExpectIdenticalRows(partial.value()->TakeResultsFor(q), expected,
+                        "partial slot " + std::to_string(q));
+  }
+}
+
+// --- Counter promotion boundary (u64 overflow edge) ---
+
+TEST(CounterPromotion, AddOneAtMaxPromotesExact) {
+  Counter c(~uint64_t{0});
+  c.AddOne(CounterMode::kExact);
+  EXPECT_EQ(c.ToDecimal(), "18446744073709551616");  // 2^64
+  EXPECT_EQ(c.Low64(), 0u);
+  EXPECT_FALSE(c.IsZero());
+  c.AddOne(CounterMode::kExact);
+  EXPECT_EQ(c.ToDecimal(), "18446744073709551617");
+}
+
+TEST(CounterPromotion, AddOneAtMaxWrapsModular) {
+  Counter c(~uint64_t{0});
+  c.AddOne(CounterMode::kModular);
+  EXPECT_TRUE(c.IsZero());
+  EXPECT_EQ(c.ToDecimal(), "0");
+}
+
+TEST(CounterPromotion, AddCrossingBoundary) {
+  Counter a(uint64_t{1} << 63);
+  Counter b(uint64_t{1} << 63);
+  a.Add(b, CounterMode::kExact);
+  EXPECT_EQ(a.ToDecimal(), "18446744073709551616");
+  // One below the edge stays un-promoted.
+  Counter c(~uint64_t{0} - 1);
+  Counter one(1);
+  c.Add(one, CounterMode::kExact);
+  EXPECT_EQ(c.ApproxHeapBytes(), 0u);  // still the inline u64
+  EXPECT_EQ(c.Low64(), ~uint64_t{0});
+  // Modular wraps silently.
+  Counter d(~uint64_t{0});
+  d.Add(one, CounterMode::kModular);
+  EXPECT_TRUE(d.IsZero());
+}
+
+TEST(CounterPromotion, PromotedAccumulatesFurtherAdds) {
+  Counter promoted(~uint64_t{0});
+  promoted.AddOne(CounterMode::kExact);  // 2^64, promoted
+  Counter plain(5);
+  promoted.Add(plain, CounterMode::kExact);
+  EXPECT_EQ(promoted.ToDecimal(), "18446744073709551621");
+  // Copies of promoted counters are deep.
+  Counter copy = promoted;
+  copy.AddOne(CounterMode::kExact);
+  EXPECT_EQ(promoted.ToDecimal(), "18446744073709551621");
+  EXPECT_EQ(copy.ToDecimal(), "18446744073709551622");
+}
+
+// Engine-level promotion: n same-type events under an unbounded window give
+// 2^n - 1 trends (every non-empty subsequence), so n = 70 drives the
+// COUNT(*)-exact kernel across the u64 overflow edge mid-stream. The
+// modular engine must agree mod 2^64.
+TEST(CounterPromotion, EngineCountCrossesU64Boundary) {
+  auto catalog = FuzzCatalog();
+  QuerySpec spec = Parse("RETURN COUNT(*) PATTERN A S+", catalog.get());
+  Stream stream;
+  const int n = 70;
+  for (int i = 0; i < n; ++i) {
+    stream.Append(EventBuilder(catalog.get(), "A", i + 1)
+                      .Set("x", 1.0)
+                      .Set("g", 0)
+                      .Build());
+  }
+
+  // Expected 2^70 - 1 via the Counter itself: x -> 2x + 1, n times.
+  Counter expected;
+  for (int i = 0; i < n; ++i) {
+    Counter copy = expected;
+    expected.Add(copy, CounterMode::kExact);
+    expected.AddOne(CounterMode::kExact);
+  }
+
+  EngineOptions exact;
+  exact.counter_mode = CounterMode::kExact;
+  auto exact_engine = MakeGreta(catalog.get(), spec.Clone(), exact);
+  std::vector<ResultRow> exact_rows =
+      RunEngine(exact_engine.get(), stream);
+  ASSERT_EQ(exact_rows.size(), 1u);
+  EXPECT_EQ(exact_rows[0].aggs.count.ToDecimal(), expected.ToDecimal());
+
+  EngineOptions modular;
+  modular.counter_mode = CounterMode::kModular;
+  auto modular_engine = MakeGreta(catalog.get(), spec.Clone(), modular);
+  std::vector<ResultRow> modular_rows =
+      RunEngine(modular_engine.get(), stream);
+  ASSERT_EQ(modular_rows.size(), 1u);
+  EXPECT_EQ(modular_rows[0].aggs.count.Low64(), expected.Low64());
+
+  // And the exact engine agrees with its generic-kernel twin bit for bit.
+  exact.enable_specialized_kernels = false;
+  auto generic_engine = MakeGreta(catalog.get(), spec.Clone(), exact);
+  std::vector<ResultRow> generic_rows =
+      RunEngine(generic_engine.get(), stream);
+  ExpectIdenticalRows(exact_rows, generic_rows, "overflow exact-vs-generic");
+}
+
+}  // namespace
+}  // namespace greta

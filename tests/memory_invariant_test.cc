@@ -1,0 +1,155 @@
+// Memory accounting invariants: the O(1) incremental byte counters
+// maintained at the allocation sites (pane creation, vertex insert, arena
+// chunk growth, tree node growth) must equal a from-scratch recomputation —
+// at any point mid-stream, at window close, and after Purge — and the
+// MemoryTracker must see exactly the same totals.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "storage/pane.h"
+#include "tests/test_util.h"
+#include "workload/stock.h"
+
+namespace greta {
+namespace {
+
+using testing::MakeGreta;
+
+QuerySpec Parse(const std::string& text, Catalog* catalog) {
+  auto spec = ParseQuery(text, catalog);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+// --- PaneStore level ---
+
+struct PlainVertex {
+  int64_t payload[6] = {0};
+};
+
+TEST(MemoryInvariant, PaneStoreIncrementalMatchesRecompute) {
+  MemoryTracker tracker;
+  {
+    PaneStore<PlainVertex> store(10, 3, &tracker);
+    for (Ts t = 0; t < 500; ++t) {
+      // Arena allocations interleaved with inserts, like the graph does.
+      Arena* arena = store.ArenaFor(t);
+      arena->AllocateArray<int64_t>(static_cast<size_t>(t % 7) + 1);
+      store.Insert(t, static_cast<size_t>(t % 3),
+                   static_cast<double>(t % 13), PlainVertex{});
+      if (t % 97 == 0) {
+        EXPECT_EQ(store.ApproxBytes(), store.RecomputeApproxBytes())
+            << "at t=" << t;
+        EXPECT_EQ(tracker.current_bytes(), store.ApproxBytes());
+      }
+    }
+    EXPECT_EQ(store.ApproxBytes(), store.RecomputeApproxBytes());
+    EXPECT_EQ(tracker.current_bytes(), store.ApproxBytes());
+
+    size_t freed = store.PurgeBefore(250);
+    EXPECT_GT(freed, 0u);
+    EXPECT_EQ(store.ApproxBytes(), store.RecomputeApproxBytes());
+    EXPECT_EQ(tracker.current_bytes(), store.ApproxBytes());
+
+    store.PurgeBefore(10000);
+    EXPECT_EQ(store.RecomputeApproxBytes(), 0u);
+    EXPECT_EQ(store.ApproxBytes(), 0u);
+    EXPECT_EQ(tracker.current_bytes(), 0u);
+  }
+  // Destruction releases whatever was still charged.
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+// --- Engine level ---
+
+// Streams events through `spec` and asserts, at every window close (the
+// engine emitted rows) and at the end, that the tracker's current bytes
+// equal a from-scratch walk of every partition's panes.
+void ExpectEngineInvariant(const std::string& text, CounterMode mode) {
+  auto catalog = std::make_unique<Catalog>();
+  RegisterStockTypes(catalog.get());
+  QuerySpec spec = Parse(text, catalog.get());
+
+  StockConfig config;
+  config.seed = 23;
+  config.num_companies = 5;
+  config.num_sectors = 2;
+  config.rate = 30;
+  config.duration = 40;
+  Stream stream = GenerateStockStream(catalog.get(), config);
+
+  EngineOptions options;
+  options.counter_mode = mode;
+  auto engine = MakeGreta(catalog.get(), spec, options);
+
+  size_t checks = 0;
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(engine->Process(e).ok());
+    std::vector<ResultRow> rows = engine->TakeResults();
+    if (!rows.empty() || checks % 64 == 0) {
+      // Window close (rows emitted) means ForgetWindow + Purge just ran.
+      EXPECT_EQ(engine->RecomputeTrackedBytes(),
+                engine->memory().current_bytes())
+          << text << " after event seq " << e.seq;
+    }
+    ++checks;
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(engine->RecomputeTrackedBytes(),
+            engine->memory().current_bytes())
+      << text << " after flush";
+  EXPECT_GE(engine->memory().peak_bytes(), engine->memory().current_bytes());
+}
+
+TEST(MemoryInvariant, CountQuerySlidingWindow) {
+  ExpectEngineInvariant(
+      "RETURN sector, COUNT(*) PATTERN Stock S+ WHERE [company, sector] AND "
+      "S.price > NEXT(S).price GROUP-BY sector WITHIN 10 seconds SLIDE 5 "
+      "seconds",
+      CounterMode::kModular);
+}
+
+TEST(MemoryInvariant, AttributeAggregatesExactMode) {
+  ExpectEngineInvariant(
+      "RETURN sector, MIN(S.price), MAX(S.price), AVG(S.price) PATTERN "
+      "Stock S+ WHERE [company, sector] GROUP-BY sector WITHIN 8 seconds "
+      "SLIDE 4 seconds",
+      CounterMode::kExact);
+}
+
+TEST(MemoryInvariant, TumblingWindowPurgesWholesale) {
+  auto catalog = std::make_unique<Catalog>();
+  RegisterStockTypes(catalog.get());
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN Stock S+ WHERE [company] WITHIN 5 seconds "
+      "SLIDE 5 seconds",
+      catalog.get());
+
+  StockConfig config;
+  config.seed = 5;
+  config.num_companies = 3;
+  config.rate = 20;
+  config.duration = 60;
+  Stream stream = GenerateStockStream(catalog.get(), config);
+
+  auto engine = MakeGreta(catalog.get(), spec);
+  size_t mid_stream_bytes = 0;
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(engine->Process(e).ok());
+    if (e.time == 30) mid_stream_bytes = engine->memory().current_bytes();
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  // Purge keeps current usage bounded: the end-of-stream footprint must not
+  // exceed a small multiple of the mid-stream footprint (panes expire).
+  EXPECT_EQ(engine->RecomputeTrackedBytes(),
+            engine->memory().current_bytes());
+  ASSERT_GT(mid_stream_bytes, 0u);
+  EXPECT_LT(engine->memory().current_bytes(), 4 * mid_stream_bytes);
+}
+
+}  // namespace
+}  // namespace greta
