@@ -69,23 +69,6 @@ class TwoStepEngine : public EngineInterface {
   MemoryTracker* memory() { return &memory_; }
 
  private:
-  struct ValueVecHash {
-    size_t operator()(const std::vector<Value>& v) const {
-      size_t h = 0x9e3779b97f4a7c15ULL;
-      for (const Value& x : v) h = h * 1099511628211ULL ^ x.Hash();
-      return h;
-    }
-  };
-  struct ValueVecEq {
-    bool operator()(const std::vector<Value>& a,
-                    const std::vector<Value>& b) const {
-      if (a.size() != b.size()) return false;
-      for (size_t i = 0; i < a.size(); ++i) {
-        if (!(a[i] == b[i])) return false;
-      }
-      return true;
-    }
-  };
   struct BroadcastEvent {
     Event event;
     std::vector<bool> has_attr;

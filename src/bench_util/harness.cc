@@ -36,6 +36,12 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
   return it->second != "false" && it->second != "0";
 }
 
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -23,9 +23,20 @@ namespace greta {
 /// happens inside aggregate propagation with no tracker in reach, and the
 /// benchmark regime (modular counters) never promotes. Metric comparisons
 /// across engines are unaffected as long as modes match.
+///
+/// Roll-up hierarchy (src/runtime/ sharded execution): a tracker may be
+/// given a parent; every Add/Release is forwarded to the parent at the
+/// allocation site, so the parent's peak is a true point-in-time aggregate
+/// across all children (summing per-child peaks would add maxima reached at
+/// different times). The parent must be set before any concurrent use and
+/// must outlive the child.
 class MemoryTracker {
  public:
   MemoryTracker() = default;
+  explicit MemoryTracker(MemoryTracker* parent) : parent_(parent) {}
+
+  /// Not thread-safe: call before the tracker is shared across threads.
+  void set_parent(MemoryTracker* parent) { parent_ = parent; }
 
   void Add(size_t bytes) {
     size_t now =
@@ -35,10 +46,12 @@ class MemoryTracker {
            !peak_.compare_exchange_weak(peak, now,
                                         std::memory_order_relaxed)) {
     }
+    if (parent_ != nullptr) parent_->Add(bytes);
   }
 
   void Release(size_t bytes) {
     current_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Release(bytes);
   }
 
   size_t current_bytes() const {
@@ -52,6 +65,7 @@ class MemoryTracker {
   }
 
  private:
+  MemoryTracker* parent_ = nullptr;
   std::atomic<size_t> current_{0};
   std::atomic<size_t> peak_{0};
 };

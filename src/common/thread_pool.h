@@ -15,6 +15,13 @@ namespace greta {
 /// sub-streams that are processed in parallel independently from each
 /// other"). Tasks are arbitrary closures; WaitIdle() provides the barrier at
 /// stream-transaction boundaries.
+///
+/// Pinned tasks (src/runtime/ sharded execution): SubmitPinned(w, task)
+/// guarantees the task runs on worker `w`, so per-shard state touched only
+/// by that shard's drain loop needs no further synchronization. A worker
+/// prefers its pinned queue over the shared queue; long-running pinned
+/// tasks (e.g. a queue drain loop that exits on queue close) simply occupy
+/// their worker until they return.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -24,23 +31,28 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution on any worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a task that must execute on worker `worker` (< num_threads).
+  void SubmitPinned(size_t worker, std::function<void()> task);
+
+  /// Blocks until every submitted task (shared and pinned) has finished.
   void WaitIdle();
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
 
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
+  std::vector<std::deque<std::function<void()>>> pinned_;  // per worker
   std::vector<std::thread> threads_;
   size_t in_flight_ = 0;
+  size_t pinned_pending_ = 0;  // total across pinned_ queues
   bool shutdown_ = false;
 };
 

@@ -160,6 +160,27 @@ class Value {
   };
 };
 
+/// Hash / equality over value vectors (partition keys, group keys), shared
+/// by the engine's partition map, the baselines, the shard router and the
+/// result merger — one combine, so they can never hash differently.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& x : v) h = h * 1099511628211ULL ^ x.Hash();
+    return h;
+  }
+};
+struct ValueVecEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
 /// Interns strings to dense 32-bit ids. Not thread-safe for interning;
 /// lookups of already-interned ids are safe concurrently with each other.
 class StringPool {

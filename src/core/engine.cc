@@ -97,6 +97,16 @@ Status GretaEngine::Process(const Event& e) {
   return Status::Ok();
 }
 
+Status GretaEngine::AdvanceWatermark(Ts now) {
+  if (saw_events_ && now <= watermark_) return Status::Ok();
+  // Events at time == `now` may still arrive, so a micro-batch of that
+  // timestamp stays open; earlier batches can no longer grow.
+  if (pool_ != nullptr && !batch_.empty() && now > batch_ts_) FlushBatch();
+  AdvanceTime(now);
+  if (saw_events_) watermark_ = now;
+  return Status::Ok();
+}
+
 void GretaEngine::AdvanceTime(Ts now) { CloseWindowsUpTo(now); }
 
 void GretaEngine::CloseWindowsUpTo(Ts now) {

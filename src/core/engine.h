@@ -78,6 +78,14 @@ class GretaEngine : public EngineInterface {
   Status Flush() override;
   std::vector<ResultRow> TakeResults() override;
 
+  /// Watermark hook for external drivers (src/runtime/ sharded execution):
+  /// declares that every event with time < `now` has already been delivered,
+  /// closing (and emitting) windows exactly as Process(e with e.time == now)
+  /// would before routing — without consuming an event. Events at time ==
+  /// `now` may still arrive afterwards. A watermark earlier than the current
+  /// one is a no-op.
+  Status AdvanceWatermark(Ts now);
+
   /// Drains the rows of query slot `q` (multi-query runtimes). TakeResults()
   /// is equivalent to TakeResultsFor(0).
   std::vector<ResultRow> TakeResultsFor(size_t q);
@@ -122,24 +130,6 @@ class GretaEngine : public EngineInterface {
   // The partition key lives only as the partitions_ map key.
   struct Partition {
     std::vector<AltRuntime> alts;
-  };
-
-  struct ValueVecHash {
-    size_t operator()(const std::vector<Value>& v) const {
-      size_t h = 0x9e3779b97f4a7c15ULL;
-      for (const Value& x : v) h = h * 1099511628211ULL ^ x.Hash();
-      return h;
-    }
-  };
-  struct ValueVecEq {
-    bool operator()(const std::vector<Value>& a,
-                    const std::vector<Value>& b) const {
-      if (a.size() != b.size()) return false;
-      for (size_t i = 0; i < a.size(); ++i) {
-        if (!(a[i] == b[i])) return false;
-      }
-      return true;
-    }
   };
 
   // A buffered event of a type lacking some key attributes, delivered to

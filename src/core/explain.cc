@@ -77,6 +77,13 @@ std::string ExplainPlan(const ExecPlan& plan, const Catalog& catalog) {
       if (i < plan.num_group_attrs) out += "(group)";
     }
     out += "\n";
+    out +=
+        "sharding: partition-parallel (src/runtime/ hashes the partition "
+        "key to a shard)\n";
+  } else {
+    out +=
+        "sharding: none — no GROUP-BY or equivalence key; the sharded "
+        "runtime routes every event to shard 0\n";
   }
 
   if (plan.groups.size() > 1) {

@@ -1,0 +1,135 @@
+#include "runtime/result_merger.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "storage/window.h"
+
+namespace greta::runtime {
+
+ResultMerger::ResultMerger(size_t num_shards,
+                           std::vector<WindowSpec> emission_windows,
+                           std::vector<AggPlan> agg_plans)
+    : num_shards_(num_shards),
+      emission_windows_(std::move(emission_windows)),
+      agg_plans_(std::move(agg_plans)) {
+  GRETA_CHECK(emission_windows_.size() == agg_plans_.size());
+  stages_.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    stages_.push_back(std::make_unique<ShardStage>());
+    stages_.back()->per_query.resize(emission_windows_.size());
+  }
+  pending_.resize(emission_windows_.size());
+  ready_.resize(emission_windows_.size());
+}
+
+void ResultMerger::Stage(size_t shard, size_t query,
+                         std::vector<ResultRow> rows) {
+  GRETA_DCHECK(shard < num_shards_ && query < emission_windows_.size());
+  if (rows.empty()) return;
+  ShardStage& stage = *stages_[shard];
+  std::lock_guard<std::mutex> lock(stage.mu);
+  std::vector<ResultRow>& staged = stage.per_query[query];
+  staged.insert(staged.end(), std::make_move_iterator(rows.begin()),
+                std::make_move_iterator(rows.end()));
+}
+
+void ResultMerger::PublishClock(size_t shard, Ts clock) {
+  GRETA_DCHECK(shard < num_shards_);
+  stages_[shard]->clock.store(clock, std::memory_order_release);
+}
+
+Ts ResultMerger::low_watermark() const {
+  Ts low = kMaxTs;
+  for (const std::unique_ptr<ShardStage>& stage : stages_) {
+    Ts c = stage->clock.load(std::memory_order_acquire);
+    if (c < low) low = c;
+  }
+  return low;
+}
+
+void ResultMerger::Merge() {
+  // Read the clocks BEFORE harvesting: a shard publishes its clock only
+  // after staging everything up to it, so whatever clock we observe is a
+  // promise the harvest below has already fulfilled.
+  const Ts low = flushed_ ? kMaxTs : low_watermark();
+
+  const size_t nq = emission_windows_.size();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    ShardStage& stage = *stages_[s];
+    std::lock_guard<std::mutex> lock(stage.mu);
+    for (size_t q = 0; q < nq; ++q) {
+      std::vector<ResultRow>& staged = stage.per_query[q];
+      if (staged.empty()) continue;
+      for (ResultRow& row : staged) {
+        std::vector<std::vector<ResultRow>>& per_shard =
+            pending_[q]
+                .try_emplace(row.wid, num_shards_)
+                .first->second;
+        per_shard[s].push_back(std::move(row));
+      }
+      staged.clear();
+    }
+  }
+
+  for (size_t q = 0; q < nq; ++q) {
+    const WindowSpec& window = emission_windows_[q];
+    const AggPlan& plan = agg_plans_[q];
+    auto it = pending_[q].begin();
+    while (it != pending_[q].end()) {
+      const bool window_ready =
+          flushed_ ||
+          (!window.unbounded() && WindowCloseTime(it->first, window) <= low);
+      if (!window_ready) break;  // ascending map: later windows close later
+      std::unordered_map<std::vector<Value>, AggOutputs, ValueVecHash,
+                         ValueVecEq>
+          merged;
+      std::vector<std::vector<Value>> order;  // first-seen group order
+      for (std::vector<ResultRow>& shard_rows : it->second) {
+        for (ResultRow& row : shard_rows) {
+          auto [slot, inserted] = merged.try_emplace(row.group);
+          if (inserted) order.push_back(row.group);
+          slot->second.Merge(row.aggs, plan);
+        }
+      }
+      std::vector<ResultRow> rows;
+      rows.reserve(order.size());
+      for (std::vector<Value>& group : order) {
+        ResultRow row;
+        row.wid = it->first;
+        row.aggs = std::move(merged[group]);
+        row.group = std::move(group);
+        rows.push_back(std::move(row));
+      }
+      SortRows(&rows);
+      std::vector<ResultRow>& out = ready_[q];
+      out.insert(out.end(), std::make_move_iterator(rows.begin()),
+                 std::make_move_iterator(rows.end()));
+      it = pending_[q].erase(it);
+    }
+  }
+}
+
+void ResultMerger::MarkFlushed() {
+  flushed_ = true;
+  Merge();
+}
+
+void ResultMerger::ClearFlushed() { flushed_ = false; }
+
+std::vector<ResultRow> ResultMerger::TakeReady(size_t query) {
+  GRETA_CHECK(query < ready_.size());
+  std::vector<ResultRow> out = std::move(ready_[query]);
+  ready_[query].clear();
+  return out;
+}
+
+bool ResultMerger::HasReady() const {
+  for (const std::vector<ResultRow>& rows : ready_) {
+    if (!rows.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace greta::runtime

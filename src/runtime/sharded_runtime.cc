@@ -1,0 +1,282 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace greta::runtime {
+
+namespace {
+
+PlannerOptions PlannerOptionsFrom(const EngineOptions& options) {
+  PlannerOptions popts;
+  popts.counter_mode = options.counter_mode;
+  popts.semantics = options.semantics;
+  popts.max_windows_per_event = options.max_windows_per_event;
+  popts.enable_tree_ranges = options.enable_tree_ranges;
+  popts.enable_pruning = options.enable_pruning;
+  popts.enable_specialized_kernels = options.enable_specialized_kernels;
+  return popts;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
+    const Catalog* catalog, const std::vector<QuerySpec>& workload,
+    const ShardedOptions& options) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("sharded runtime needs at least one query");
+  }
+  StatusOr<ShardRouter> router =
+      ShardRouter::Create(workload, *catalog, options.num_shards,
+                          PlannerOptionsFrom(options.workload.engine));
+  if (!router.ok()) return router.status();
+
+  auto rt = std::unique_ptr<ShardedRuntime>(new ShardedRuntime());
+  rt->catalog_ = catalog;
+  rt->router_ = std::move(router).value();
+  rt->options_ = options;
+  if (rt->options_.batch_size == 0) rt->options_.batch_size = 1;
+
+  const size_t num_shards = rt->router_.num_shards();
+  rt->shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->memory = std::make_unique<MemoryTracker>(&rt->total_memory_);
+    if (workload.size() == 1) {
+      EngineOptions engine_options = options.workload.engine;
+      engine_options.memory = shard->memory.get();
+      StatusOr<std::unique_ptr<GretaEngine>> engine =
+          GretaEngine::Create(catalog, workload[0], engine_options);
+      if (!engine.ok()) return engine.status();
+      shard->greta = std::move(engine).value();
+    } else {
+      sharing::SharedEngineOptions shard_options = options.workload;
+      shard_options.engine.memory = shard->memory.get();
+      StatusOr<std::unique_ptr<sharing::SharedWorkloadEngine>> engine =
+          sharing::SharedWorkloadEngine::Create(catalog, workload,
+                                                shard_options);
+      if (!engine.ok()) return engine.status();
+      shard->shared = std::move(engine).value();
+    }
+    shard->queue = std::make_unique<SpscQueue<Batch>>(
+        std::max<size_t>(options.queue_capacity, 2));
+    rt->shards_.push_back(std::move(shard));
+  }
+
+  // Emission grids and merge plans come from shard 0's compiled workload
+  // (identical on every shard).
+  const Shard& shard0 = *rt->shards_[0];
+  std::vector<WindowSpec> windows;
+  std::vector<AggPlan> plans;
+  for (size_t q = 0; q < workload.size(); ++q) {
+    if (shard0.greta != nullptr) {
+      windows.push_back(shard0.greta->plan().window);
+      plans.push_back(shard0.greta->agg_plan());
+    } else {
+      windows.push_back(shard0.shared->emission_window(q));
+      plans.push_back(shard0.shared->agg_plan_for(q));
+    }
+  }
+  rt->merger_ = std::make_unique<ResultMerger>(num_shards, std::move(windows),
+                                               std::move(plans));
+
+  rt->pool_ = std::make_unique<ThreadPool>(num_shards);
+  ShardedRuntime* raw = rt.get();
+  for (size_t s = 0; s < num_shards; ++s) {
+    rt->pool_->SubmitPinned(s, [raw, s] { raw->DrainLoop(s); });
+  }
+  return rt;
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->queue != nullptr) shard->queue->Close();
+  }
+  pool_.reset();  // joins the drain loops before shards_/merger_ die
+}
+
+Status ShardedRuntime::Process(const Event& e) {
+  if (any_error_.load(std::memory_order_relaxed)) return FirstShardError();
+  if (saw_events_ && e.time < clock_) {
+    return Status::InvalidArgument(
+        "events must arrive in-order by timestamp (Section 2)");
+  }
+  merger_->ClearFlushed();
+  saw_events_ = true;
+  clock_ = e.time;
+  ++events_processed_;
+
+  int target = router_.ShardOf(e);
+  if (target == ShardRouter::kBroadcast) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->pending.push_back(e);
+      if (shards_[s]->pending.size() >= options_.batch_size) {
+        FlushShardBatch(s, /*flush=*/false);
+      }
+    }
+  } else if (target >= 0) {
+    Shard& shard = *shards_[target];
+    shard.pending.push_back(e);
+    if (shard.pending.size() >= options_.batch_size) {
+      FlushShardBatch(static_cast<size_t>(target), /*flush=*/false);
+    }
+  }
+
+  if (options_.heartbeat_events > 0 &&
+      ++events_since_heartbeat_ >= options_.heartbeat_events) {
+    // Watermark-only heartbeats for idle shards: every shard's clock keeps
+    // up with the stream, so the low watermark — and emission — advances
+    // even when the key distribution starves some shards.
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      FlushShardBatch(s, /*flush=*/false);
+    }
+    events_since_heartbeat_ = 0;
+  }
+  return Status::Ok();
+}
+
+void ShardedRuntime::FlushShardBatch(size_t shard_index, bool flush) {
+  Shard& shard = *shards_[shard_index];
+  Batch batch;
+  batch.events = std::move(shard.pending);
+  shard.pending.clear();
+  batch.watermark = clock_;
+  batch.flush = flush;
+  shard.queue->Push(std::move(batch));
+}
+
+Status ShardedRuntime::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_acks_ = 0;
+    flush_target_ = shards_.size();
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    FlushShardBatch(s, /*flush=*/true);
+  }
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [this] { return flush_acks_ >= flush_target_; });
+    flush_target_ = 0;
+  }
+  merger_->MarkFlushed();
+  events_since_heartbeat_ = 0;
+  return FirstShardError();
+}
+
+void ShardedRuntime::DrainLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  Batch batch;
+  while (shard.queue->Pop(&batch)) {
+    bool healthy;
+    {
+      std::lock_guard<std::mutex> lock(shard.snapshot_mu);
+      healthy = shard.error.ok();
+    }
+    if (healthy) {
+      Status status = Status::Ok();
+      for (const Event& e : batch.events) {
+        status = shard.greta != nullptr ? shard.greta->Process(e)
+                                        : shard.shared->Process(e);
+        if (!status.ok()) break;
+      }
+      if (status.ok()) {
+        status = shard.greta != nullptr
+                     ? shard.greta->AdvanceWatermark(batch.watermark)
+                     : shard.shared->AdvanceWatermark(batch.watermark);
+      }
+      if (status.ok() && batch.flush) {
+        status = shard.greta != nullptr ? shard.greta->Flush()
+                                        : shard.shared->Flush();
+      }
+      DrainShardResults(shard_index, &shard);
+      {
+        std::lock_guard<std::mutex> lock(shard.snapshot_mu);
+        if (!status.ok()) {
+          shard.error = status;
+          any_error_.store(true, std::memory_order_relaxed);
+        }
+        shard.stats_snapshot = shard.greta != nullptr
+                                   ? shard.greta->stats()
+                                   : shard.shared->stats();
+      }
+    }
+    // Clock and flush ack even when poisoned: a stalled shard would
+    // otherwise freeze the low watermark and deadlock Flush. The clock is
+    // the batch watermark even for flush batches — publishing kMaxTs would
+    // leave a STALE infinity on a shard that lags behind the others after a
+    // mid-stream Flush, letting the merger emit a later window without that
+    // shard's rows (and then re-emit it). Flush-time completeness is
+    // guaranteed by the ack rendezvous + MarkFlushed instead.
+    merger_->PublishClock(shard_index, batch.watermark);
+    if (batch.flush) {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      ++flush_acks_;
+      flush_cv_.notify_all();
+    }
+    batch = Batch();  // drop event storage before blocking on the queue
+  }
+}
+
+void ShardedRuntime::DrainShardResults(size_t shard_index, Shard* shard) {
+  const size_t nq = merger_->num_queries();
+  for (size_t q = 0; q < nq; ++q) {
+    std::vector<ResultRow> rows = shard->greta != nullptr
+                                      ? shard->greta->TakeResultsFor(q)
+                                      : shard->shared->TakeResults(q);
+    if (!rows.empty()) merger_->Stage(shard_index, q, std::move(rows));
+  }
+}
+
+std::vector<ResultRow> ShardedRuntime::TakeResults() {
+  merger_->Merge();
+  std::vector<ResultRow> all;
+  for (size_t q = 0; q < merger_->num_queries(); ++q) {
+    std::vector<ResultRow> rows = merger_->TakeReady(q);
+    all.insert(all.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  return all;
+}
+
+std::vector<ResultRow> ShardedRuntime::TakeResults(size_t query_id) {
+  merger_->Merge();
+  return merger_->TakeReady(query_id);
+}
+
+const MemoryTracker& ShardedRuntime::shard_memory(size_t shard) const {
+  GRETA_CHECK(shard < shards_.size());
+  return *shards_[shard]->memory;
+}
+
+size_t ShardedRuntime::RecomputeShardTrackedBytes(size_t shard) const {
+  GRETA_CHECK(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  return s.greta != nullptr ? s.greta->RecomputeTrackedBytes()
+                            : s.shared->RecomputeTrackedBytes();
+}
+
+Status ShardedRuntime::FirstShardError() const {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    if (!shard->error.ok()) return shard->error;
+  }
+  return Status::Ok();
+}
+
+const EngineStats& ShardedRuntime::stats() const {
+  EngineStats total;
+  total.events_processed = events_processed_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    const EngineStats& s = shard->stats_snapshot;
+    total.vertices_stored += s.vertices_stored;
+    total.edges_traversed += s.edges_traversed;
+    total.work_units += s.work_units;
+  }
+  total.peak_bytes = total_memory_.peak_bytes();
+  stats_ = total;
+  return stats_;
+}
+
+}  // namespace greta::runtime

@@ -1,0 +1,173 @@
+#ifndef GRETA_RUNTIME_SHARDED_RUNTIME_H_
+#define GRETA_RUNTIME_SHARDED_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "runtime/result_merger.h"
+#include "runtime/shard_router.h"
+#include "runtime/spsc_queue.h"
+#include "sharing/shared_engine.h"
+
+namespace greta::runtime {
+
+/// Options of the sharded parallel runtime.
+struct ShardedOptions {
+  /// Requested shard count; clamped to 1 when the workload has no common
+  /// partition key (ShardRouter).
+  size_t num_shards = 1;
+  /// Events per ingest batch: a shard's pending events are enqueued to its
+  /// SPSC queue once this many accumulate (or on heartbeat / Flush).
+  size_t batch_size = 256;
+  /// Per-shard ingest queue capacity, in batches; a full queue blocks the
+  /// router (backpressure).
+  size_t queue_capacity = 16;
+  /// Every this many Process calls the router flushes EVERY shard's pending
+  /// batch — including empty, watermark-only heartbeats — so idle shards
+  /// keep publishing fresh clocks and the low watermark (hence emission)
+  /// keeps advancing. 0 disables heartbeats (emission then waits for batch
+  /// fills and Flush).
+  size_t heartbeat_events = 1024;
+  /// Per-shard workload options. `engine.num_threads` should stay 1: the
+  /// runtime's parallelism is across shards, and nested per-engine pools
+  /// would oversubscribe cores. `engine.memory` is overwritten (each shard
+  /// accounts into its own tracker, rolled up workload-wide).
+  sharing::SharedEngineOptions workload;
+};
+
+/// Sharded parallel runtime: one workload executed across N shards
+/// in-process, each shard owning a private engine over the full workload
+/// and receiving the slice of the stream that hashes to it.
+///
+///   Process(e) ── ShardRouter ──> per-shard SPSC batch queues
+///                                   │ (pinned worker per shard)
+///                                   ▼
+///                    GretaEngine / SharedWorkloadEngine per shard
+///                    (own pane arenas, own MemoryTracker, rolled up)
+///                                   │ rows + ingest clock
+///                                   ▼
+///            ResultMerger: low-watermark-gated deterministic merge
+///
+/// Because the shard key is (a prefix of) every query's partition key,
+/// trends never span shards and each shard computes exactly the rows of its
+/// partitions; the merger recombines them in deterministic (window, group)
+/// order identical to single-threaded execution (see result_merger.h for
+/// the floating-point caveat on SUM/AVG).
+///
+/// EngineInterface contract: Process() in non-decreasing time order;
+/// TakeResults() drains merged rows whose windows the low watermark has
+/// passed, every query concatenated in query order; Flush() blocks until
+/// every shard drained its queue and flushed its engine. Workers never
+/// touch the caller's thread; Process/Flush/TakeResults must come from one
+/// driver thread at a time.
+class ShardedRuntime : public EngineInterface {
+ public:
+  static StatusOr<std::unique_ptr<ShardedRuntime>> Create(
+      const Catalog* catalog, const std::vector<QuerySpec>& workload,
+      const ShardedOptions& options = {});
+
+  ~ShardedRuntime() override;
+
+  Status Process(const Event& e) override;
+  Status Flush() override;
+
+  /// Merged rows of every query whose windows are fully closed across all
+  /// shards, concatenated in query order.
+  std::vector<ResultRow> TakeResults() override;
+
+  /// Merged ready rows of one query.
+  std::vector<ResultRow> TakeResults(size_t query_id);
+
+  size_t num_queries() const { return merger_->num_queries(); }
+  /// Effective shard count (1 when the workload is not partitionable).
+  size_t num_shards() const { return shards_.size(); }
+  bool partitioned() const { return router_.partitioned(); }
+  const ShardRouter& router() const { return router_; }
+
+  /// Minimum over shard ingest clocks — emission is gated on it.
+  Ts low_watermark() const { return merger_->low_watermark(); }
+
+  /// Workload-wide memory roll-up (every shard's tracker is its child).
+  const MemoryTracker& memory() const { return total_memory_; }
+  /// Shard-local tracker (children of memory()).
+  const MemoryTracker& shard_memory(size_t shard) const;
+  /// Re-derives shard `shard`'s tracked bytes by walking its engine.
+  /// Only valid while the runtime is quiescent (after Flush, before the
+  /// next Process) — the walk is not synchronized with the shard worker.
+  size_t RecomputeShardTrackedBytes(size_t shard) const;
+
+  /// Aggregated stats: events counted at the router; vertices / edges /
+  /// work summed over per-shard snapshots (taken by each worker after its
+  /// last processed batch); peak_bytes from the workload roll-up tracker.
+  const EngineStats& stats() const override;
+  const AggPlan& agg_plan() const override { return merger_->agg_plan(0); }
+  const AggPlan& agg_plan_for(size_t query_id) const {
+    return merger_->agg_plan(query_id);
+  }
+  std::string name() const override { return "SHARDED"; }
+
+ private:
+  struct Batch {
+    std::vector<Event> events;
+    Ts watermark = kMinTs;
+    bool flush = false;
+  };
+
+  struct Shard {
+    std::unique_ptr<MemoryTracker> memory;  // child of total_memory_
+    // Exactly one of the two engines is set: a plain GRETA runtime for
+    // single-query workloads, the sharing-planned workload runtime else.
+    std::unique_ptr<GretaEngine> greta;
+    std::unique_ptr<sharing::SharedWorkloadEngine> shared;
+    std::unique_ptr<SpscQueue<Batch>> queue;
+    std::vector<Event> pending;  // router side, pre-batch
+    std::mutex snapshot_mu;
+    EngineStats stats_snapshot;
+    Status error = Status::Ok();  // guarded by snapshot_mu
+  };
+
+  ShardedRuntime() = default;
+
+  void DrainLoop(size_t shard_index);
+  void DrainShardResults(size_t shard_index, Shard* shard);
+  void FlushShardBatch(size_t shard_index, bool flush);
+  Status FirstShardError() const;
+
+  const Catalog* catalog_ = nullptr;
+  ShardRouter router_;
+  ShardedOptions options_;
+
+  // Destruction order matters: workers reference shards_ and merger_, so
+  // pool_ (declared last) is destroyed first — the destructor closes every
+  // queue beforehand so the drain loops exit.
+  MemoryTracker total_memory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ResultMerger> merger_;
+
+  // Router-side stream state.
+  Ts clock_ = kMinTs;
+  bool saw_events_ = false;
+  size_t events_since_heartbeat_ = 0;
+  size_t events_processed_ = 0;
+
+  // Flush rendezvous.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  size_t flush_acks_ = 0;
+  size_t flush_target_ = 0;
+
+  std::atomic<bool> any_error_{false};
+  mutable EngineStats stats_;
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace greta::runtime
+
+#endif  // GRETA_RUNTIME_SHARDED_RUNTIME_H_

@@ -21,7 +21,10 @@ StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
   engine->routes_.resize(workload.size());
 
   // Every unit runtime accounts into the workload-wide tracker so
-  // stats().peak_bytes is a true point-in-time peak.
+  // stats().peak_bytes is a true point-in-time peak. A caller-provided
+  // tracker becomes the parent: the workload keeps its own accounting and
+  // rolls every allocation up (sharded runtimes aggregate shards this way).
+  engine->memory_.set_parent(options.engine.memory);
   EngineOptions unit_options = options.engine;
   unit_options.memory = &engine->memory_;
 
@@ -102,6 +105,27 @@ Status SharedWorkloadEngine::Flush() {
     if (!s.ok()) return s;
   }
   return Status::Ok();
+}
+
+Status SharedWorkloadEngine::AdvanceWatermark(Ts now) {
+  for (std::unique_ptr<GretaEngine>& unit : units_) {
+    Status s = unit->AdvanceWatermark(now);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+WindowSpec SharedWorkloadEngine::emission_window(size_t query_id) const {
+  GRETA_CHECK(query_id < routes_.size());
+  return units_[routes_[query_id].unit]->plan().window;
+}
+
+size_t SharedWorkloadEngine::RecomputeTrackedBytes() const {
+  size_t bytes = 0;
+  for (const std::unique_ptr<GretaEngine>& unit : units_) {
+    bytes += unit->RecomputeTrackedBytes();
+  }
+  return bytes;
 }
 
 std::vector<ResultRow> SharedWorkloadEngine::TakeResults() {

@@ -13,6 +13,11 @@ namespace greta::sharing {
 /// uniformly to every unit runtime (semantics, counter mode and window
 /// limits are workload-level properties here), the sharing options drive the
 /// share/no-share planning.
+///
+/// `engine.memory`, when set, becomes the PARENT of the workload tracker:
+/// the workload still accounts its own point-in-time peak, and every
+/// allocation also rolls up into the caller's tracker (src/runtime/ sharded
+/// execution aggregates per-shard workloads this way).
 struct SharedEngineOptions {
   EngineOptions engine;
   SharingOptions sharing;
@@ -44,11 +49,26 @@ class SharedWorkloadEngine : public EngineInterface {
   Status Process(const Event& e) override;
   Status Flush() override;
 
+  /// Watermark hook (src/runtime/): forwards to every unit runtime — see
+  /// GretaEngine::AdvanceWatermark.
+  Status AdvanceWatermark(Ts now);
+
   /// All queries' pending rows, concatenated in query-id order.
   std::vector<ResultRow> TakeResults() override;
 
   /// Pending rows of one query of the workload.
   std::vector<ResultRow> TakeResults(size_t query_id);
+
+  /// The window grid on which `query_id`'s rows are actually emitted by its
+  /// unit runtime: its own window for dedicated and exact-shared units, the
+  /// cluster's UNION window for partial units (rows surface when the union
+  /// window closes — see GretaEngine::CreatePartial). External drivers gate
+  /// deterministic emission on this, not on the query's declared window.
+  WindowSpec emission_window(size_t query_id) const;
+
+  /// Sums RecomputeTrackedBytes over unit runtimes (accounting invariant
+  /// tests; must equal memory().current_bytes() when quiescent).
+  size_t RecomputeTrackedBytes() const;
 
   /// Push-style delivery for EVERY query of the workload: `callback` fires
   /// with the workload query index for each result row the moment its

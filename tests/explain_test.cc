@@ -20,6 +20,7 @@ TEST(ExplainTest, RendersQ3Plan) {
   EXPECT_NE(text.find("WITHIN 300 SLIDE 60"), std::string::npos);
   EXPECT_NE(text.find("partition by: segment(group) vehicle"),
             std::string::npos);
+  EXPECT_NE(text.find("sharding: partition-parallel"), std::string::npos);
   // Negative sub-pattern with its placement case.
   EXPECT_NE(text.find("negative"), std::string::npos);
   EXPECT_NE(text.find("case 3 (leading)"), std::string::npos);
@@ -40,6 +41,10 @@ TEST(ExplainTest, RendersDisjunctionAlternatives) {
   EXPECT_NE(text.find("alternative 0 (counts sum, disjoint)"),
             std::string::npos);
   EXPECT_NE(text.find("alternative 1"), std::string::npos);
+  // No GROUP-BY / equivalence key: the plan states the shard-0 fallback
+  // the sharded runtime applies (ShardRouter clamps to one shard).
+  EXPECT_NE(text.find("sharding: none"), std::string::npos);
+  EXPECT_NE(text.find("shard 0"), std::string::npos);
 }
 
 TEST(ResultCallbackTest, FiresAtWindowClose) {

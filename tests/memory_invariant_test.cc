@@ -10,6 +10,7 @@
 
 #include "gtest/gtest.h"
 #include "query/parser.h"
+#include "runtime/sharded_runtime.h"
 #include "storage/pane.h"
 #include "tests/test_util.h"
 #include "workload/stock.h"
@@ -119,6 +120,78 @@ TEST(MemoryInvariant, AttributeAggregatesExactMode) {
       "Stock S+ WHERE [company, sector] GROUP-BY sector WITHIN 8 seconds "
       "SLIDE 4 seconds",
       CounterMode::kExact);
+}
+
+// --- Sharded runtime level ---
+
+// Each shard accounts into its own tracker (child of the workload roll-up):
+// when the runtime is quiescent, every shard's incremental bytes must equal
+// a from-scratch recomputation of that shard's engine, and the roll-up must
+// equal the sum — the aggregation-safety contract of concurrent shards.
+TEST(MemoryInvariant, ShardedPerShardTrackersSumIntoRollup) {
+  auto catalog = std::make_unique<Catalog>();
+  RegisterStockTypes(catalog.get());
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse(
+      "RETURN sector, COUNT(*) PATTERN Stock S+ WHERE [company, sector] AND "
+      "S.price > NEXT(S).price GROUP-BY sector WITHIN 10 seconds SLIDE 5 "
+      "seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN sector, SUM(S.price) PATTERN Stock S+ WHERE [company, sector] "
+      "AND S.price > NEXT(S).price GROUP-BY sector WITHIN 10 seconds SLIDE 5 "
+      "seconds",
+      catalog.get()));
+
+  StockConfig config;
+  config.seed = 31;
+  config.num_companies = 8;
+  config.num_sectors = 3;
+  config.rate = 30;
+  config.duration = 40;
+  Stream stream = GenerateStockStream(catalog.get(), config);
+
+  runtime::ShardedOptions options;
+  options.num_shards = 4;
+  options.batch_size = 16;
+  options.heartbeat_events = 64;
+  auto rt = runtime::ShardedRuntime::Create(catalog.get(), workload, options);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  runtime::ShardedRuntime& runtime = *rt.value();
+  ASSERT_EQ(runtime.num_shards(), 4u);
+
+  // Quiescent checkpoints: Flush() drains every shard's queue, so the
+  // engine walk cannot race the shard workers.
+  size_t checkpoints = 0;
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(runtime.Process(e).ok());
+    if (e.seq % 256 == 0) {
+      ASSERT_TRUE(runtime.Flush().ok());
+      size_t sum = 0;
+      for (size_t s = 0; s < runtime.num_shards(); ++s) {
+        EXPECT_EQ(runtime.RecomputeShardTrackedBytes(s),
+                  runtime.shard_memory(s).current_bytes())
+            << "shard " << s << " at seq " << e.seq;
+        sum += runtime.shard_memory(s).current_bytes();
+      }
+      EXPECT_EQ(runtime.memory().current_bytes(), sum)
+          << "roll-up at seq " << e.seq;
+      ++checkpoints;
+    }
+  }
+  ASSERT_TRUE(runtime.Flush().ok());
+  EXPECT_GT(checkpoints, 2u);
+
+  size_t sum = 0;
+  for (size_t s = 0; s < runtime.num_shards(); ++s) {
+    EXPECT_EQ(runtime.RecomputeShardTrackedBytes(s),
+              runtime.shard_memory(s).current_bytes())
+        << "shard " << s << " after flush";
+    sum += runtime.shard_memory(s).current_bytes();
+  }
+  EXPECT_EQ(runtime.memory().current_bytes(), sum) << "roll-up after flush";
+  EXPECT_GE(runtime.memory().peak_bytes(), runtime.memory().current_bytes());
+  EXPECT_GT(runtime.memory().peak_bytes(), 0u);
 }
 
 TEST(MemoryInvariant, TumblingWindowPurgesWholesale) {

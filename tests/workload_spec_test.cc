@@ -1,0 +1,137 @@
+// Workload spec loader: one JSON artifact declares queries + engine /
+// sharing / runtime options (ROADMAP "Query DSL for workloads", file-format
+// half). Exercises the happy path, defaults, strict unknown-key rejection,
+// and that a loaded spec actually drives the sharded runtime.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "workload/spec.h"
+
+namespace greta {
+namespace {
+
+constexpr char kFullSpec[] = R"({
+  "name": "grouped stock down-trends",
+  "queries": [
+    "RETURN sector, COUNT(*) PATTERN Stock S+ WHERE [company, sector] AND S.price > NEXT(S).price GROUP-BY sector WITHIN 10 seconds SLIDE 5 seconds",
+    "RETURN sector, SUM(S.price) PATTERN Stock S+ WHERE [company, sector] AND S.price > NEXT(S).price GROUP-BY sector WITHIN 10 seconds SLIDE 5 seconds"
+  ],
+  "engine": {
+    "counter_mode": "modular",
+    "semantics": "skip-till-any-match",
+    "max_windows_per_event": 32
+  },
+  "sharing": {"enable_sharing": true, "min_cluster_size": 2},
+  "runtime": {
+    "num_shards": 4,
+    "batch_size": 128,
+    "queue_capacity": 8,
+    "heartbeat_events": 512
+  },
+  "dataset": {
+    "kind": "stock", "seed": 7, "rate": 40, "duration": 30,
+    "num_companies": 8, "num_sectors": 3, "drift": 0.4
+  }
+})";
+
+TEST(WorkloadSpec, ParsesFullSpec) {
+  Catalog catalog;
+  auto spec = workload::ParseWorkloadSpec(kFullSpec, &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const workload::WorkloadSpec& w = spec.value();
+  EXPECT_EQ(w.name, "grouped stock down-trends");
+  ASSERT_EQ(w.queries.size(), 2u);
+  EXPECT_EQ(w.query_texts.size(), 2u);
+  EXPECT_EQ(w.options.engine.counter_mode, CounterMode::kModular);
+  EXPECT_EQ(w.options.engine.max_windows_per_event, 32);
+  EXPECT_TRUE(w.options.sharing.enable_sharing);
+  EXPECT_EQ(w.runtime.num_shards, 4u);
+  EXPECT_EQ(w.runtime.batch_size, 128u);
+  EXPECT_EQ(w.runtime.queue_capacity, 8u);
+  EXPECT_EQ(w.runtime.heartbeat_events, 512u);
+  // The runtime block embeds the engine/sharing options: one source of
+  // truth for every executor.
+  EXPECT_EQ(w.runtime.workload.engine.counter_mode, CounterMode::kModular);
+  ASSERT_TRUE(w.stock.has_value());
+  EXPECT_EQ(w.stock->seed, 7u);
+  EXPECT_EQ(w.stock->rate, 40);
+  EXPECT_EQ(w.stock->num_companies, 8);
+  // The stock dataset registered the types.
+  EXPECT_NE(catalog.FindType("Stock"), kInvalidType);
+}
+
+TEST(WorkloadSpec, DefaultsWithoutOptionalBlocks) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  auto spec = workload::ParseWorkloadSpec(
+      R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+ WITHIN 5 seconds"]})",
+      &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().runtime.num_shards, 1u);
+  EXPECT_EQ(spec.value().options.engine.counter_mode, CounterMode::kExact);
+  EXPECT_FALSE(spec.value().stock.has_value());
+}
+
+TEST(WorkloadSpec, RejectsUnknownKeysAndBadValues) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "runtime": {"shards": 4}})",
+                   &catalog)
+                   .ok())
+      << "typo'd key must be rejected, not defaulted";
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "engine": {"counter_mode": "approximate"}})",
+                   &catalog)
+                   .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec(R"({"queries": []})", &catalog)
+                   .ok());
+  EXPECT_FALSE(
+      workload::ParseWorkloadSpec(R"({"queries": ["NOT A QUERY"]})", &catalog)
+          .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec("{", &catalog).ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec("{} trailing", &catalog).ok());
+}
+
+TEST(WorkloadSpec, LoadedSpecDrivesShardedRuntime) {
+  Catalog catalog;
+  auto spec = workload::ParseWorkloadSpec(kFullSpec, &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  workload::WorkloadSpec& w = spec.value();
+  ASSERT_TRUE(w.stock.has_value());
+  Stream stream = GenerateStockStream(&catalog, *w.stock);
+
+  auto rt = runtime::ShardedRuntime::Create(&catalog, w.queries, w.runtime);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt.value()->num_shards(), 4u);
+  for (const Event& e : stream.events()) {
+    ASSERT_TRUE(rt.value()->Process(e).ok());
+  }
+  ASSERT_TRUE(rt.value()->Flush().ok());
+  size_t rows = rt.value()->TakeResults().size();
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(WorkloadSpec, LoadsFromFile) {
+  Catalog catalog;
+  std::string path = ::testing::TempDir() + "/greta_workload_spec.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(kFullSpec, 1, sizeof(kFullSpec) - 1, f);
+  std::fclose(f);
+  auto spec = workload::LoadWorkloadSpecFile(path, &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().queries.size(), 2u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      workload::LoadWorkloadSpecFile("/nonexistent/x.json", &catalog).ok());
+}
+
+}  // namespace
+}  // namespace greta
