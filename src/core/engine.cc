@@ -68,6 +68,18 @@ GretaEngine::GretaEngine(const Catalog* catalog,
   }
 }
 
+GretaEngine::~GretaEngine() {
+  // Partition map overhead is charged to the (possibly shared) tracker at
+  // GetOrCreatePartition; the pane stores release their own bytes on
+  // destruction, but the partition overhead must be released here or a
+  // workload-wide tracker would keep stale bytes after this engine is
+  // retired mid-run (adaptive migration, src/sharing/).
+  for (const auto& [key, partition] : partitions_) {
+    (void)partition;
+    memory_->Release(sizeof(Partition) + key.size() * sizeof(Value));
+  }
+}
+
 size_t GretaEngine::num_queries() const { return plan_->num_queries(); }
 
 Status GretaEngine::Process(const Event& e) {
@@ -204,15 +216,44 @@ void GretaEngine::EmitWindow(WindowId wid) {
     }
   }
 
+  // Release per-window state and, in the same walk, snapshot the window
+  // observation (cumulative graph counters -> deltas since the last close).
+  size_t total_vertices = 0;
+  size_t total_edges = 0;
   for (auto& [key, partition] : partitions_) {
     (void)key;
     for (AltRuntime& alt : partition->alts) {
-      for (std::unique_ptr<GretaGraph>& g : alt.graphs) g->ForgetWindow(wid);
+      for (std::unique_ptr<GretaGraph>& g : alt.graphs) {
+        g->ForgetWindow(wid);
+        total_vertices += g->total_vertices();
+        total_edges += g->edges_traversed();
+      }
       for (std::unique_ptr<NegationLink>& link : alt.links) {
         link->ForgetWindow(wid);
       }
     }
   }
+
+  WindowObservation obs;
+  obs.wid = wid;
+  obs.close_time = WindowCloseTime(wid, plan_->window);
+  obs.events_routed = obs_events_routed_;
+  obs.vertices_created = total_vertices - obs_prev_vertices_;
+  obs.edges_traversed = total_edges - obs_prev_edges_;
+  obs_events_routed_ = 0;
+  obs_prev_vertices_ = total_vertices;
+  obs_prev_edges_ = total_edges;
+  constexpr size_t kMaxUndrainedObservations = 256;
+  if (window_obs_.size() >= kMaxUndrainedObservations) {
+    window_obs_.pop_front();
+  }
+  window_obs_.push_back(obs);
+}
+
+std::vector<WindowObservation> GretaEngine::TakeWindowObservations() {
+  std::vector<WindowObservation> out(window_obs_.begin(), window_obs_.end());
+  window_obs_.clear();
+  return out;
 }
 
 void GretaEngine::Route(const Event& e) {
@@ -220,6 +261,7 @@ void GretaEngine::Route(const Event& e) {
       route_table_[e.type] == nullptr) {
     return;  // Irrelevant type.
   }
+  ++obs_events_routed_;
   const std::vector<AttrId>& ids = *route_table_[e.type];
 
   bool full = true;
@@ -338,6 +380,7 @@ void GretaEngine::FlushBatch() {
         route_table_[e.type] == nullptr) {
       continue;  // Irrelevant type.
     }
+    ++obs_events_routed_;
     const std::vector<AttrId>& ids = *route_table_[e.type];
     bool full = true;
     for (AttrId id : ids) full &= (id != kInvalidAttr);

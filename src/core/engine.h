@@ -74,9 +74,18 @@ class GretaEngine : public EngineInterface {
       const Catalog* catalog, const std::vector<const QuerySpec*>& specs,
       const EngineOptions& options = {});
 
+  ~GretaEngine() override;
+
   Status Process(const Event& e) override;
   Status Flush() override;
   std::vector<ResultRow> TakeResults() override;
+
+  /// Per-window observation hook (adaptive sharing, src/sharing/): one
+  /// entry per closed window with the events routed, vertices created and
+  /// propagation edges traversed since the previous close. O(partitions)
+  /// at window close (piggybacked on the emit walk), O(1) per event. The
+  /// backlog is capped at 256 undrained windows (oldest dropped).
+  std::vector<WindowObservation> TakeWindowObservations() override;
 
   /// Watermark hook for external drivers (src/runtime/ sharded execution):
   /// declares that every event with time < `now` has already been delivered,
@@ -91,6 +100,12 @@ class GretaEngine : public EngineInterface {
   std::vector<ResultRow> TakeResultsFor(size_t q);
   size_t num_queries() const;
   const EngineStats& stats() const override { return stats_; }
+
+  /// Recomputes the aggregate counters (vertices/edges/work/peak) from the
+  /// graphs NOW. stats() is otherwise refreshed lazily at TakeResults /
+  /// Flush; an external driver retiring this engine mid-run (adaptive
+  /// migration) calls this first so the final snapshot is exact.
+  void RefreshStats() { RefreshAggregateStats(); }
   const AggPlan& agg_plan() const override { return plan_->agg; }
   std::string name() const override { return "GRETA"; }
 
@@ -183,6 +198,13 @@ class GretaEngine : public EngineInterface {
   std::vector<std::vector<ResultRow>> emitted_;  // per query slot
   std::vector<std::function<void(const ResultRow&)>> result_callbacks_;
   EngineStats stats_;
+
+  // Per-window observation state: routed-event counter reset at every
+  // window close; last seen cumulative graph counters for the deltas.
+  std::deque<WindowObservation> window_obs_;
+  size_t obs_events_routed_ = 0;
+  size_t obs_prev_vertices_ = 0;
+  size_t obs_prev_edges_ = 0;
 };
 
 }  // namespace greta

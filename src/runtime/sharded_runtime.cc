@@ -64,7 +64,12 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
   }
 
   // Emission grids and merge plans come from shard 0's compiled workload
-  // (identical on every shard).
+  // (identical on every shard). The merger gates on the emission-window
+  // BOUND: under adaptive re-planning each shard's controller may migrate
+  // a cluster between its own grid and the cluster's union grid at
+  // different times, but rows always surface no later than the union
+  // close — gating on the bound keeps the merged (window, group) order
+  // deterministic and independent of per-shard migration timing.
   const Shard& shard0 = *rt->shards_[0];
   std::vector<WindowSpec> windows;
   std::vector<AggPlan> plans;
@@ -73,7 +78,7 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
       windows.push_back(shard0.greta->plan().window);
       plans.push_back(shard0.greta->agg_plan());
     } else {
-      windows.push_back(shard0.shared->emission_window(q));
+      windows.push_back(shard0.shared->emission_window_bound(q));
       plans.push_back(shard0.shared->agg_plan_for(q));
     }
   }
@@ -254,6 +259,22 @@ size_t ShardedRuntime::RecomputeShardTrackedBytes(size_t shard) const {
   const Shard& s = *shards_[shard];
   return s.greta != nullptr ? s.greta->RecomputeTrackedBytes()
                             : s.shared->RecomputeTrackedBytes();
+}
+
+std::vector<sharing::AdaptationStats> ShardedRuntime::ShardAdaptationStates(
+    size_t shard) const {
+  GRETA_CHECK(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  if (s.shared == nullptr) return {};
+  return s.shared->adaptation_states();
+}
+
+size_t ShardedRuntime::TotalMigrations() const {
+  size_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->shared != nullptr) n += shard->shared->total_migrations();
+  }
+  return n;
 }
 
 Status ShardedRuntime::FirstShardError() const {

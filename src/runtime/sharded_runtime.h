@@ -102,6 +102,19 @@ class ShardedRuntime : public EngineInterface {
   /// next Process) — the walk is not synchronized with the shard worker.
   size_t RecomputeShardTrackedBytes(size_t shard) const;
 
+  /// Adaptation telemetry of shard `shard`'s controller (one entry per
+  /// sharing-plan cluster; see SharedWorkloadEngine::adaptation_states).
+  /// Each shard adapts independently — its controller observes only its
+  /// slice of the stream — so shards may sit in different modes; the
+  /// merged rows are identical either way. Empty for single-query
+  /// workloads (no sharing layer). Quiescent-only, like
+  /// RecomputeShardTrackedBytes.
+  std::vector<sharing::AdaptationStats> ShardAdaptationStates(
+      size_t shard) const;
+  /// Sum of applied migrations across all shards' controllers.
+  /// Quiescent-only.
+  size_t TotalMigrations() const;
+
   /// Aggregated stats: events counted at the router; vertices / edges /
   /// work summed over per-shard snapshots (taken by each worker after its
   /// last processed batch); peak_bytes from the workload roll-up tracker.

@@ -1,0 +1,96 @@
+#include "sharing/adaptive_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greta::sharing {
+
+AdaptiveClusterPlanner::AdaptiveClusterPlanner(const ClusterShape& shape,
+                                              ClusterMode initial,
+                                              const AdaptiveOptions& options)
+    : shape_(shape), options_(options), mode_(initial) {
+  if (options_.observation_windows == 0) options_.observation_windows = 1;
+  if (options_.hysteresis < 1.0) options_.hysteresis = 1.0;
+  // The cooldown spaces migrations apart; the FIRST one only needs a full
+  // observation history.
+  steps_since_migration_ = options_.min_windows_between_migrations;
+  stats_.mode = initial;
+}
+
+void AdaptiveClusterPlanner::Observe(const WindowObservation& step) {
+  history_.push_back(step);
+  while (history_.size() > options_.observation_windows) {
+    history_.pop_front();
+  }
+  ++stats_.steps_observed;
+  ++steps_since_migration_;
+  RefreshCosts();
+}
+
+void AdaptiveClusterPlanner::RefreshCosts() const {
+  double sum_e = 0.0;
+  double sum_e2 = 0.0;
+  double sum_edges = 0.0;
+  for (const WindowObservation& o : history_) {
+    double e = static_cast<double>(o.events_routed);
+    sum_e += e;
+    sum_e2 += e * e;
+    sum_edges += static_cast<double>(o.edges_traversed);
+  }
+  const double n = static_cast<double>(history_.size());
+  const double mean_e = n > 0.0 ? sum_e / n : 0.0;
+  stats_.mode = mode_;
+  stats_.mean_events = mean_e;
+  if (n > 1.0 && mean_e > 0.0) {
+    double var = std::max(0.0, sum_e2 / n - mean_e * mean_e);
+    stats_.burstiness = std::sqrt(var) / mean_e;
+  } else {
+    stats_.burstiness = 0.0;
+  }
+
+  // Calibrate the quadratic coefficient from the live mode's observed edge
+  // work: sum_edges ~= q_hat * quad(current) * sum(E^2). A cluster that
+  // observed no structural work keeps q_hat at zero — the decision then
+  // rides on the linear per-event term alone.
+  const double quad_current = mode_ == ClusterMode::kMerged
+                                  ? shape_.merged_quad
+                                  : shape_.dedicated_quad;
+  const double q_hat =
+      (quad_current > 0.0 && sum_e2 > 0.0) ? sum_edges / (quad_current * sum_e2)
+                                           : 0.0;
+  const double mean_e2 = n > 0.0 ? sum_e2 / n : 0.0;
+  stats_.cost_merged = q_hat * shape_.merged_quad * mean_e2 +
+                       options_.per_event_cost * shape_.merged_passes * mean_e;
+  stats_.cost_dedicated =
+      q_hat * shape_.dedicated_quad * mean_e2 +
+      options_.per_event_cost * shape_.dedicated_passes * mean_e;
+}
+
+ClusterMode AdaptiveClusterPlanner::Decide() const {
+  if (history_.size() < options_.observation_windows) return mode_;
+  if (steps_since_migration_ < options_.min_windows_between_migrations) {
+    return mode_;
+  }
+  if (stats_.mean_events <= 0.0) return mode_;  // idle: nothing to gain
+  const double current = mode_ == ClusterMode::kMerged ? stats_.cost_merged
+                                                       : stats_.cost_dedicated;
+  const double other = mode_ == ClusterMode::kMerged ? stats_.cost_dedicated
+                                                     : stats_.cost_merged;
+  if (other * options_.hysteresis < current) {
+    return mode_ == ClusterMode::kMerged ? ClusterMode::kDedicated
+                                         : ClusterMode::kMerged;
+  }
+  return mode_;
+}
+
+void AdaptiveClusterPlanner::OnMigrationApplied(ClusterMode now) {
+  mode_ = now;
+  stats_.mode = now;
+  ++stats_.migrations;
+  steps_since_migration_ = 0;
+  // Edge counts of the old mode no longer predict the new mode's work;
+  // start the calibration fresh.
+  history_.clear();
+}
+
+}  // namespace greta::sharing

@@ -1,0 +1,120 @@
+#ifndef GRETA_SHARING_ADAPTIVE_PLANNER_H_
+#define GRETA_SHARING_ADAPTIVE_PLANNER_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/engine_interface.h"
+
+namespace greta::sharing {
+
+/// Knobs of the online re-planning loop (workload spec block "adaptive").
+/// The loop turns the plan-once pipeline (compile -> run) into
+/// compile -> run -> observe -> re-plan: every shareable cluster is
+/// re-evaluated from OBSERVED per-window rates and can migrate between one
+/// merged runtime and per-query dedicated runtimes at a window boundary.
+struct AdaptiveOptions {
+  /// Master switch; false preserves the static plan for the whole run.
+  bool enabled = false;
+  /// Sliding history length, in window-grid steps, that a decision
+  /// averages over. Longer = smoother (slower to react, immune to single
+  /// spikes); shorter = jumpier.
+  size_t observation_windows = 4;
+  /// Switch modes only when the alternative's estimated cost times this
+  /// factor still undercuts the current mode's cost (> 1.0). Suppresses
+  /// flapping when the two modes are near parity.
+  double hysteresis = 1.5;
+  /// Cooldown: completed window-grid steps that must pass after a
+  /// migration before the cluster may migrate again.
+  size_t min_windows_between_migrations = 8;
+  /// Fixed per-event cost of one engine pass (routing, partition lookup,
+  /// predecessor-scan setup, vertex storage), expressed in units of one
+  /// edge-propagation step. This is the linear term that makes a merged
+  /// runtime win under sparse load: dedicated runtimes pay it once per
+  /// query per event, the merged runtime once per event.
+  double per_event_cost = 64.0;
+};
+
+/// The execution mode of one cluster.
+enum class ClusterMode {
+  kMerged,     // one multi-query (exact or snapshot-propagating) runtime
+  kDedicated,  // one engine per query
+};
+
+/// Static shape of a cluster, compiled once from the sharing plan; turns
+/// observed edge counts of the CURRENT mode into a prediction for the
+/// other mode.
+///
+/// Model: per grid step with E observed relevant events, structural work
+/// scales quadratically (every new Kleene event connects to predecessors
+/// within its window range) and the per-event engine pass linearly:
+///
+///   cost(mode) = q_hat * quad(mode) * E^2 + per_event_cost * passes(mode) * E
+///
+/// where quad(kMerged) = cells_merged * k_u^2 (the shared core scans and
+/// folds over the cluster's UNION window range k_u = union_within/slide,
+/// paying one snapshot plus one fold per attribute-aggregating query per
+/// edge-window) and quad(kDedicated) = sum_q cells_dedicated * k_q^2 (each
+/// query scans only its own range). q_hat is CALIBRATED each step from the
+/// observed edge count of the live mode, so the decision tracks the real
+/// stream (selectivity, partition skew) instead of assumed constants —
+/// the re-planning half of Hamlet's "to share or not to share".
+struct ClusterShape {
+  size_t num_queries = 0;
+  double merged_quad = 0.0;     // quad(kMerged)
+  double dedicated_quad = 0.0;  // quad(kDedicated)
+  double merged_passes = 1.0;   // engine passes per event when merged
+  double dedicated_passes = 0.0;  // = num_queries
+};
+
+/// Telemetry of one cluster's adaptation state (tests, explain output).
+struct AdaptationStats {
+  ClusterMode mode = ClusterMode::kMerged;
+  size_t migrations = 0;        // applied mode switches
+  size_t steps_observed = 0;    // completed window-grid steps
+  double mean_events = 0.0;     // over the sliding history
+  double burstiness = 0.0;      // coefficient of variation of events/step
+  double cost_merged = 0.0;     // last estimate, edge-op units per step
+  double cost_dedicated = 0.0;
+};
+
+/// Per-cluster incremental re-planner: consumes one observation per
+/// window-grid step (summed over the cluster's live engines) and
+/// re-evaluates the share/no-share decision with hysteresis and a
+/// migration cooldown. Owned and driven by SharedWorkloadEngine; pure
+/// decision logic, no engine state, so tests can drive it directly.
+class AdaptiveClusterPlanner {
+ public:
+  AdaptiveClusterPlanner(const ClusterShape& shape, ClusterMode initial,
+                         const AdaptiveOptions& options);
+
+  /// Records one completed window-grid step.
+  void Observe(const WindowObservation& step);
+
+  /// The mode the cluster should run in, re-evaluated from the sliding
+  /// history. Returns the current mode until `observation_windows` steps
+  /// accumulated, while the cooldown holds, or while neither mode
+  /// undercuts the other by the hysteresis margin.
+  ClusterMode Decide() const;
+
+  /// The driver applied a migration; restarts the cooldown.
+  void OnMigrationApplied(ClusterMode now);
+
+  ClusterMode mode() const { return mode_; }
+  const AdaptationStats& stats() const { return stats_; }
+
+ private:
+  void RefreshCosts() const;
+
+  ClusterShape shape_;
+  AdaptiveOptions options_;
+  ClusterMode mode_;
+  std::deque<WindowObservation> history_;
+  size_t steps_since_migration_ = 0;
+  mutable AdaptationStats stats_;
+};
+
+}  // namespace greta::sharing
+
+#endif  // GRETA_SHARING_ADAPTIVE_PLANNER_H_

@@ -1,18 +1,23 @@
 #ifndef GRETA_SHARING_SHARED_ENGINE_H_
 #define GRETA_SHARING_SHARED_ENGINE_H_
 
+#include <deque>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
+#include "sharing/adaptive_planner.h"
 #include "sharing/sharing_planner.h"
 
 namespace greta::sharing {
 
 /// Options of the shared workload runtime: the engine options are applied
 /// uniformly to every unit runtime (semantics, counter mode and window
-/// limits are workload-level properties here), the sharing options drive the
-/// share/no-share planning.
+/// limits are workload-level properties here), the sharing options drive
+/// the initial share/no-share plan, and the adaptive options turn the
+/// plan-once pipeline into an observe -> re-plan loop (adaptive_planner.h).
 ///
 /// `engine.memory`, when set, becomes the PARENT of the workload tracker:
 /// the workload still accounts its own point-in-time peak, and every
@@ -21,6 +26,7 @@ namespace greta::sharing {
 struct SharedEngineOptions {
   EngineOptions engine;
   SharingOptions sharing;
+  AdaptiveOptions adaptive;
 };
 
 /// Multi-query shared execution runtime (after Hamlet's shared Kleene
@@ -31,11 +37,26 @@ struct SharedEngineOptions {
 /// the stream is filtered, partitioned and connected once per cluster
 /// instead of once per query. Queries that differ in pattern suffix or
 /// window length but agree on a Kleene sub-pattern prefix run as one
-/// *partially shared* runtime (GretaEngine::CreatePartial): the common core
-/// propagates a structural snapshot per (vertex, window) and each query
-/// folds it through its own continuation states. Clusters the cost model
-/// rejects run as dedicated per-query engines, so the runtime never loses
-/// to independent execution by construction.
+/// *partially shared* runtime (GretaEngine::CreatePartial). Clusters the
+/// cost model rejects run as dedicated per-query engines.
+///
+/// Adaptive re-planning (options.adaptive.enabled): the plan is no longer
+/// baked in at construction. Every shareable cluster with a finite window
+/// carries an AdaptiveClusterPlanner fed from the unit runtimes' per-window
+/// observations (EngineInterface::TakeWindowObservations); when the
+/// observed rates say the other mode wins by the hysteresis margin, the
+/// cluster MIGRATES between one merged runtime and per-query dedicated
+/// runtimes. A migration never copies graph state: at decision time
+/// (watermark `T`) fresh engines are built and take over all windows
+/// starting at or after `w_split = ceil(T / slide)`, while the old engines
+/// keep running until every window starting before the boundary has closed
+/// (the parallel HANDOVER, at most union-WITHIN ticks of double
+/// processing), then retire. Rows are routed by window id — old engines
+/// own `wid < w_split`, new engines `wid >= w_split` — so results stay
+/// bit-identical to static execution; rows of a handover window may
+/// surface up to union-WITHIN ticks later than the eager engine would
+/// push them (emission_window_bound() is the grid external drivers gate
+/// deterministic emission on).
 ///
 /// EngineInterface contract: Process/Flush as usual; TakeResults() drains
 /// every query's rows concatenated in query order (each query's rows keep
@@ -50,7 +71,10 @@ class SharedWorkloadEngine : public EngineInterface {
   Status Flush() override;
 
   /// Watermark hook (src/runtime/): forwards to every unit runtime — see
-  /// GretaEngine::AdvanceWatermark.
+  /// GretaEngine::AdvanceWatermark. Also drives the adaptation loop:
+  /// observation steps complete and migrations start/retire at watermark
+  /// boundaries, so per-shard adaptation is deterministic in the shard's
+  /// event/watermark sequence.
   Status AdvanceWatermark(Ts now);
 
   /// All queries' pending rows, concatenated in query-id order.
@@ -59,24 +83,34 @@ class SharedWorkloadEngine : public EngineInterface {
   /// Pending rows of one query of the workload.
   std::vector<ResultRow> TakeResults(size_t query_id);
 
-  /// The window grid on which `query_id`'s rows are actually emitted by its
-  /// unit runtime: its own window for dedicated and exact-shared units, the
-  /// cluster's UNION window for partial units (rows surface when the union
-  /// window closes — see GretaEngine::CreatePartial). External drivers gate
-  /// deterministic emission on this, not on the query's declared window.
-  WindowSpec emission_window(size_t query_id) const;
+  /// Workload-level per-window observations, grouped per cluster (one
+  /// block of ascending window ids per cluster): window ids are relative
+  /// to each cluster's own grid and never merged across clusters; events
+  /// are de-duplicated (max) only within a cluster, structural counters
+  /// summed.
+  std::vector<WindowObservation> TakeWindowObservations() override;
+
+  /// The latest-closing grid `query_id`'s rows can EVER be emitted on:
+  /// the unit runtime's own grid for static execution (the query's window
+  /// for dedicated and exact-shared units, the cluster's UNION window for
+  /// partial units); under adaptive re-planning, the cluster's union
+  /// window (migrations move a query between its own grid and the union
+  /// grid, never past it). External drivers (runtime/ResultMerger) gate
+  /// deterministic emission on this — there is deliberately no accessor
+  /// for the CURRENT unit's grid, which is time-varying under adaptive
+  /// mode and unsafe to gate on.
+  WindowSpec emission_window_bound(size_t query_id) const;
 
   /// Sums RecomputeTrackedBytes over unit runtimes (accounting invariant
   /// tests; must equal memory().current_bytes() when quiescent).
   size_t RecomputeTrackedBytes() const;
 
   /// Push-style delivery for EVERY query of the workload: `callback` fires
-  /// with the workload query index for each result row the moment its
-  /// window closes, whatever unit runtime (shared, partial or dedicated)
-  /// computed it. Queries of a PARTIAL cluster close on the cluster's
-  /// union window, so a shorter-WITHIN member's rows fire up to
-  /// `max_within - within` ticks later than a dedicated engine would push
-  /// them (see GretaEngine::CreatePartial).
+  /// with the workload query index for each result row the moment the
+  /// engine owning its window closes it. During a migration handover the
+  /// new engines' rows are held until the old engines retire (at most
+  /// union-WITHIN ticks), so the per-query (window, group) order is
+  /// preserved across migrations.
   void set_result_callback(
       std::function<void(size_t query_id, const ResultRow& row)> callback);
 
@@ -84,8 +118,19 @@ class SharedWorkloadEngine : public EngineInterface {
   const SharingPlan& sharing_plan() const { return plan_; }
   const AggPlan& agg_plan_for(size_t query_id) const;
 
-  /// Aggregated stats: events counted once; vertices/edges/work summed over
-  /// unit runtimes (so sharing wins show up as fewer stored vertices);
+  /// Adaptation telemetry, one entry per plan cluster (in cluster order):
+  /// current mode, applied migrations, observed rates and cost estimates.
+  /// Clusters outside the loop (dedicated-only, unbounded windows,
+  /// adaptation disabled) report zero migrations and their static mode.
+  std::vector<AdaptationStats> adaptation_states() const;
+
+  /// Total applied migrations across all clusters.
+  size_t total_migrations() const;
+
+  /// Aggregated stats: events counted once; vertices/edges/work summed
+  /// over LIVE unit runtimes plus the retired accumulator (engines retired
+  /// by migrations keep their cumulative structural work — no counters are
+  /// lost or double-counted when engines are created or retired mid-run);
   /// peak_bytes is the true point-in-time workload peak from the shared
   /// MemoryTracker, NOT a sum of per-unit peaks reached at different times.
   const EngineStats& stats() const override;
@@ -96,23 +141,84 @@ class SharedWorkloadEngine : public EngineInterface {
   const MemoryTracker& memory() const { return memory_; }
 
  private:
-  // Query -> (unit runtime, query slot within that runtime).
+  // Aggregation of unit observations for one window-grid step: events are
+  // de-duplicated with max() (every engine of a cluster routes the same
+  // relevant events), structural counters summed.
+  struct PendingObservation {
+    size_t events = 0;
+    size_t vertices = 0;
+    size_t edges = 0;
+  };
+
+  // One plan cluster's live execution state. The engines vector holds ONE
+  // merged runtime (merged == true) or one dedicated engine per query in
+  // query_ids order; during a handover the outgoing engines live in
+  // `retiring` until every window they own has closed.
+  struct ClusterState {
+    std::vector<size_t> query_ids;
+    bool merged = false;
+    bool partial = false;  // merged unit built via CreatePartial
+    std::vector<std::unique_ptr<GretaEngine>> engines;
+
+    // Adaptation (nullopt: cluster is outside the re-planning loop).
+    std::optional<AdaptiveClusterPlanner> planner;
+    WindowSpec bound_window;  // union window: max WITHIN, shared slide
+    bool obs_started = false;
+    WindowId next_obs_wid = 0;
+    std::unordered_map<WindowId, PendingObservation> obs_pending;
+
+    // Handover state.
+    std::vector<std::unique_ptr<GretaEngine>> retiring;
+    bool retiring_merged = false;
+    WindowId split_wid = 0;
+    Ts retire_at = kMaxTs;
+    size_t generation = 0;  // bumped per migration (callback routing)
+
+    size_t migrations = 0;
+    EngineStats retired_stats;  // cumulative counters of retired engines
+
+    bool handover_active() const { return !retiring.empty(); }
+  };
+
   struct Route {
-    size_t unit = 0;
-    size_t slot = 0;
+    size_t cluster = 0;
+    size_t slot = 0;  // index within the cluster's query_ids
   };
 
   SharedWorkloadEngine() = default;
 
+  Status BuildClusterEngines(ClusterState* cluster, bool merged,
+                             std::vector<std::unique_ptr<GretaEngine>>* out);
+  GretaEngine* EngineFor(const ClusterState& cluster, size_t slot) const;
+  size_t EngineSlot(const ClusterState& cluster, size_t slot) const;
+  void WireCluster(ClusterState* cluster);
+  void AdaptStep(Ts now);
+  void ObserveCluster(ClusterState* cluster, Ts now);
+  Status StartMigration(ClusterState* cluster, ClusterMode target, Ts now);
+  void RetireOld(ClusterState* cluster);
+  void RecordWorkloadObservation(const WindowObservation& obs);
+
+  const Catalog* catalog_ = nullptr;
   SharingPlan plan_;
-  // Declared before units_: the unit engines hold pointers into the
+  std::vector<QuerySpec> specs_;  // cloned workload (migrations recompile)
+  EngineOptions unit_options_;    // memory rewired to memory_
+  AdaptiveOptions adaptive_options_;
+  bool adaptive_enabled_ = false;
+
+  // Declared before clusters_: the unit engines hold pointers into the
   // tracker (EngineOptions::memory, "must outlive the engine"), so it must
   // be destroyed after them.
   MemoryTracker memory_;
-  std::vector<std::unique_ptr<GretaEngine>> units_;
+  std::vector<std::unique_ptr<ClusterState>> clusters_;
   std::vector<Route> routes_;
+  // Rows drained from retiring/new engines at handover completion, per
+  // query, released ahead of live-engine rows (window order preserved).
+  std::vector<std::vector<ResultRow>> holdover_;
   std::function<void(size_t, const ResultRow&)> callback_;
   size_t events_processed_ = 0;
+  Ts adapt_wake_ = kMaxTs;  // next time AdaptStep has work to do
+  bool adapt_initialized_ = false;
+  std::deque<WindowObservation> workload_obs_;
   mutable EngineStats stats_;
 };
 

@@ -316,6 +316,77 @@ Status ReadSharing(const Json& block, sharing::SharingOptions* sharing) {
   return s;
 }
 
+Status ReadAdaptive(const Json& block, sharing::AdaptiveOptions* adaptive) {
+  Status keys = ExpectKeys(
+      block, "\"adaptive\"",
+      {"enabled", "observation_windows", "hysteresis",
+       "min_windows_between_migrations", "per_event_cost"});
+  if (!keys.ok()) return keys;
+  Status s = ReadBool(block, "enabled", &adaptive->enabled);
+  if (s.ok()) {
+    s = ReadSize(block, "observation_windows",
+                 &adaptive->observation_windows);
+  }
+  if (s.ok()) s = ReadDouble(block, "hysteresis", &adaptive->hysteresis);
+  if (s.ok()) {
+    s = ReadSize(block, "min_windows_between_migrations",
+                 &adaptive->min_windows_between_migrations);
+  }
+  if (s.ok()) s = ReadDouble(block, "per_event_cost",
+                             &adaptive->per_event_cost);
+  if (!s.ok()) return s;
+  if (adaptive->hysteresis < 1.0) {
+    return Status::InvalidArgument(
+        "workload spec: adaptive.hysteresis must be >= 1.0");
+  }
+  if (adaptive->observation_windows == 0) {
+    return Status::InvalidArgument(
+        "workload spec: adaptive.observation_windows must be >= 1");
+  }
+  if (adaptive->per_event_cost < 0.0) {
+    return Status::InvalidArgument(
+        "workload spec: adaptive.per_event_cost must be non-negative");
+  }
+  return Status::Ok();
+}
+
+Status ReadBursts(const Json& array, std::vector<BurstPhase>* bursts) {
+  if (array.kind != Json::Kind::kArray) {
+    return Status::InvalidArgument(
+        "workload spec: \"bursts\" must be an array of phase objects");
+  }
+  for (const Json& item : array.items) {
+    if (item.kind != Json::Kind::kObject) {
+      return Status::InvalidArgument(
+          "workload spec: every \"bursts\" entry must be an object");
+    }
+    Status keys = ExpectKeys(
+        item, "\"bursts\" entry",
+        {"start", "end", "stock_multiplier", "halt_multiplier"});
+    if (!keys.ok()) return keys;
+    BurstPhase phase;
+    int64_t start = 0;
+    int64_t end = 0;
+    Status s = ReadInt(item, "start", &start);
+    if (s.ok()) s = ReadInt(item, "end", &end);
+    if (s.ok()) s = ReadDouble(item, "stock_multiplier",
+                               &phase.stock_multiplier);
+    if (s.ok()) s = ReadDouble(item, "halt_multiplier",
+                               &phase.halt_multiplier);
+    if (!s.ok()) return s;
+    if (end < start || phase.stock_multiplier < 0.0 ||
+        phase.halt_multiplier < 0.0) {
+      return Status::InvalidArgument(
+          "workload spec: burst phase needs end >= start and non-negative "
+          "multipliers");
+    }
+    phase.start = start;
+    phase.end = end;
+    bursts->push_back(phase);
+  }
+  return Status::Ok();
+}
+
 Status ReadRuntime(const Json& block, runtime::ShardedOptions* options) {
   Status keys = ExpectKeys(
       block, "\"runtime\"",
@@ -343,7 +414,7 @@ Status ReadDataset(const Json& block, std::optional<StockConfig>* stock) {
   Status keys = ExpectKeys(
       block, "\"dataset\"",
       {"kind", "seed", "rate", "duration", "num_companies", "num_sectors",
-       "drift", "volatility", "start_price", "halt_probability"});
+       "drift", "volatility", "start_price", "halt_probability", "bursts"});
   if (!keys.ok()) return keys;
   StockConfig config;
   int64_t seed = static_cast<int64_t>(config.seed);
@@ -361,6 +432,11 @@ Status ReadDataset(const Json& block, std::optional<StockConfig>* stock) {
   if (s.ok()) s = ReadDouble(block, "start_price", &config.start_price);
   if (s.ok()) {
     s = ReadDouble(block, "halt_probability", &config.halt_probability);
+  }
+  if (s.ok()) {
+    if (const Json* bursts = block.Find("bursts"); bursts != nullptr) {
+      s = ReadBursts(*bursts, &config.bursts);
+    }
   }
   if (!s.ok()) return s;
   config.seed = static_cast<uint64_t>(seed);
@@ -385,7 +461,8 @@ StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view json,
   }
   Status keys = ExpectKeys(
       root, "the top-level object",
-      {"name", "queries", "engine", "sharing", "runtime", "dataset"});
+      {"name", "queries", "engine", "sharing", "adaptive", "runtime",
+       "dataset"});
   if (!keys.ok()) return keys;
 
   WorkloadSpec spec;
@@ -428,6 +505,10 @@ StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view json,
   }
   if (const Json* v = root.Find("sharing"); v != nullptr) {
     Status s = ReadSharing(*v, &spec.options.sharing);
+    if (!s.ok()) return s;
+  }
+  if (const Json* v = root.Find("adaptive"); v != nullptr) {
+    Status s = ReadAdaptive(*v, &spec.options.adaptive);
     if (!s.ok()) return s;
   }
   if (const Json* v = root.Find("runtime"); v != nullptr) {

@@ -37,6 +37,10 @@ namespace greta::workload {
 ///       "enable_sharing": true, "enable_partial_sharing": true,
 ///       "min_cluster_size": 2
 ///     },
+///     "adaptive": {
+///       "enabled": true, "observation_windows": 4, "hysteresis": 1.5,
+///       "min_windows_between_migrations": 8, "per_event_cost": 64.0
+///     },
 ///     "runtime": {
 ///       "num_shards": 4, "batch_size": 256, "queue_capacity": 16,
 ///       "heartbeat_events": 1024
@@ -44,9 +48,16 @@ namespace greta::workload {
 ///     "dataset": {
 ///       "kind": "stock", "seed": 42, "rate": 200, "duration": 60,
 ///       "num_companies": 10, "num_sectors": 5, "drift": 0.5,
-///       "volatility": 1.0, "start_price": 100.0, "halt_probability": 0.0
+///       "volatility": 1.0, "start_price": 100.0, "halt_probability": 0.0,
+///       "bursts": [{"start": 30, "end": 60, "stock_multiplier": 10.0,
+///                   "halt_multiplier": 1.0}, ...]
 ///     }
 ///   }
+///
+/// The "adaptive" block configures the stats-driven re-planning loop
+/// (sharing/adaptive_planner.h); "bursts" gives the stock dataset a
+/// deterministic phase schedule of per-type rate multipliers — the load
+/// shifts that trigger re-planning.
 ///
 /// Unknown keys are rejected (typos in a workload file must not silently
 /// fall back to defaults). A "dataset" of kind "stock" registers the stock

@@ -1,5 +1,6 @@
 #include "workload/stock.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -24,6 +25,24 @@ void RegisterStockTypes(Catalog* catalog) {
   }
 }
 
+namespace {
+
+// Combined multiplier of every burst phase covering `second` (1.0 when
+// uncovered; overlapping phases multiply).
+void PhaseMultipliers(const StockConfig& config, Ts second, double* stock,
+                      double* halt) {
+  *stock = 1.0;
+  *halt = 1.0;
+  for (const BurstPhase& phase : config.bursts) {
+    if (second >= phase.start && second < phase.end) {
+      *stock *= phase.stock_multiplier;
+      *halt *= phase.halt_multiplier;
+    }
+  }
+}
+
+}  // namespace
+
 Stream GenerateStockStream(Catalog* catalog, const StockConfig& config) {
   RegisterStockTypes(catalog);
   Random rng(config.seed);
@@ -32,10 +51,17 @@ Stream GenerateStockStream(Catalog* catalog, const StockConfig& config) {
   std::vector<double> last_tx_time(config.num_companies, 0.0);
   int64_t tx = 0;
   for (Ts second = 0; second < config.duration; ++second) {
+    double stock_mult;
+    double halt_mult;
+    PhaseMultipliers(config, second, &stock_mult, &halt_mult);
+    const double halt_probability =
+        std::min(1.0, config.halt_probability * halt_mult);
+    const int rate = std::max(
+        0, static_cast<int>(std::lround(config.rate * stock_mult)));
     // Halts first within the second so they affect later transactions.
-    if (config.halt_probability > 0.0) {
+    if (halt_probability > 0.0) {
       for (int c = 0; c < config.num_companies; ++c) {
-        if (rng.Chance(config.halt_probability)) {
+        if (rng.Chance(halt_probability)) {
           stream.Append(EventBuilder(catalog, "Halt", second)
                             .Set("company", int64_t{c})
                             .Set("sector", int64_t{c % config.num_sectors})
@@ -43,14 +69,14 @@ Stream GenerateStockStream(Catalog* catalog, const StockConfig& config) {
         }
       }
     }
-    for (int i = 0; i < config.rate; ++i) {
+    for (int i = 0; i < rate; ++i) {
       int c = static_cast<int>(
           rng.UniformInt(0, config.num_companies - 1));
       // Continuous-time random walk: the step depends on the wall time
       // since the company's previous transaction, so the price-pair
       // selectivity does not change with the event rate.
       double now = static_cast<double>(second) +
-                   static_cast<double>(i) / config.rate;
+                   static_cast<double>(i) / rate;
       double dt = std::max(now - last_tx_time[c], 1e-6);
       last_tx_time[c] = now;
       price[c] += config.drift * dt +

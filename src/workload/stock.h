@@ -1,11 +1,29 @@
 #ifndef GRETA_WORKLOAD_STOCK_H_
 #define GRETA_WORKLOAD_STOCK_H_
 
+#include <vector>
+
 #include "common/catalog.h"
 #include "common/stream.h"
 #include "query/query.h"
 
 namespace greta {
+
+/// One phase of a bursty load schedule: per-type rate multipliers applied
+/// over the time range [start, end). Seconds covered by several phases
+/// multiply their factors; uncovered seconds run at the base rates. The
+/// generated stream stays deterministic per seed — the multipliers scale
+/// the per-second event budget, they do not perturb the price walk's
+/// time base (prices step by wall time between a company's transactions,
+/// so pair selectivity is stable across phases).
+struct BurstPhase {
+  Ts start = 0;
+  Ts end = 0;
+  /// Scales StockConfig::rate for Stock transactions (0 silences them).
+  double stock_multiplier = 1.0;
+  /// Scales StockConfig::halt_probability for Halt events.
+  double halt_multiplier = 1.0;
+};
 
 /// Synthetic NYSE-like stock transaction stream (Section 10.1, "Stock Real
 /// Data Set"): the paper replays 225k real transaction records of 10
@@ -33,6 +51,9 @@ struct StockConfig {
   /// Emit trading-halt events (for negation queries) with this per-second
   /// probability per company.
   double halt_probability = 0.0;
+  /// Bursty load schedule (empty: uniform rate). Drives the load shifts
+  /// that trigger adaptive re-planning (src/sharing/adaptive_planner.h).
+  std::vector<BurstPhase> bursts;
 };
 
 /// Registers the Stock (and Halt) event types; idempotent per catalog.

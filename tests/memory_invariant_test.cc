@@ -194,6 +194,79 @@ TEST(MemoryInvariant, ShardedPerShardTrackersSumIntoRollup) {
   EXPECT_GT(runtime.memory().peak_bytes(), 0u);
 }
 
+// --- adaptive migration level ---
+
+// Engines are created and RETIRED mid-run by adaptive re-planning: a
+// retired engine must release everything it charged to the workload-wide
+// tracker (pane bytes AND partition-map overhead), so the incremental
+// accounting still equals a from-scratch walk of the LIVE engines after
+// every migration, and peak_bytes stays a coherent point-in-time peak.
+TEST(MemoryInvariant, AdaptiveMigrationReleasesRetiredEngines) {
+  auto catalog = std::make_unique<Catalog>();
+  RegisterStockTypes(catalog.get());
+  std::vector<QuerySpec> workload;
+  workload.push_back(Parse(
+      "RETURN sector, COUNT(*), SUM(S.price) PATTERN Stock S+ "
+      "WHERE [company, sector] AND S.price > NEXT(S).price "
+      "GROUP-BY sector WITHIN 2 seconds SLIDE 2 seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN sector, COUNT(*), MIN(S.price) PATTERN Stock S+ "
+      "WHERE [company, sector] AND S.price > NEXT(S).price "
+      "GROUP-BY sector WITHIN 4 seconds SLIDE 2 seconds",
+      catalog.get()));
+  workload.push_back(Parse(
+      "RETURN sector, COUNT(*), AVG(S.price) PATTERN Stock S+ "
+      "WHERE [company, sector] AND S.price > NEXT(S).price "
+      "GROUP-BY sector WITHIN 8 seconds SLIDE 2 seconds",
+      catalog.get()));
+
+  StockConfig config;
+  config.seed = 97;
+  config.num_companies = 5;
+  config.num_sectors = 2;
+  config.rate = 8;
+  config.duration = 70;
+  config.drift = 0.0;
+  config.bursts.push_back({20, 45, 40.0, 1.0});  // split, then re-merge
+  Stream stream = GenerateStockStream(catalog.get(), config);
+
+  sharing::SharedEngineOptions options;
+  options.adaptive.enabled = true;
+  options.adaptive.observation_windows = 3;
+  options.adaptive.min_windows_between_migrations = 4;
+  options.adaptive.hysteresis = 1.2;
+  auto engine =
+      sharing::SharedWorkloadEngine::Create(catalog.get(), workload, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  sharing::SharedWorkloadEngine& e = *engine.value();
+
+  size_t checks = 0;
+  for (const Event& ev : stream.events()) {
+    ASSERT_TRUE(e.Process(ev).ok());
+    std::vector<ResultRow> rows = e.TakeResults();
+    if (!rows.empty() || checks % 64 == 0) {
+      EXPECT_EQ(e.RecomputeTrackedBytes(), e.memory().current_bytes())
+          << "after event seq " << ev.seq << " (migrations so far: "
+          << e.total_migrations() << ")";
+    }
+    ++checks;
+  }
+  ASSERT_TRUE(e.Flush().ok());
+  EXPECT_GE(e.total_migrations(), 2u)
+      << "test is vacuous unless engines were retired mid-run";
+  EXPECT_EQ(e.RecomputeTrackedBytes(), e.memory().current_bytes())
+      << "after flush";
+  EXPECT_GE(e.memory().peak_bytes(), e.memory().current_bytes());
+  // Workload-level stats stay coherent across retirements: the retired
+  // engines' structural work is preserved, never double-counted into a
+  // sum that shrinks when units are destroyed.
+  const EngineStats& stats = e.stats();
+  EXPECT_GT(stats.vertices_stored, 0u);
+  EXPECT_GT(stats.edges_traversed, 0u);
+  EXPECT_GE(stats.peak_bytes, e.memory().current_bytes());
+}
+
 TEST(MemoryInvariant, TumblingWindowPurgesWholesale) {
   auto catalog = std::make_unique<Catalog>();
   RegisterStockTypes(catalog.get());

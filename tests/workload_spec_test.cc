@@ -25,6 +25,13 @@ constexpr char kFullSpec[] = R"({
     "max_windows_per_event": 32
   },
   "sharing": {"enable_sharing": true, "min_cluster_size": 2},
+  "adaptive": {
+    "enabled": true,
+    "observation_windows": 6,
+    "hysteresis": 1.4,
+    "min_windows_between_migrations": 10,
+    "per_event_cost": 32.0
+  },
   "runtime": {
     "num_shards": 4,
     "batch_size": 128,
@@ -33,7 +40,12 @@ constexpr char kFullSpec[] = R"({
   },
   "dataset": {
     "kind": "stock", "seed": 7, "rate": 40, "duration": 30,
-    "num_companies": 8, "num_sectors": 3, "drift": 0.4
+    "num_companies": 8, "num_sectors": 3, "drift": 0.4,
+    "bursts": [
+      {"start": 10, "end": 20, "stock_multiplier": 8.0},
+      {"start": 25, "end": 28, "stock_multiplier": 0.0,
+       "halt_multiplier": 2.0}
+    ]
   }
 })";
 
@@ -52,15 +64,57 @@ TEST(WorkloadSpec, ParsesFullSpec) {
   EXPECT_EQ(w.runtime.batch_size, 128u);
   EXPECT_EQ(w.runtime.queue_capacity, 8u);
   EXPECT_EQ(w.runtime.heartbeat_events, 512u);
-  // The runtime block embeds the engine/sharing options: one source of
-  // truth for every executor.
+  // The runtime block embeds the engine/sharing/adaptive options: one
+  // source of truth for every executor.
   EXPECT_EQ(w.runtime.workload.engine.counter_mode, CounterMode::kModular);
+  EXPECT_TRUE(w.options.adaptive.enabled);
+  EXPECT_EQ(w.options.adaptive.observation_windows, 6u);
+  EXPECT_DOUBLE_EQ(w.options.adaptive.hysteresis, 1.4);
+  EXPECT_EQ(w.options.adaptive.min_windows_between_migrations, 10u);
+  EXPECT_DOUBLE_EQ(w.options.adaptive.per_event_cost, 32.0);
+  EXPECT_TRUE(w.runtime.workload.adaptive.enabled);
   ASSERT_TRUE(w.stock.has_value());
   EXPECT_EQ(w.stock->seed, 7u);
   EXPECT_EQ(w.stock->rate, 40);
   EXPECT_EQ(w.stock->num_companies, 8);
+  ASSERT_EQ(w.stock->bursts.size(), 2u);
+  EXPECT_EQ(w.stock->bursts[0].start, 10);
+  EXPECT_EQ(w.stock->bursts[0].end, 20);
+  EXPECT_DOUBLE_EQ(w.stock->bursts[0].stock_multiplier, 8.0);
+  EXPECT_DOUBLE_EQ(w.stock->bursts[0].halt_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(w.stock->bursts[1].stock_multiplier, 0.0);
+  EXPECT_DOUBLE_EQ(w.stock->bursts[1].halt_multiplier, 2.0);
   // The stock dataset registered the types.
   EXPECT_NE(catalog.FindType("Stock"), kInvalidType);
+}
+
+TEST(WorkloadSpec, BurstScheduleShapesTheStream) {
+  Catalog catalog;
+  auto spec = workload::ParseWorkloadSpec(kFullSpec, &catalog);
+  ASSERT_TRUE(spec.ok());
+  Stream stream = GenerateStockStream(&catalog, *spec.value().stock);
+  // Deterministic per seed: a second generation is identical.
+  Catalog catalog2;
+  Stream again = GenerateStockStream(&catalog2, *spec.value().stock);
+  ASSERT_EQ(stream.size(), again.size());
+  for (size_t i = 0; i < stream.size(); i += 97) {
+    EXPECT_EQ(stream.events()[i].time, again.events()[i].time);
+    EXPECT_EQ(stream.events()[i].type, again.events()[i].type);
+  }
+  // The 8x phase bursts and the silenced phase is silent.
+  size_t quiet = 0;
+  size_t burst = 0;
+  size_t silenced = 0;
+  for (const Event& e : stream.events()) {
+    if (e.time < 10) ++quiet;
+    if (e.time >= 10 && e.time < 20) ++burst;
+    if (e.time >= 25 && e.time < 28 && e.type == catalog.FindType("Stock")) {
+      ++silenced;
+    }
+  }
+  EXPECT_EQ(quiet, 400u);    // 10s at base rate 40
+  EXPECT_EQ(burst, 3200u);   // 10s at 8x
+  EXPECT_EQ(silenced, 0u);   // stock_multiplier 0
 }
 
 TEST(WorkloadSpec, DefaultsWithoutOptionalBlocks) {
@@ -96,6 +150,49 @@ TEST(WorkloadSpec, RejectsUnknownKeysAndBadValues) {
           .ok());
   EXPECT_FALSE(workload::ParseWorkloadSpec("{", &catalog).ok());
   EXPECT_FALSE(workload::ParseWorkloadSpec("{} trailing", &catalog).ok());
+  // Strict keys and value validation of the adaptive block.
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "adaptive": {"enable": true}})",
+                   &catalog)
+                   .ok())
+      << "typo'd adaptive key must be rejected";
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "adaptive": {"hysteresis": 0.5}})",
+                   &catalog)
+                   .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "adaptive": {"observation_windows": 0}})",
+                   &catalog)
+                   .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "adaptive": {"per_event_cost": -64.0}})",
+                   &catalog)
+                   .ok())
+      << "a negative per-event cost would invert the cost comparison";
+  // Burst phases: strict keys, sane ranges.
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "dataset": {"kind": "stock",
+                                   "bursts": [{"begin": 0, "end": 5}]}})",
+                   &catalog)
+                   .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "dataset": {"kind": "stock",
+                                   "bursts": [{"start": 9, "end": 5}]}})",
+                   &catalog)
+                   .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "dataset": {"kind": "stock",
+                                   "bursts": [{"start": 0, "end": 5,
+                                               "stock_multiplier": -1.0}]}})",
+                   &catalog)
+                   .ok());
 }
 
 TEST(WorkloadSpec, LoadedSpecDrivesShardedRuntime) {
