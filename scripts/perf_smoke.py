@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Report-only perf-smoke comparison for CI.
+"""Perf-smoke comparison for CI.
 
 Compares the current run's benchmark JSON lines against a committed
 baseline and prints a GitHub-Actions warning for every configuration whose
-throughput dropped more than the threshold. Never fails the build: CI
-runners are noisy and the baseline was recorded on different hardware, so
-this is a trend signal, not a gate.
+throughput dropped more than the threshold. By default it never fails the
+build: CI runners are noisy and the baseline was recorded on different
+hardware, so the report is a trend signal, not a gate. Pass --strict to
+turn regressions beyond the threshold into a non-zero exit status (for
+release branches or a dedicated perf runner with a trusted baseline).
 
 Inputs are files of JSON objects, one per line:
   {"bench": "hotpath", "config": "count_modular", "events_per_sec": ...}
   {"bench": "micro", "config": "BM_GretaProcessEvent", "events_per_sec": ...}
+Rows without an events_per_sec field (summary rows like the telemetry
+bench's overhead line) are ignored.
 
 Usage:
   perf_smoke.py --baseline bench/baselines/BENCH_core_baseline.json \
-                --current BENCH_core.json [--threshold 0.30]
+                --current BENCH_core.json [--threshold 0.30] [--strict]
 """
 
 import argparse
@@ -47,6 +51,9 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--threshold", type=float, default=0.30)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any configuration regresses "
+                             "beyond the threshold (default: report-only)")
     args = parser.parse_args()
 
     baseline = load_rows(args.baseline)
@@ -76,9 +83,11 @@ def main():
         print("perf-smoke: %s is new (no baseline); %.0f ev/s"
               % (key, current[key]))
 
-    print("perf-smoke: %d regression(s) beyond threshold (report-only)"
-          % regressions)
-    return 0  # report-only by design
+    print("perf-smoke: %d regression(s) beyond threshold (%s)"
+          % (regressions, "strict" if args.strict else "report-only"))
+    if args.strict and regressions > 0:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

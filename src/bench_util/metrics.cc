@@ -3,6 +3,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "telemetry/exporters.h"
+#include "telemetry/telemetry.h"
+
 namespace greta::bench {
 
 namespace {
@@ -55,6 +58,13 @@ RunResult RunStream(EngineInterface* engine, const Stream& stream) {
       result.total_seconds > 0.0
           ? static_cast<double>(stream.size()) / result.total_seconds
           : 0.0;
+#if GRETA_TELEMETRY
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  if (reg.Armed()) {
+    result.telemetry_json =
+        telemetry::ExportJson(reg, /*include_trace=*/false);
+  }
+#endif
   return result;
 }
 

@@ -24,6 +24,12 @@ struct RunResult {
   size_t rows_emitted = 0;
   bool dnf = false;
   EngineStats stats;
+  /// JSON telemetry snapshot (exporters.h) captured right after the run,
+  /// without the trace payload. Empty when telemetry is compiled out or
+  /// runtime-disabled. The registry is process-wide, so a snapshot taken
+  /// after several runs aggregates all of them — benches that want
+  /// per-run numbers reset the registry between runs.
+  std::string telemetry_json;
 
   /// "DNF" or a value with a unit, for table cells.
   std::string LatencyCell() const;

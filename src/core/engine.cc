@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "storage/window.h"
 
@@ -66,6 +67,33 @@ GretaEngine::GretaEngine(const Catalog* catalog,
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+
+#if GRETA_TELEMETRY
+  // Arm the instruments once; the hot path only tests cached pointers.
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  tm_.events_routed = reg.CounterIf("greta_core_events_routed_total");
+  tm_.vertices_created = reg.CounterIf("greta_core_vertices_created_total");
+  tm_.edges_traversed = reg.CounterIf("greta_core_edges_traversed_total");
+  tm_.windows_closed = reg.CounterIf("greta_core_windows_closed_total");
+  tm_.emit_ns = reg.HistogramIf("greta_core_window_emit_ns");
+  tm_.pane_bytes = reg.GaugeIf("greta_core_pane_bytes");
+  tm_.trace = reg.TraceIf();
+  for (const AlternativePlan& alt : plan_->alternatives) {
+    for (const GraphPlan& gp : alt.graphs) {
+      ++kernel_per_delivery_[static_cast<size_t>(gp.kernel)];
+    }
+  }
+  static constexpr const char* kKernelSeries[3] = {
+      "greta_core_kernel_dispatch_total{kernel=\"count_modular\"}",
+      "greta_core_kernel_dispatch_total{kernel=\"count_exact\"}",
+      "greta_core_kernel_dispatch_total{kernel=\"generic\"}",
+  };
+  for (size_t k = 0; k < 3; ++k) {
+    if (kernel_per_delivery_[k] > 0) {
+      tm_.kernel_dispatch[k] = reg.CounterIf(kKernelSeries[k]);
+    }
+  }
+#endif
 }
 
 GretaEngine::~GretaEngine() {
@@ -143,10 +171,29 @@ void GretaEngine::CloseWindowsUpTo(Ts now) {
                now) {
       broadcast_buffer_.pop_front();
     }
+    GRETA_TM_SET(tm_.pane_bytes,
+                 static_cast<double>(memory_->current_bytes()));
+    GRETA_TM(if (tm_.trace != nullptr) {
+      telemetry::TraceEvent e;
+      e.kind = telemetry::TraceKind::kPanePurge;
+      e.ts = now;
+      e.a = memory_->current_bytes();
+      tm_.trace->Emit(e);
+    });
   }
 }
 
 void GretaEngine::EmitWindow(WindowId wid) {
+#if GRETA_TELEMETRY
+  // Close-to-emit latency: this call IS the span between a window closing
+  // (watermark passes its close time) and its rows being handed to
+  // callbacks / the emit queues, so one wall-clock measurement of it is the
+  // per-window emission latency.
+  using TmClock = std::chrono::steady_clock;
+  const TmClock::time_point tm_start =
+      tm_.emit_ns != nullptr ? TmClock::now() : TmClock::time_point();
+  size_t tm_rows = 0;
+#endif
   const size_t nq = plan_->num_queries();
   std::vector<std::unordered_map<std::vector<Value>, AggOutputs, ValueVecHash,
                                  ValueVecEq>>
@@ -208,6 +255,9 @@ void GretaEngine::EmitWindow(WindowId wid) {
       rows.push_back(std::move(row));
     }
     SortRows(&rows);
+#if GRETA_TELEMETRY
+    tm_rows += rows.size();
+#endif
     const bool has_callback =
         q < result_callbacks_.size() && result_callbacks_[q];
     for (ResultRow& row : rows) {
@@ -248,6 +298,35 @@ void GretaEngine::EmitWindow(WindowId wid) {
     window_obs_.pop_front();
   }
   window_obs_.push_back(obs);
+
+#if GRETA_TELEMETRY
+  GRETA_TM_ADD(tm_.windows_closed, 1);
+  GRETA_TM_ADD(tm_.events_routed, obs.events_routed);
+  GRETA_TM_ADD(tm_.vertices_created, obs.vertices_created);
+  GRETA_TM_ADD(tm_.edges_traversed, obs.edges_traversed);
+  const uint64_t deliveries = tm_deliveries_ - tm_prev_deliveries_;
+  tm_prev_deliveries_ = tm_deliveries_;
+  for (size_t k = 0; k < 3; ++k) {
+    if (tm_.kernel_dispatch[k] != nullptr) {
+      tm_.kernel_dispatch[k]->Add(kernel_per_delivery_[k] * deliveries);
+    }
+  }
+  if (tm_.emit_ns != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        TmClock::now() - tm_start)
+                        .count();
+    tm_.emit_ns->Record(static_cast<uint64_t>(ns));
+  }
+  if (tm_.trace != nullptr) {
+    telemetry::TraceEvent e;
+    e.kind = telemetry::TraceKind::kWindowClose;
+    e.ts = obs.close_time;
+    e.wid = static_cast<int64_t>(wid);
+    e.a = tm_rows;
+    e.b = obs.vertices_created;
+    tm_.trace->Emit(e);
+  }
+#endif
 }
 
 std::vector<WindowObservation> GretaEngine::TakeWindowObservations() {
@@ -271,6 +350,7 @@ void GretaEngine::Route(const Event& e) {
     route_key_.clear();
     for (AttrId id : ids) route_key_.push_back(e.attr(id));
     Partition* p = GetOrCreatePartition(route_key_, e.seq);
+    GRETA_TM(++tm_deliveries_);
     DeliverToPartition(p, e);
     return;
   }
@@ -287,7 +367,10 @@ void GretaEngine::Route(const Event& e) {
     if (b.has_attr[i]) b.key_values[i] = e.attr(ids[i]);
   }
   for (auto& [key, partition] : partitions_) {
-    if (BroadcastMatches(b, key)) DeliverToPartition(partition.get(), e);
+    if (BroadcastMatches(b, key)) {
+      GRETA_TM(++tm_deliveries_);
+      DeliverToPartition(partition.get(), e);
+    }
   }
   broadcast_buffer_.push_back(std::move(b));
 }
@@ -352,7 +435,10 @@ GretaEngine::Partition* GretaEngine::GetOrCreatePartition(
   // Replay buffered broadcast events that precede the creating event.
   for (const BroadcastEvent& b : broadcast_buffer_) {
     if (b.event.seq >= upto) break;
-    if (BroadcastMatches(b, key)) DeliverToPartition(raw, b.event);
+    if (BroadcastMatches(b, key)) {
+      GRETA_TM(++tm_deliveries_);
+      DeliverToPartition(raw, b.event);
+    }
   }
   return raw;
 }
@@ -409,6 +495,7 @@ void GretaEngine::FlushBatch() {
   for (auto& [partition, events] : per_partition) {
     Partition* p = partition;
     std::vector<Event>* ev = &events;
+    GRETA_TM(tm_deliveries_ += ev->size());
     pool_->Submit([this, p, ev] {
       for (const Event& e : *ev) DeliverToPartition(p, e);
     });

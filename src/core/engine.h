@@ -12,6 +12,7 @@
 #include "core/engine_interface.h"
 #include "core/greta_graph.h"
 #include "core/plan.h"
+#include "telemetry/telemetry.h"
 
 namespace greta {
 
@@ -205,6 +206,32 @@ class GretaEngine : public EngineInterface {
   size_t obs_events_routed_ = 0;
   size_t obs_prev_vertices_ = 0;
   size_t obs_prev_edges_ = 0;
+
+  // Telemetry instruments, cached from the default registry at construction
+  // (all null when telemetry is compiled out or runtime-disabled — every
+  // update site branches on the pointer). Counters are registry-sharded, so
+  // many engines (shards, clusters) share one named series.
+  struct Instruments {
+    telemetry::Counter* events_routed = nullptr;
+    telemetry::Counter* vertices_created = nullptr;
+    telemetry::Counter* edges_traversed = nullptr;
+    telemetry::Counter* windows_closed = nullptr;
+    // Indexed by PropKernel; only kinds present in the plan are registered.
+    telemetry::Counter* kernel_dispatch[3] = {nullptr, nullptr, nullptr};
+    telemetry::Histogram* emit_ns = nullptr;  // window close-to-emit latency
+    telemetry::Gauge* pane_bytes = nullptr;   // tracked bytes after a close
+    telemetry::TraceRing* trace = nullptr;
+  };
+  Instruments tm_;
+  // Graphs per kernel kind delivered per (event, partition): dispatch
+  // counts are kernel_per_delivery_[k] * deliveries. Deliveries accumulate
+  // in a plain member on the SERIAL routing paths (never inside
+  // DeliverToPartition, which FlushBatch runs on pool threads) and flush
+  // into the registry once per window close — the per-event hot path pays
+  // one non-atomic increment, not an atomic counter update.
+  uint64_t kernel_per_delivery_[3] = {0, 0, 0};
+  uint64_t tm_deliveries_ = 0;
+  uint64_t tm_prev_deliveries_ = 0;
 };
 
 }  // namespace greta

@@ -82,6 +82,15 @@ class ResultMerger {
   /// Minimum over published shard clocks (kMinTs before any publication).
   Ts low_watermark() const;
 
+  /// Windows currently held back awaiting the low watermark, summed over
+  /// queries (driver thread only; current as of the last Merge call) — the
+  /// merger's hold-back depth.
+  size_t pending_windows() const {
+    size_t n = 0;
+    for (const auto& per_query : pending_) n += per_query.size();
+    return n;
+  }
+
  private:
   struct ShardStage {
     std::mutex mu;

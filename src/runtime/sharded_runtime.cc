@@ -52,6 +52,7 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
     } else {
       sharing::SharedEngineOptions shard_options = options.workload;
       shard_options.engine.memory = shard->memory.get();
+      shard_options.telemetry_shard = s;
       StatusOr<std::unique_ptr<sharing::SharedWorkloadEngine>> engine =
           sharing::SharedWorkloadEngine::Create(catalog, workload,
                                                 shard_options);
@@ -84,6 +85,23 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
   }
   rt->merger_ = std::make_unique<ResultMerger>(num_shards, std::move(windows),
                                                std::move(plans));
+
+#if GRETA_TELEMETRY
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard& shard = *rt->shards_[s];
+    shard.tm_depth_hwm = reg.GaugeIf(
+        telemetry::Labeled("greta_runtime_queue_depth_hwm", "shard", s));
+    shard.tm_stalls = reg.CounterIf(telemetry::Labeled(
+        "greta_runtime_producer_stalls_total", "shard", s));
+    shard.tm_batch_events = reg.HistogramIf(
+        telemetry::Labeled("greta_runtime_batch_events", "shard", s));
+  }
+  rt->tm_watermark_lag_ = reg.GaugeIf("greta_runtime_watermark_lag");
+  rt->tm_merger_holdback_ =
+      reg.GaugeIf("greta_runtime_merger_pending_windows");
+  rt->tm_trace_ = reg.TraceIf();
+#endif
 
   rt->pool_ = std::make_unique<ThreadPool>(num_shards);
   ShardedRuntime* raw = rt.get();
@@ -136,8 +154,26 @@ Status ShardedRuntime::Process(const Event& e) {
       FlushShardBatch(s, /*flush=*/false);
     }
     events_since_heartbeat_ = 0;
+    TelemetryHeartbeat();
   }
   return Status::Ok();
+}
+
+void ShardedRuntime::TelemetryHeartbeat() {
+#if GRETA_TELEMETRY
+  const Ts lw = merger_->low_watermark();
+  if (lw <= kMinTs) return;  // no shard published a clock yet
+  GRETA_TM_SET(tm_watermark_lag_, static_cast<double>(clock_ - lw));
+  if (tm_trace_ != nullptr && lw > tm_last_low_wm_) {
+    telemetry::TraceEvent e;
+    e.kind = telemetry::TraceKind::kWatermarkAdvance;
+    e.ts = lw;
+    e.a = static_cast<uint64_t>(clock_ - lw);  // router lead over the fleet
+    e.b = shards_.size();
+    tm_trace_->Emit(e);
+    tm_last_low_wm_ = lw;
+  }
+#endif
 }
 
 void ShardedRuntime::FlushShardBatch(size_t shard_index, bool flush) {
@@ -147,6 +183,30 @@ void ShardedRuntime::FlushShardBatch(size_t shard_index, bool flush) {
   shard.pending.clear();
   batch.watermark = clock_;
   batch.flush = flush;
+#if GRETA_TELEMETRY
+  GRETA_TM_RECORD(shard.tm_batch_events, batch.events.size());
+  GRETA_TM_SETMAX(
+      shard.tm_depth_hwm,
+      static_cast<double>(shard.queue->depth_high_watermark()));
+  if (shard.tm_stalls != nullptr) {
+    const size_t stalls = shard.queue->producer_stalls();
+    if (stalls > shard.tm_stalls_seen) {
+      shard.tm_stalls->Add(stalls - shard.tm_stalls_seen);
+      shard.tm_stalls_seen = stalls;
+    }
+  }
+  // About to block on a full ring: record the stall before Push parks.
+  if (tm_trace_ != nullptr &&
+      shard.queue->size() >= shard.queue->capacity()) {
+    telemetry::TraceEvent e;
+    e.kind = telemetry::TraceKind::kShardStall;
+    e.shard = static_cast<uint16_t>(shard_index);
+    e.ts = clock_;
+    e.a = shard.queue->size();
+    e.b = shard.queue->producer_stalls();
+    tm_trace_->Emit(e);
+  }
+#endif
   shard.queue->Push(std::move(batch));
 }
 
@@ -166,6 +226,7 @@ Status ShardedRuntime::Flush() {
   }
   merger_->MarkFlushed();
   events_since_heartbeat_ = 0;
+  TelemetryHeartbeat();
   return FirstShardError();
 }
 
@@ -235,6 +296,8 @@ void ShardedRuntime::DrainShardResults(size_t shard_index, Shard* shard) {
 
 std::vector<ResultRow> ShardedRuntime::TakeResults() {
   merger_->Merge();
+  GRETA_TM_SET(tm_merger_holdback_,
+               static_cast<double>(merger_->pending_windows()));
   std::vector<ResultRow> all;
   for (size_t q = 0; q < merger_->num_queries(); ++q) {
     std::vector<ResultRow> rows = merger_->TakeReady(q);
@@ -246,6 +309,8 @@ std::vector<ResultRow> ShardedRuntime::TakeResults() {
 
 std::vector<ResultRow> ShardedRuntime::TakeResults(size_t query_id) {
   merger_->Merge();
+  GRETA_TM_SET(tm_merger_holdback_,
+               static_cast<double>(merger_->pending_windows()));
   return merger_->TakeReady(query_id);
 }
 
@@ -267,6 +332,17 @@ std::vector<sharing::AdaptationStats> ShardedRuntime::ShardAdaptationStates(
   const Shard& s = *shards_[shard];
   if (s.shared == nullptr) return {};
   return s.shared->adaptation_states();
+}
+
+ShardedRuntime::ShardQueueStats ShardedRuntime::shard_queue_stats(
+    size_t shard) const {
+  GRETA_CHECK(shard < shards_.size());
+  const SpscQueue<Batch>& q = *shards_[shard]->queue;
+  ShardQueueStats out;
+  out.capacity = q.capacity();
+  out.depth_high_watermark = q.depth_high_watermark();
+  out.producer_stalls = q.producer_stalls();
+  return out;
 }
 
 size_t ShardedRuntime::TotalMigrations() const {

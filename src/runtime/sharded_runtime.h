@@ -115,6 +115,17 @@ class ShardedRuntime : public EngineInterface {
   /// Quiescent-only.
   size_t TotalMigrations() const;
 
+  /// Ingest-queue pressure counters of shard `shard`, maintained inside the
+  /// SPSC channel itself (readable any time, any thread).
+  struct ShardQueueStats {
+    size_t capacity = 0;
+    /// Max occupancy (batches) ever observed right after a router push.
+    size_t depth_high_watermark = 0;
+    /// Router pushes that parked on a full ring (backpressure episodes).
+    size_t producer_stalls = 0;
+  };
+  ShardQueueStats shard_queue_stats(size_t shard) const;
+
   /// Aggregated stats: events counted at the router; vertices / edges /
   /// work summed over per-shard snapshots (taken by each worker after its
   /// last processed batch); peak_bytes from the workload roll-up tracker.
@@ -143,6 +154,14 @@ class ShardedRuntime : public EngineInterface {
     std::mutex snapshot_mu;
     EngineStats stats_snapshot;
     Status error = Status::Ok();  // guarded by snapshot_mu
+
+    // Telemetry series (null when disarmed), mirrored by the router at
+    // batch-flush granularity; tm_stalls_seen tracks the last mirrored
+    // cumulative stall count (router thread only).
+    telemetry::Gauge* tm_depth_hwm = nullptr;
+    telemetry::Counter* tm_stalls = nullptr;
+    telemetry::Histogram* tm_batch_events = nullptr;
+    size_t tm_stalls_seen = 0;
   };
 
   ShardedRuntime() = default;
@@ -151,6 +170,9 @@ class ShardedRuntime : public EngineInterface {
   void DrainShardResults(size_t shard_index, Shard* shard);
   void FlushShardBatch(size_t shard_index, bool flush);
   Status FirstShardError() const;
+  // Updates the watermark-lag gauge and emits a kWatermarkAdvance trace
+  // when the low watermark moved (heartbeat / Flush granularity).
+  void TelemetryHeartbeat();
 
   const Catalog* catalog_ = nullptr;
   ShardRouter router_;
@@ -177,6 +199,12 @@ class ShardedRuntime : public EngineInterface {
 
   std::atomic<bool> any_error_{false};
   mutable EngineStats stats_;
+
+  // Runtime-wide telemetry (null when disarmed).
+  telemetry::Gauge* tm_watermark_lag_ = nullptr;
+  telemetry::Gauge* tm_merger_holdback_ = nullptr;
+  telemetry::TraceRing* tm_trace_ = nullptr;
+  Ts tm_last_low_wm_ = kMinTs;  // router thread only
 
   std::unique_ptr<ThreadPool> pool_;
 };

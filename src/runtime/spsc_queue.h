@@ -46,13 +46,21 @@ class SpscQueue {
     GRETA_DCHECK(!closed_.load(std::memory_order_relaxed));
     for (;;) {
       size_t t = tail_.load(std::memory_order_relaxed);
-      if (t - head_.load(std::memory_order_acquire) <= mask_) {
+      size_t h = head_.load(std::memory_order_acquire);
+      if (t - h <= mask_) {
         ring_[t & mask_] = std::move(item);
         tail_.store(t + 1, std::memory_order_release);
+        // Occupancy high watermark, producer-only write (h re-read would
+        // only shrink the depth, so this is the conservative maximum).
+        const size_t depth = t + 1 - h;
+        if (depth > depth_hwm_.load(std::memory_order_relaxed)) {
+          depth_hwm_.store(depth, std::memory_order_relaxed);
+        }
         { std::lock_guard<std::mutex> lock(mu_); }
         not_empty_.notify_one();
         return;
       }
+      producer_stalls_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lock(mu_);
       not_full_.wait(lock, [this] {
         return tail_.load(std::memory_order_relaxed) -
@@ -106,12 +114,28 @@ class SpscQueue {
            head_.load(std::memory_order_relaxed);
   }
 
+  /// Maximum occupancy ever observed right after a Push — how close the
+  /// channel came to backpressure. Readable from any thread.
+  size_t depth_high_watermark() const {
+    return depth_hwm_.load(std::memory_order_relaxed);
+  }
+
+  /// Push calls that found the ring full and parked (each blocking episode
+  /// counts once per wakeup attempt). Readable from any thread.
+  size_t producer_stalls() const {
+    return producer_stalls_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<T> ring_;
   size_t mask_ = 0;
   std::atomic<size_t> head_{0};  // next slot to pop
   std::atomic<size_t> tail_{0};  // next slot to push
   std::atomic<bool> closed_{false};
+  // Pressure counters (see accessors); plain internal state, no telemetry
+  // dependency — the sharded runtime mirrors them into registry series.
+  std::atomic<size_t> depth_hwm_{0};
+  std::atomic<size_t> producer_stalls_{0};
   std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

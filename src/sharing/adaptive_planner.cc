@@ -58,6 +58,7 @@ void AdaptiveClusterPlanner::RefreshCosts() const {
   const double q_hat =
       (quad_current > 0.0 && sum_e2 > 0.0) ? sum_edges / (quad_current * sum_e2)
                                            : 0.0;
+  stats_.q_hat = q_hat;
   const double mean_e2 = n > 0.0 ? sum_e2 / n : 0.0;
   stats_.cost_merged = q_hat * shape_.merged_quad * mean_e2 +
                        options_.per_event_cost * shape_.merged_passes * mean_e;

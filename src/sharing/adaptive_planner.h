@@ -77,6 +77,10 @@ struct AdaptationStats {
   double burstiness = 0.0;      // coefficient of variation of events/step
   double cost_merged = 0.0;     // last estimate, edge-op units per step
   double cost_dedicated = 0.0;
+  /// Calibrated quadratic coefficient (observed edges per predicted
+  /// edge-window cell, RefreshCosts): the knob the cost model tunes from
+  /// the live stream, surfaced as a telemetry gauge.
+  double q_hat = 0.0;
 };
 
 /// Per-cluster incremental re-planner: consumes one observation per

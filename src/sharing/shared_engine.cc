@@ -4,10 +4,16 @@
 #include <map>
 
 #include "storage/window.h"
+#include "telemetry/telemetry.h"
 
 namespace greta::sharing {
 
 namespace {
+
+#if GRETA_TELEMETRY
+// Mode gauge encoding: 0 = merged (one shared runtime), 1 = dedicated.
+double ModeGaugeValue(bool merged) { return merged ? 0.0 : 1.0; }
+#endif
 
 // Static shape of the observed-rate cost model (adaptive_planner.h).
 // Per-edge-window work units: a dedicated engine pays one scan/predicate
@@ -81,9 +87,18 @@ StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
   engine->unit_options_ = options.engine;
   engine->unit_options_.memory = &engine->memory_;
 
+#if GRETA_TELEMETRY
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  engine->tm_shard_ = static_cast<uint16_t>(options.telemetry_shard);
+  engine->tm_migrations_ = reg.CounterIf(telemetry::Labeled(
+      "greta_sharing_migrations_total", "shard", options.telemetry_shard));
+  engine->tm_trace_ = reg.TraceIf();
+#endif
+
   for (size_t ci = 0; ci < engine->plan_.clusters.size(); ++ci) {
     QueryCluster& cluster = engine->plan_.clusters[ci];
     auto cs = std::make_unique<ClusterState>();
+    cs->index = ci;
     cs->query_ids = cluster.query_ids;
     cs->merged = cluster.shared;
     cs->partial = cluster.partial;
@@ -132,12 +147,55 @@ StatusOr<std::unique_ptr<SharedWorkloadEngine>> SharedWorkloadEngine::Create(
       }
     }
 
+#if GRETA_TELEMETRY
+    cs->tm_mode = reg.GaugeIf(telemetry::Labeled(
+        "greta_sharing_cluster_mode", "shard", options.telemetry_shard,
+        "cluster", ci));
+    GRETA_TM_SET(cs->tm_mode, ModeGaugeValue(cs->merged));
+    if (cs->planner.has_value()) {
+      cs->tm_qhat = reg.GaugeIf(telemetry::Labeled(
+          "greta_sharing_q_hat", "shard", options.telemetry_shard, "cluster",
+          ci));
+    }
+#endif
+
     for (size_t slot = 0; slot < cs->query_ids.size(); ++slot) {
       engine->routes_[cs->query_ids[slot]] = {ci, slot};
     }
     engine->clusters_.push_back(std::move(cs));
   }
   return engine;
+}
+
+// One lifecycle trace entry for cluster `c`: the payload convention is
+// wid = split window (handover) or next observation window, a = mode
+// (0 merged / 1 dedicated), b = applied migrations, x/y = the cost model's
+// latest merged/dedicated estimates (edge-op units per grid step).
+void SharedWorkloadEngine::EmitClusterTrace(telemetry::TraceKind kind,
+                                            const ClusterState& c,
+                                            Ts now) const {
+#if GRETA_TELEMETRY
+  if (tm_trace_ == nullptr) return;
+  telemetry::TraceEvent e;
+  e.kind = kind;
+  e.shard = tm_shard_;
+  e.cluster = static_cast<uint32_t>(c.index);
+  e.ts = now;
+  e.wid = static_cast<int64_t>(c.handover_active() ? c.split_wid
+                                                   : c.next_obs_wid);
+  e.a = c.merged ? 0 : 1;
+  e.b = c.migrations;
+  if (c.planner.has_value()) {
+    const AdaptationStats& s = c.planner->stats();
+    e.x = s.cost_merged;
+    e.y = s.cost_dedicated;
+  }
+  tm_trace_->Emit(e);
+#else
+  (void)kind;
+  (void)c;
+  (void)now;
+#endif
 }
 
 Status SharedWorkloadEngine::BuildClusterEngines(
@@ -296,11 +354,13 @@ void SharedWorkloadEngine::AdaptStep(Ts now) {
     if (c->handover_active() && now >= c->retire_at) RetireOld(c);
 
     ObserveCluster(c, now);
+    GRETA_TM_SET(c->tm_qhat, c->planner->stats().q_hat);
 
     if (!c->handover_active()) {
       ClusterMode target = c->planner->Decide();
       ClusterMode current =
           c->merged ? ClusterMode::kMerged : ClusterMode::kDedicated;
+      EmitClusterTrace(telemetry::TraceKind::kPlanDecision, *c, now);
       if (target != current) {
         // A failed rebuild here would mean the same specs that compiled at
         // Create no longer compile — surface it loudly rather than limp on
@@ -369,6 +429,9 @@ Status SharedWorkloadEngine::StartMigration(ClusterState* c,
   ++c->generation;
   ++c->migrations;
   c->planner->OnMigrationApplied(target);
+  GRETA_TM_ADD(tm_migrations_, 1);
+  GRETA_TM_SET(c->tm_mode, ModeGaugeValue(c->merged));
+  EmitClusterTrace(telemetry::TraceKind::kMigrationStart, *c, now);
   WireCluster(c);
   if (now >= c->retire_at) RetireOld(c);
   return Status::Ok();
@@ -399,6 +462,8 @@ void SharedWorkloadEngine::RetireOld(ClusterState* c) {
       drain_old(c->retiring[slot].get(), 0, c->query_ids[slot]);
     }
   }
+  EmitClusterTrace(telemetry::TraceKind::kMigrationFinish, *c,
+                   c->retire_at == kMaxTs ? 0 : c->retire_at);
   c->retiring.clear();
   c->retire_at = kMaxTs;
   // 3. Release the new engines' held rows (wid >= split) in window order,

@@ -27,6 +27,11 @@ struct SharedEngineOptions {
   EngineOptions engine;
   SharingOptions sharing;
   AdaptiveOptions adaptive;
+  /// Shard index stamped on this workload's telemetry series and lifecycle
+  /// traces (`{shard="i",...}` labels); sharded runtimes (src/runtime/)
+  /// pass their shard id so per-cluster gauges of different shards stay
+  /// distinct series. Single-shard callers leave it 0.
+  size_t telemetry_shard = 0;
 };
 
 /// Multi-query shared execution runtime (after Hamlet's shared Kleene
@@ -155,6 +160,7 @@ class SharedWorkloadEngine : public EngineInterface {
   // query_ids order; during a handover the outgoing engines live in
   // `retiring` until every window they own has closed.
   struct ClusterState {
+    size_t index = 0;  // position in the sharing plan (telemetry labels)
     std::vector<size_t> query_ids;
     bool merged = false;
     bool partial = false;  // merged unit built via CreatePartial
@@ -176,6 +182,12 @@ class SharedWorkloadEngine : public EngineInterface {
 
     size_t migrations = 0;
     EngineStats retired_stats;  // cumulative counters of retired engines
+
+    // Per-cluster telemetry series (null when disarmed): execution mode
+    // (0 = merged, 1 = dedicated) and the calibrated cost-model
+    // coefficient, labeled {shard=,cluster=}.
+    telemetry::Gauge* tm_mode = nullptr;
+    telemetry::Gauge* tm_qhat = nullptr;
 
     bool handover_active() const { return !retiring.empty(); }
   };
@@ -220,6 +232,14 @@ class SharedWorkloadEngine : public EngineInterface {
   bool adapt_initialized_ = false;
   std::deque<WindowObservation> workload_obs_;
   mutable EngineStats stats_;
+
+  // Workload-level telemetry (null when disarmed): applied migrations and
+  // the planner lifecycle trace, stamped with the shard label/field.
+  telemetry::Counter* tm_migrations_ = nullptr;
+  telemetry::TraceRing* tm_trace_ = nullptr;
+  uint16_t tm_shard_ = 0;
+  void EmitClusterTrace(telemetry::TraceKind kind, const ClusterState& cluster,
+                        Ts now) const;
 };
 
 }  // namespace greta::sharing

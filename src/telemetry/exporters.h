@@ -1,0 +1,31 @@
+#ifndef GRETA_TELEMETRY_EXPORTERS_H_
+#define GRETA_TELEMETRY_EXPORTERS_H_
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace greta::telemetry {
+
+/// Prometheus text exposition (v0.0.4): counters as `# TYPE ... counter`,
+/// gauges as gauges, histograms as cumulative `_bucket{le=...}` series plus
+/// `_sum`/`_count`. Instrument names already follow the
+/// `greta_<layer>_<what>{label="v"}` convention, so this is a straight
+/// serialization — the payload a /metrics endpoint would return.
+std::string ExportPrometheus(const MetricRegistry& registry);
+
+/// One JSON object snapshot: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, mean, p50, p99}}, "trace":
+/// [{seq, kind, shard, cluster, ts, wid, a, b, x, y}, ...]}. Emitted on a
+/// single line so bench harnesses can tee it into artifact files.
+std::string ExportJson(MetricRegistry& registry, bool include_trace = true);
+
+/// Human-readable report: instruments grouped by layer prefix, histograms
+/// with mean/p50/p99, and the tail of the lifecycle trace rendered with
+/// kind names — the `explain`-style view of a live system.
+std::string ExplainTelemetry(MetricRegistry& registry,
+                             size_t trace_tail = 32);
+
+}  // namespace greta::telemetry
+
+#endif  // GRETA_TELEMETRY_EXPORTERS_H_

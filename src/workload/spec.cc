@@ -401,6 +401,21 @@ Status ReadRuntime(const Json& block, runtime::ShardedOptions* options) {
   return s;
 }
 
+Status ReadTelemetry(const Json& block, telemetry::TelemetryOptions* options) {
+  Status keys = ExpectKeys(block, "\"telemetry\"",
+                           {"enabled", "trace_capacity", "sample_every"});
+  if (!keys.ok()) return keys;
+  Status s = ReadBool(block, "enabled", &options->enabled);
+  if (s.ok()) s = ReadSize(block, "trace_capacity", &options->trace_capacity);
+  if (s.ok()) s = ReadSize(block, "sample_every", &options->sample_every);
+  if (!s.ok()) return s;
+  if (options->sample_every == 0) {
+    return Status::InvalidArgument(
+        "workload spec: telemetry.sample_every must be >= 1");
+  }
+  return Status::Ok();
+}
+
 Status ReadDataset(const Json& block, std::optional<StockConfig>* stock) {
   const Json* kind = block.Find("kind");
   if (kind == nullptr || kind->kind != Json::Kind::kString) {
@@ -462,7 +477,7 @@ StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view json,
   Status keys = ExpectKeys(
       root, "the top-level object",
       {"name", "queries", "engine", "sharing", "adaptive", "runtime",
-       "dataset"});
+       "telemetry", "dataset"});
   if (!keys.ok()) return keys;
 
   WorkloadSpec spec;
@@ -513,6 +528,10 @@ StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view json,
   }
   if (const Json* v = root.Find("runtime"); v != nullptr) {
     Status s = ReadRuntime(*v, &spec.runtime);
+    if (!s.ok()) return s;
+  }
+  if (const Json* v = root.Find("telemetry"); v != nullptr) {
+    Status s = ReadTelemetry(*v, &spec.telemetry);
     if (!s.ok()) return s;
   }
   spec.runtime.workload = spec.options;

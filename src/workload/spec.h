@@ -11,6 +11,7 @@
 #include "query/query.h"
 #include "runtime/sharded_runtime.h"
 #include "sharing/shared_engine.h"
+#include "telemetry/telemetry.h"
 #include "workload/stock.h"
 
 namespace greta::workload {
@@ -45,6 +46,9 @@ namespace greta::workload {
 ///       "num_shards": 4, "batch_size": 256, "queue_capacity": 16,
 ///       "heartbeat_events": 1024
 ///     },
+///     "telemetry": {
+///       "enabled": true, "trace_capacity": 1024, "sample_every": 1
+///     },
 ///     "dataset": {
 ///       "kind": "stock", "seed": 42, "rate": 200, "duration": 60,
 ///       "num_companies": 10, "num_sectors": 5, "drift": 0.5,
@@ -72,6 +76,10 @@ struct WorkloadSpec {
   sharing::SharedEngineOptions options;
   /// Sharded-runtime options ("runtime" block), with `workload` = `options`.
   runtime::ShardedOptions runtime;
+  /// Telemetry configuration ("telemetry" block). Apply it with
+  /// `MetricRegistry::Default().Configure(spec.telemetry)` BEFORE building
+  /// engines — instruments are cached at construction (telemetry.h).
+  telemetry::TelemetryOptions telemetry;
   /// Present when the file declares a {"kind": "stock"} dataset.
   std::optional<StockConfig> stock;
 };

@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "gtest/gtest.h"
 #include "query/parser.h"
+#include "telemetry/telemetry.h"
 #include "tests/test_util.h"
 #include "workload/stock.h"
 
@@ -225,6 +226,49 @@ TEST(HotpathEquivalence, PartialSharingMatchesDedicatedKernels) {
     ExpectIdenticalRows(partial.value()->TakeResultsFor(q), expected,
                         "partial slot " + std::to_string(q));
   }
+}
+
+// Telemetry is observation only: the SAME engine/kernel grid run with the
+// registry armed and disarmed must produce bit-identical rows — the
+// instrumented hot paths (routing tallies, window-close flushes) may never
+// leak into results.
+TEST(HotpathEquivalence, TelemetryOnOffRowsIdentical) {
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  auto catalog = FuzzCatalog();
+  const char* queries[] = {
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+      "RETURN SUM(S.x) PATTERN SEQ(A S+, B E) WHERE S.x < NEXT(S).x "
+      "WITHIN 6 seconds SLIDE 3 seconds",
+  };
+  for (const char* text : queries) {
+    QuerySpec spec = Parse(text, catalog.get());
+    Stream stream = FuzzStream(catalog.get(), 61, 150);
+
+    reg.Reset();
+    reg.set_enabled(true);  // before Create: instruments cache here
+    auto armed = MakeGreta(catalog.get(), spec.Clone());
+    std::vector<ResultRow> armed_rows = RunEngine(armed.get(), stream);
+#if GRETA_TELEMETRY
+    // The armed run actually recorded (otherwise this test is vacuous).
+    bool routed = false;
+    for (const auto& c : reg.ScrapeCounters()) {
+      if (c.name == "greta_core_events_routed_total" && c.value > 0) {
+        routed = true;
+      }
+    }
+    EXPECT_TRUE(routed) << text;
+#endif
+
+    reg.Reset();
+    reg.set_enabled(false);
+    auto disarmed = MakeGreta(catalog.get(), spec.Clone());
+    std::vector<ResultRow> disarmed_rows = RunEngine(disarmed.get(), stream);
+    reg.set_enabled(true);
+
+    ExpectIdenticalRows(armed_rows, disarmed_rows,
+                        std::string("telemetry on/off: ") + text);
+  }
+  reg.Reset();
 }
 
 // --- Counter promotion boundary (u64 overflow edge) ---

@@ -1,0 +1,95 @@
+// TakeWindowObservations backlog bound: an engine whose observations are
+// never drained keeps at most 256 undrained windows, dropping the OLDEST —
+// the adaptive controller wants recent behaviour; an idle driver must not
+// let the deque grow without bound (engine.cc kMaxUndrainedObservations).
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace greta {
+namespace {
+
+using testing::MakeGreta;
+using testing::PaperCatalog;
+
+QuerySpec Parse(const std::string& text, Catalog* catalog) {
+  auto spec = ParseQuery(text, catalog);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+// One A event per tick under WITHIN 1 SLIDE 1: every tick closes exactly
+// one window, so `ticks` undrained closes probe the backlog cap.
+void DriveWindows(GretaEngine* engine, Catalog* catalog, Ts ticks) {
+  for (Ts t = 0; t < ticks; ++t) {
+    Event e = EventBuilder(catalog, "A", t)
+                  .Set("attr", static_cast<double>(t))
+                  .Build();
+    ASSERT_TRUE(engine->Process(e).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+}
+
+TEST(ObservationBacklog, UndrainedBacklogCapsAt256DroppingOldest) {
+  auto catalog = PaperCatalog();
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 1 seconds SLIDE 1 seconds",
+      catalog.get());
+  auto engine = MakeGreta(catalog.get(), spec);
+
+  const Ts kTicks = 400;  // closes 400 windows, 144 past the cap
+  DriveWindows(engine.get(), catalog.get(), kTicks);
+  (void)engine->TakeResults();
+
+  std::vector<WindowObservation> obs = engine->TakeWindowObservations();
+  ASSERT_EQ(obs.size(), 256u);
+  // The oldest were dropped: the survivors are the NEWEST 256 windows, in
+  // ascending close order with per-window routing deltas intact.
+  EXPECT_EQ(obs.front().wid, static_cast<WindowId>(kTicks - 256));
+  EXPECT_EQ(obs.back().wid, static_cast<WindowId>(kTicks - 1));
+  for (size_t i = 0; i < obs.size(); ++i) {
+    EXPECT_EQ(obs[i].wid, obs.front().wid + static_cast<WindowId>(i));
+    EXPECT_EQ(obs[i].events_routed, 1u) << "window " << obs[i].wid;
+  }
+
+  // Draining empties the backlog.
+  EXPECT_TRUE(engine->TakeWindowObservations().empty());
+}
+
+TEST(ObservationBacklog, DrainedRegularlyLosesNothing) {
+  auto catalog = PaperCatalog();
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 1 seconds SLIDE 1 seconds",
+      catalog.get());
+  auto engine = MakeGreta(catalog.get(), spec);
+
+  const Ts kTicks = 400;
+  size_t total = 0;
+  WindowId next_expected = 0;
+  for (Ts t = 0; t < kTicks; ++t) {
+    Event e = EventBuilder(catalog.get(), "A", t)
+                  .Set("attr", static_cast<double>(t))
+                  .Build();
+    ASSERT_TRUE(engine->Process(e).ok());
+    if (t % 100 == 99) {
+      for (const WindowObservation& o : engine->TakeWindowObservations()) {
+        EXPECT_EQ(o.wid, next_expected++);
+        ++total;
+      }
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  for (const WindowObservation& o : engine->TakeWindowObservations()) {
+    EXPECT_EQ(o.wid, next_expected++);
+    ++total;
+  }
+  // A driver that drains faster than the cap fills sees every window.
+  EXPECT_EQ(total, static_cast<size_t>(kTicks));
+}
+
+}  // namespace
+}  // namespace greta

@@ -195,6 +195,43 @@ TEST(WorkloadSpec, RejectsUnknownKeysAndBadValues) {
                    .ok());
 }
 
+TEST(WorkloadSpec, TelemetryBlockParsesStrictly) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  auto spec = workload::ParseWorkloadSpec(
+      R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+ WITHIN 5 seconds"],
+          "telemetry": {"enabled": false, "trace_capacity": 4096,
+                        "sample_every": 8}})",
+      &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_FALSE(spec.value().telemetry.enabled);
+  EXPECT_EQ(spec.value().telemetry.trace_capacity, 4096u);
+  EXPECT_EQ(spec.value().telemetry.sample_every, 8u);
+
+  // Defaults without the block: enabled, standard ring.
+  auto defaults = workload::ParseWorkloadSpec(
+      R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+ WITHIN 5 seconds"]})",
+      &catalog);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_TRUE(defaults.value().telemetry.enabled);
+  EXPECT_EQ(defaults.value().telemetry.trace_capacity, 1024u);
+  EXPECT_EQ(defaults.value().telemetry.sample_every, 1u);
+
+  // Strict keys and value validation.
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "telemetry": {"enable": true}})",
+                   &catalog)
+                   .ok())
+      << "typo'd telemetry key must be rejected";
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "telemetry": {"sample_every": 0}})",
+                   &catalog)
+                   .ok())
+      << "a zero sampling period would divide by zero at every use";
+}
+
 TEST(WorkloadSpec, LoadedSpecDrivesShardedRuntime) {
   Catalog catalog;
   auto spec = workload::ParseWorkloadSpec(kFullSpec, &catalog);
