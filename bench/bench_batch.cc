@@ -1,0 +1,188 @@
+// Columnar ingest benchmark: throughput of the batch path (ProcessBatch +
+// vectorized run kernels) across ingest batch sizes, against the scalar
+// per-event Process path on the same Q1-shaped COUNT(*) query. Before
+// timing anything it replays a smaller stream through both paths and
+// checks the result rows are bit-identical — a bench that got faster by
+// computing something else is worthless. Emits one JSON row per
+// configuration for the BENCH_batch.json trajectory artifact (CI uploads
+// it; the perf-smoke step diffs it against
+// bench/baselines/BENCH_batch_baseline.json).
+//
+// Flags: --rate/--duration size the stream, --within/--slide the window,
+// --reps best-of repetitions.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "bench_util/metrics.h"
+#include "query/parser.h"
+#include "workload/stock.h"
+
+namespace greta::bench {
+namespace {
+
+QuerySpec MakeQuery(Catalog* catalog, Ts within, Ts slide) {
+  std::string text =
+      "RETURN sector, COUNT(*) PATTERN Stock S+ WHERE [company, sector] AND "
+      "S.price > NEXT(S).price GROUP-BY sector WITHIN " +
+      std::to_string(within) + " seconds SLIDE " + std::to_string(slide) +
+      " seconds";
+  auto spec = ParseQuery(text, catalog);
+  GRETA_CHECK(spec.ok());
+  return std::move(spec).value();
+}
+
+std::unique_ptr<GretaEngine> MakeEngine(Catalog* catalog,
+                                        const QuerySpec& spec,
+                                        bool batch_kernels) {
+  EngineOptions options;
+  options.enable_batch_kernels = batch_kernels;
+  auto built = GretaEngine::Create(catalog, spec, options);
+  GRETA_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+// Replays the stream collecting every emitted row (scalar path when
+// batch_size is 0) — the correctness half, not the timed half.
+std::vector<ResultRow> CollectRows(GretaEngine* engine, const Stream& stream,
+                                   size_t batch_size) {
+  std::vector<ResultRow> rows;
+  auto drain = [&] {
+    for (ResultRow& row : engine->TakeResults()) rows.push_back(std::move(row));
+  };
+  if (batch_size == 0) {
+    for (const Event& e : stream.events()) {
+      GRETA_CHECK(engine->Process(e).ok());
+      drain();
+    }
+  } else {
+    EventBatch batch;
+    batch.reserve(batch_size);
+    const std::vector<Event>& events = stream.events();
+    size_t i = 0;
+    while (i < events.size()) {
+      batch.clear();
+      for (; i < events.size() && batch.size() < batch_size; ++i) {
+        batch.Append(events[i]);
+      }
+      GRETA_CHECK(engine->ProcessBatch(batch).ok());
+      drain();
+    }
+  }
+  GRETA_CHECK(engine->Flush().ok());
+  drain();
+  return rows;
+}
+
+void CheckIdenticalRows(const std::vector<ResultRow>& scalar,
+                        const std::vector<ResultRow>& batched,
+                        const char* label) {
+  GRETA_CHECK(scalar.size() == batched.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    const ResultRow& a = scalar[i];
+    const ResultRow& b = batched[i];
+    GRETA_CHECK(a.wid == b.wid);
+    GRETA_CHECK(a.group.size() == b.group.size());
+    for (size_t g = 0; g < a.group.size(); ++g) {
+      GRETA_CHECK(a.group[g] == b.group[g]);
+    }
+    GRETA_CHECK(a.aggs.count.ToDecimal() == b.aggs.count.ToDecimal());
+  }
+  std::printf("verified: %s rows identical to scalar (%zu rows)\n", label,
+              scalar.size());
+}
+
+int Run(const Flags& flags) {
+  int64_t rate = flags.GetInt("rate", 800);
+  Ts duration = flags.GetInt("duration", 60);
+  Ts within = flags.GetInt("within", 10);
+  Ts slide = flags.GetInt("slide", 10);
+  int64_t reps = flags.GetInt("reps", 3);
+
+  PrintHeader(
+      "Columnar ingest: batch path vs scalar path across batch sizes",
+      "Q1-shaped COUNT(*) Kleene query on the stock stream; scalar is the "
+      "per-event Process loop, batchN packs N events per ProcessBatch call "
+      "(same-timestamp runs share one window division and one predecessor "
+      "scan), batch256_rowwise forces the row-at-a-time fallback through "
+      "the batch entry point.",
+      "Throughput should rise with the batch size until every "
+      "same-timestamp run fits in one batch; batch256_rowwise isolates "
+      "call-overhead savings from the vectorized-kernel savings.");
+
+  Catalog catalog;
+  StockConfig stock;
+  stock.rate = static_cast<int>(rate);
+  stock.duration = duration;
+  Stream stream = GenerateStockStream(&catalog, stock);
+  QuerySpec spec = MakeQuery(&catalog, within, slide);
+
+  // Correctness first, on a smaller stream so the check stays cheap.
+  {
+    StockConfig small = stock;
+    small.duration = duration / 4 > 0 ? duration / 4 : 1;
+    Catalog check_catalog;
+    Stream check_stream = GenerateStockStream(&check_catalog, small);
+    QuerySpec check_spec = MakeQuery(&check_catalog, within, slide);
+    auto scalar_engine = MakeEngine(&check_catalog, check_spec, true);
+    std::vector<ResultRow> scalar_rows =
+        CollectRows(scalar_engine.get(), check_stream, 0);
+    for (size_t batch_size : {size_t{1}, size_t{64}, size_t{256}}) {
+      auto batched_engine = MakeEngine(&check_catalog, check_spec, true);
+      CheckIdenticalRows(
+          scalar_rows,
+          CollectRows(batched_engine.get(), check_stream, batch_size),
+          ("batch" + std::to_string(batch_size)).c_str());
+    }
+    auto rowwise_engine = MakeEngine(&check_catalog, check_spec, false);
+    CheckIdenticalRows(scalar_rows,
+                       CollectRows(rowwise_engine.get(), check_stream, 256),
+                       "batch256_rowwise");
+  }
+
+  struct Config {
+    const char* name;
+    size_t batch_size;
+    bool batch_kernels;
+  };
+  const Config configs[] = {
+      {"scalar", 0, true},          {"batch1", 1, true},
+      {"batch64", 64, true},        {"batch256", 256, true},
+      {"batch1024", 1024, true},    {"batch256_rowwise", 256, false},
+  };
+
+  Table table({"config", "events/s", "peak memory", "edges"});
+  for (const Config& config : configs) {
+    IngestOptions ingest;
+    ingest.batch_size = config.batch_size;
+    RunResult best;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      auto engine = MakeEngine(&catalog, spec, config.batch_kernels);
+      RunResult r = RunStreamBatched(engine.get(), stream, ingest);
+      if (rep == 0 || r.throughput_eps > best.throughput_eps) best = r;
+    }
+    table.AddRow({config.name, best.ThroughputCell(), best.MemoryCell(),
+                  FormatCount(
+                      static_cast<double>(best.stats.edges_traversed))});
+    std::printf(
+        "{\"bench\":\"batch\",\"config\":\"%s\",\"events\":%zu,"
+        "\"events_per_sec\":%.1f,\"peak_bytes\":%zu,\"edges\":%zu,"
+        "\"rows\":%zu}\n",
+        config.name, stream.size(), best.throughput_eps,
+        best.peak_memory_bytes, best.stats.edges_traversed,
+        best.rows_emitted);
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace greta::bench
+
+int main(int argc, char** argv) {
+  return greta::bench::Run(greta::bench::Flags(argc, argv));
+}

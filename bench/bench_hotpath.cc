@@ -7,7 +7,8 @@
 // diffs it against bench/baselines/BENCH_core_baseline.json).
 //
 // Flags: --rate/--duration size the stream, --within/--slide the window,
-// --factor the Q1 predicate selectivity, --reps best-of repetitions.
+// --factor the Q1 predicate selectivity, --reps best-of repetitions,
+// --batch the columnar ingest batch size (0 = per-event Process calls).
 
 #include <cstdio>
 #include <memory>
@@ -57,6 +58,8 @@ int Run(const Flags& flags) {
   Ts slide = flags.GetInt("slide", 10);
   double factor = flags.GetDouble("factor", 1.0);
   int64_t reps = flags.GetInt("reps", 3);
+  IngestOptions ingest;
+  ingest.batch_size = static_cast<size_t>(flags.GetInt("batch", 256));
 
   PrintHeader(
       "Hot path: per-event insert cost across propagation kernels",
@@ -111,7 +114,7 @@ int Run(const Flags& flags) {
         GRETA_CHECK(built.ok());
         engine = std::move(built).value();
       }
-      RunResult r = RunStream(engine.get(), stream);
+      RunResult r = RunStreamBatched(engine.get(), stream, ingest);
       if (rep == 0 || r.throughput_eps > best.throughput_eps) best = r;
     }
 

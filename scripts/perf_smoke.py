@@ -37,10 +37,15 @@ def load_rows(path):
                     obj = json.loads(line)
                 except json.JSONDecodeError:
                     continue
+                if not isinstance(obj, dict):
+                    continue  # a bare JSON array/number is not a bench row
                 key = "%s/%s" % (obj.get("bench", "?"), obj.get("config", "?"))
-                eps = obj.get("events_per_sec")
-                if eps:
-                    rows[key] = float(eps)
+                try:
+                    eps = float(obj.get("events_per_sec"))
+                except (TypeError, ValueError):
+                    continue  # summary rows carry no events_per_sec
+                if eps > 0:
+                    rows[key] = eps
     except OSError as e:
         print("::warning::perf-smoke: cannot read %s: %s" % (path, e))
     return rows

@@ -68,6 +68,65 @@ RunResult RunStream(EngineInterface* engine, const Stream& stream) {
   return result;
 }
 
+RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
+                           const IngestOptions& ingest) {
+  if (ingest.batch_size == 0) return RunStream(engine, stream);
+  RunResult result;
+  result.engine = engine->name();
+  Clock::time_point run_start = Clock::now();
+  EventBatch batch;
+  batch.reserve(ingest.batch_size);
+  const std::vector<Event>& events = stream.events();
+  size_t i = 0;
+  bool failed = false;
+  while (i < events.size() && !failed) {
+    batch.clear();
+    for (; i < events.size() && batch.size() < ingest.batch_size; ++i) {
+      batch.Append(events[i]);
+    }
+    if (ingest.sort_within_batch) batch.SortByTime();
+    Clock::time_point call_start = Clock::now();
+    Status s = engine->ProcessBatch(batch);
+    double call_seconds = SecondsSince(call_start);
+    if (!s.ok()) {
+      failed = true;
+      break;
+    }
+    std::vector<ResultRow> rows = engine->TakeResults();
+    if (!rows.empty()) {
+      result.rows_emitted += rows.size();
+      result.peak_latency_ms =
+          std::max(result.peak_latency_ms, call_seconds * 1e3);
+    }
+    if (engine->stats().dnf) break;
+  }
+  Clock::time_point flush_start = Clock::now();
+  (void)engine->Flush();
+  double flush_seconds = SecondsSince(flush_start);
+  std::vector<ResultRow> rows = engine->TakeResults();
+  if (!rows.empty()) {
+    result.rows_emitted += rows.size();
+    result.peak_latency_ms =
+        std::max(result.peak_latency_ms, flush_seconds * 1e3);
+  }
+  result.total_seconds = SecondsSince(run_start);
+  result.stats = engine->stats();
+  result.dnf = result.stats.dnf;
+  result.peak_memory_bytes = result.stats.peak_bytes;
+  result.throughput_eps =
+      result.total_seconds > 0.0
+          ? static_cast<double>(stream.size()) / result.total_seconds
+          : 0.0;
+#if GRETA_TELEMETRY
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  if (reg.Armed()) {
+    result.telemetry_json =
+        telemetry::ExportJson(reg, /*include_trace=*/false);
+  }
+#endif
+  return result;
+}
+
 std::string FormatCount(double value) {
   if (value >= 1e9) return Format(value / 1e9, "G");
   if (value >= 1e6) return Format(value / 1e6, "M");

@@ -41,6 +41,13 @@ struct RunResult {
 /// metrics above.
 RunResult RunStream(EngineInterface* engine, const Stream& stream);
 
+/// Like RunStream but feeding the engine through ProcessBatch with columnar
+/// batches of `ingest.batch_size` events (0 delegates to RunStream). Results
+/// drain after every batch, so peak latency is per-batch rather than
+/// per-event.
+RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
+                           const IngestOptions& ingest);
+
 /// Human-friendly number formatting ("1.2M", "34.5k", "0.8").
 std::string FormatCount(double value);
 std::string FormatBytes(double bytes);

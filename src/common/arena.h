@@ -80,6 +80,16 @@ class Arena {
     return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
   }
 
+  /// Ensures at least `bytes` of contiguous bump space so a following run of
+  /// allocations (a batch of vertices landing in one pane) pays at most one
+  /// Grow. Chunk growth is visible in footprint_bytes() immediately, so
+  /// callers relying on delta-polled accounting must Reserve between polls
+  /// of the same pane.
+  void Reserve(size_t bytes) {
+    size_t avail = static_cast<size_t>(limit_ - cursor_);
+    if (avail < bytes) Grow(bytes + alignof(std::max_align_t));
+  }
+
   /// Total bytes of chunk storage reserved (including headers and bump
   /// slack). O(1); the unit of incremental memory accounting.
   size_t footprint_bytes() const { return footprint_; }

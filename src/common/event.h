@@ -47,6 +47,38 @@ struct EventView {
   }
 };
 
+/// A borrowed full-event view: the scalar header fields (time, seq, type)
+/// plus the attribute span, without owning any of it. This is the currency
+/// of the insert hot path — both a heap-backed `Event` and a row of a
+/// columnar `EventBatch` convert to it for free, so the propagation kernels
+/// are written once against `EventRef` and serve either ingest shape. Like
+/// `EventView`, it must not outlive the storage it points into.
+struct EventRef {
+  Ts time = 0;
+  SeqNo seq = 0;
+  TypeId type = kInvalidType;
+  const Value* attrs = nullptr;
+  size_t num_attrs = 0;
+
+  EventRef() = default;
+  EventRef(const Event& e)  // NOLINT: implicit by design
+      : time(e.time),
+        seq(e.seq),
+        type(e.type),
+        attrs(e.attrs.data()),
+        num_attrs(e.attrs.size()) {}
+  EventRef(Ts t, SeqNo s, TypeId ty, const Value* values, size_t n)
+      : time(t), seq(s), type(ty), attrs(values), num_attrs(n) {}
+
+  const Value& attr(AttrId id) const {
+    GRETA_DCHECK(id >= 0 && static_cast<size_t>(id) < num_attrs);
+    return attrs[id];
+  }
+
+  EventView view() const { return EventView(attrs, num_attrs); }
+  operator EventView() const { return view(); }  // NOLINT: implicit by design
+};
+
 /// Convenience builder for events used in tests and examples:
 ///
 ///   Event e = EventBuilder(catalog, "Stock", /*time=*/7)

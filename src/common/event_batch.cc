@@ -1,0 +1,34 @@
+#include "common/event_batch.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace greta {
+
+Event EventBatch::ToEvent(size_t i) const {
+  GRETA_DCHECK(i < size());
+  Event e;
+  e.time = times_[i];
+  e.seq = seqs_[i];
+  e.type = types_[i];
+  const Value* a = attrs(i);
+  e.attrs.assign(a, a + num_attrs(i));
+  return e;
+}
+
+void EventBatch::SortByTime() {
+  if (time_ordered_) return;
+  const size_t n = size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return times_[a] < times_[b];
+  });
+  EventBatch sorted;
+  sorted.reserve(n, n == 0 ? 4 : (attrs_.size() + n - 1) / n);
+  for (uint32_t i : order) sorted.Append(ref(i));
+  *this = std::move(sorted);
+}
+
+}  // namespace greta

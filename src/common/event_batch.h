@@ -1,0 +1,134 @@
+#ifndef GRETA_COMMON_EVENT_BATCH_H_
+#define GRETA_COMMON_EVENT_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace greta {
+
+/// A columnar (structure-of-arrays) slice of the event stream, in the style
+/// of a table slice: parallel column vectors for timestamp, sequence number
+/// and type id, plus one flattened row-major attribute payload indexed by a
+/// prefix-offset column. Rows are appended at the ingest boundary and read
+/// back as zero-copy `EventView` / `EventRef` borrows, so everything
+/// downstream — shard routing, predicate selection, the batch propagation
+/// kernels — walks contiguous columns instead of chasing one heap-backed
+/// `Event` per row.
+///
+/// The batch owns its storage; views handed out by `view(i)` / `ref(i)` are
+/// invalidated by any mutating call (Append/SortByTime/clear/move).
+class EventBatch {
+ public:
+  EventBatch() = default;
+
+  EventBatch(const EventBatch&) = delete;
+  EventBatch& operator=(const EventBatch&) = delete;
+  EventBatch(EventBatch&& other) noexcept { *this = std::move(other); }
+  EventBatch& operator=(EventBatch&& other) noexcept {
+    if (this != &other) {
+      times_ = std::move(other.times_);
+      seqs_ = std::move(other.seqs_);
+      types_ = std::move(other.types_);
+      attrs_ = std::move(other.attrs_);
+      offsets_ = std::move(other.offsets_);
+      time_ordered_ = other.time_ordered_;
+      other.clear();
+    }
+    return *this;
+  }
+
+  /// Copies one event's header fields and attribute values into the columns.
+  void Append(const EventRef& e) {
+    if (!times_.empty() && e.time < times_.back()) time_ordered_ = false;
+    times_.push_back(e.time);
+    seqs_.push_back(e.seq);
+    types_.push_back(e.type);
+    attrs_.insert(attrs_.end(), e.attrs, e.attrs + e.num_attrs);
+    offsets_.push_back(attrs_.size());
+  }
+
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  Ts time(size_t i) const { return times_[i]; }
+  SeqNo seq(size_t i) const { return seqs_[i]; }
+  TypeId type(size_t i) const { return types_[i]; }
+
+  size_t num_attrs(size_t i) const {
+    return offsets_[i] - (i == 0 ? 0 : offsets_[i - 1]);
+  }
+  const Value* attrs(size_t i) const {
+    return attrs_.data() + (i == 0 ? 0 : offsets_[i - 1]);
+  }
+
+  EventView view(size_t i) const {
+    GRETA_DCHECK(i < size());
+    return EventView(attrs(i), num_attrs(i));
+  }
+  EventRef ref(size_t i) const {
+    GRETA_DCHECK(i < size());
+    return EventRef(times_[i], seqs_[i], types_[i], attrs(i), num_attrs(i));
+  }
+
+  /// Materializes row `i` as an owning `Event` (broadcast buffering, scalar
+  /// engines without a native batch path).
+  Event ToEvent(size_t i) const;
+
+  /// Whether timestamps are non-decreasing across rows (maintained
+  /// incrementally by Append; restored by SortByTime).
+  bool time_ordered() const { return time_ordered_; }
+
+  /// Stable-sorts rows by timestamp, preserving the append order of rows
+  /// with equal timestamps. For ingest sources that are only sorted within a
+  /// bounded horizon (`IngestOptions::sort_within_batch`).
+  void SortByTime();
+
+  /// Drops all rows, keeping column capacity for reuse.
+  void clear() {
+    times_.clear();
+    seqs_.clear();
+    types_.clear();
+    attrs_.clear();
+    offsets_.clear();
+    time_ordered_ = true;
+  }
+
+  void reserve(size_t rows, size_t attrs_per_row = 4) {
+    times_.reserve(rows);
+    seqs_.reserve(rows);
+    types_.reserve(rows);
+    offsets_.reserve(rows);
+    attrs_.reserve(rows * attrs_per_row);
+  }
+
+  const std::vector<Ts>& times() const { return times_; }
+  const std::vector<TypeId>& types() const { return types_; }
+
+ private:
+  std::vector<Ts> times_;
+  std::vector<SeqNo> seqs_;
+  std::vector<TypeId> types_;
+  std::vector<Value> attrs_;     // row-major flattened payloads
+  std::vector<size_t> offsets_;  // offsets_[i] = end of row i in attrs_
+  bool time_ordered_ = true;
+};
+
+/// How the ingest boundary packs events into batches. Parsed from the
+/// workload spec's "ingest" block and honored by the batched bench drivers.
+struct IngestOptions {
+  /// Events per EventBatch handed to ProcessBatch; 0 = scalar Process path.
+  size_t batch_size = 256;
+  /// Stable-sort each batch by timestamp before processing (for sources that
+  /// are out of order within one batch but sorted across batches).
+  bool sort_within_batch = false;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_COMMON_EVENT_BATCH_H_

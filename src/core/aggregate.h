@@ -179,7 +179,7 @@ struct AggCell {
   /// components, with `count` read from the shared snapshot cell (which must
   /// already include the vertex's own +1, i.e. call after the snapshot's
   /// FinishVertex).
-  void FinishVertexFold(const Event& e, const Counter& count,
+  void FinishVertexFold(const EventRef& e, const Counter& count,
                         const AggPlan& plan) {
     if (e.type != plan.target_type) return;
     if (plan.need_type_count) type_count.Add(count, plan.mode);
@@ -194,7 +194,7 @@ struct AggCell {
   /// Applies the vertex's own contribution after all predecessors are in:
   /// the +1 for START events, and the e.attr terms when the vertex is of the
   /// target type. Must be called exactly once, last.
-  void FinishVertex(const Event& e, bool is_start, const AggPlan& plan) {
+  void FinishVertex(const EventRef& e, bool is_start, const AggPlan& plan) {
     if (is_start) {
       count.AddOne(plan.mode);
       if (plan.need_max_start) max_start = e.time;

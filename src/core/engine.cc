@@ -17,6 +17,7 @@ PlannerOptions PlannerOptionsFrom(const EngineOptions& options) {
   popts.enable_tree_ranges = options.enable_tree_ranges;
   popts.enable_pruning = options.enable_pruning;
   popts.enable_specialized_kernels = options.enable_specialized_kernels;
+  popts.enable_batch_kernels = options.enable_batch_kernels;
   return popts;
 }
 
@@ -133,6 +134,44 @@ Status GretaEngine::Process(const Event& e) {
   } else {
     Route(e);
   }
+  stats_.peak_bytes = memory_->peak_bytes();
+  return Status::Ok();
+}
+
+Status GretaEngine::ProcessBatch(const EventBatch& batch) {
+  if (batch.empty()) return Status::Ok();
+  if (!batch.time_ordered() || (saw_events_ && batch.time(0) < watermark_)) {
+    return Status::InvalidArgument(
+        "events must arrive in-order by timestamp (Section 2)");
+  }
+  if (pool_ != nullptr) {
+    // Parallel mode keys its micro-batching off individual Process() calls.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Status s = Process(batch.ToEvent(i));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+  if (!next_close_valid_ && !plan_->window.unbounded()) {
+    next_close_ = FirstWindowOf(batch.time(0), plan_->window);
+    next_close_valid_ = true;
+  }
+  // One watermark advance and one routing pass per equal-timestamp run; the
+  // per-partition row groups then reach the graphs through InsertBatch.
+  size_t i = 0;
+  while (i < batch.size()) {
+    const Ts ts = batch.time(i);
+    size_t j = i + 1;
+    while (j < batch.size() && batch.time(j) == ts) ++j;
+    AdvanceTime(ts);
+    watermark_ = ts;
+    saw_events_ = true;
+    stats_.events_processed += j - i;
+    RouteRun(batch, i, j);
+    i = j;
+  }
+  // peak_bytes is monotone, so one refresh after the batch observes the
+  // same peak the scalar per-event refresh would.
   stats_.peak_bytes = memory_->peak_bytes();
   return Status::Ok();
 }
@@ -375,6 +414,78 @@ void GretaEngine::Route(const Event& e) {
   broadcast_buffer_.push_back(std::move(b));
 }
 
+void GretaEngine::RouteRun(const EventBatch& batch, size_t begin, size_t end) {
+  // The routing decisions are exactly Route()'s, taken row-wise over the
+  // batch columns; rows landing in the same partition are grouped (epoch
+  // slots, no per-run hash map) so each partition sees one InsertBatch call
+  // per run instead of one Insert per event. Row order is preserved within
+  // every group, and groups of distinct partitions touch disjoint state, so
+  // delivery order across groups is immaterial.
+  ++route_epoch_;
+  run_groups_used_ = 0;
+  auto group_row = [&](Partition* p, size_t row) {
+    if (p->group_epoch != route_epoch_) {
+      if (run_groups_used_ == run_groups_.size()) run_groups_.emplace_back();
+      RunGroup& g = run_groups_[run_groups_used_];
+      g.partition = p;
+      g.rows.clear();
+      p->group_epoch = route_epoch_;
+      p->group_slot = static_cast<uint32_t>(run_groups_used_);
+      ++run_groups_used_;
+    }
+    run_groups_[p->group_slot].rows.push_back(static_cast<uint32_t>(row));
+  };
+
+  for (size_t i = begin; i < end; ++i) {
+    const TypeId type = batch.type(i);
+    if (static_cast<size_t>(type) >= route_table_.size() ||
+        route_table_[type] == nullptr) {
+      continue;  // Irrelevant type.
+    }
+    ++obs_events_routed_;
+    const std::vector<AttrId>& ids = *route_table_[type];
+
+    bool full = true;
+    for (AttrId id : ids) full &= (id != kInvalidAttr);
+
+    if (full) {
+      const EventRef ref = batch.ref(i);
+      route_key_.clear();
+      for (AttrId id : ids) route_key_.push_back(ref.attr(id));
+      Partition* p = GetOrCreatePartition(route_key_, ref.seq);
+      GRETA_TM(++tm_deliveries_);
+      group_row(p, i);
+      continue;
+    }
+
+    // Broadcast routing (see Route()): group the row into every matching
+    // partition now and buffer it for partitions created later. The replay
+    // in GetOrCreatePartition delivers buffered rows immediately, which
+    // stays ordered: a new partition's group only holds rows at or after
+    // its creating event.
+    BroadcastEvent b;
+    b.event = batch.ToEvent(i);
+    b.has_attr.resize(ids.size());
+    b.key_values.resize(ids.size());
+    for (size_t a = 0; a < ids.size(); ++a) {
+      b.has_attr[a] = (ids[a] != kInvalidAttr);
+      if (b.has_attr[a]) b.key_values[a] = b.event.attr(ids[a]);
+    }
+    for (auto& [key, partition] : partitions_) {
+      if (BroadcastMatches(b, key)) {
+        GRETA_TM(++tm_deliveries_);
+        group_row(partition.get(), i);
+      }
+    }
+    broadcast_buffer_.push_back(std::move(b));
+  }
+
+  for (size_t g = 0; g < run_groups_used_; ++g) {
+    DeliverBatchToPartition(run_groups_[g].partition, batch,
+                            run_groups_[g].rows);
+  }
+}
+
 bool GretaEngine::BroadcastMatches(const BroadcastEvent& b,
                                    const std::vector<Value>& key) const {
   for (size_t i = 0; i < b.has_attr.size(); ++i) {
@@ -450,6 +561,28 @@ void GretaEngine::DeliverToPartition(Partition* p, const Event& e) {
     // graphs a graph depends on first.
     for (size_t i = alt.graphs.size(); i-- > 0;) {
       alt.graphs[i]->Insert(e);
+    }
+  }
+}
+
+void GretaEngine::DeliverBatchToPartition(Partition* p,
+                                          const EventBatch& batch,
+                                          const std::vector<uint32_t>& rows) {
+  for (AltRuntime& alt : p->alts) {
+    if (alt.graphs.size() == 1) {
+      // No negation: the whole row group goes through the (possibly
+      // amortized) batch insert. Alternatives hold disjoint graph state, so
+      // alt-major order is equivalent to the scalar event-major order.
+      alt.graphs[0]->InsertBatch(batch, rows.data(), rows.size());
+      continue;
+    }
+    // Negation: keep the scalar per-event schedule — negative graphs first
+    // (reverse order), event by event.
+    for (uint32_t row : rows) {
+      const EventRef ref = batch.ref(row);
+      for (size_t g = alt.graphs.size(); g-- > 0;) {
+        alt.graphs[g]->Insert(ref);
+      }
     }
   }
 }

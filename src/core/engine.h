@@ -32,6 +32,10 @@ struct EngineOptions {
   /// Ablation knob: disable the COUNT(*)-specialized propagation kernels
   /// and force the generic flag-tested path (kernel equivalence tests).
   bool enable_specialized_kernels = true;
+  /// Ablation knob: disable the run-amortized batch propagation kernels;
+  /// ProcessBatch then feeds the scalar insert kernel row by row. Results
+  /// must be bit-identical either way.
+  bool enable_batch_kernels = true;
   /// External memory tracker shared across engines (multi-query runtimes,
   /// src/sharing/): when set, allocations are accounted there so the peak
   /// is a true point-in-time workload peak instead of a sum of per-engine
@@ -78,6 +82,14 @@ class GretaEngine : public EngineInterface {
   ~GretaEngine() override;
 
   Status Process(const Event& e) override;
+
+  /// Columnar ingest: processes a time-ordered batch, amortizing routing,
+  /// window bookkeeping and graph insertion over runs of equal timestamps.
+  /// Equivalent to Process(batch.ToEvent(i)) for every row — results are
+  /// bit-identical — but rows of one timestamp are grouped per partition
+  /// and delivered through the batch propagation kernels.
+  Status ProcessBatch(const EventBatch& batch) override;
+
   Status Flush() override;
   std::vector<ResultRow> TakeResults() override;
 
@@ -146,6 +158,10 @@ class GretaEngine : public EngineInterface {
   // The partition key lives only as the partitions_ map key.
   struct Partition {
     std::vector<AltRuntime> alts;
+    // Batch routing: which run-group slot this partition owns in the
+    // current RouteRun epoch (stale when group_epoch != the engine's).
+    uint32_t group_epoch = 0;
+    uint32_t group_slot = 0;
   };
 
   // A buffered event of a type lacking some key attributes, delivered to
@@ -161,7 +177,10 @@ class GretaEngine : public EngineInterface {
   void CloseWindowsUpTo(Ts now);
   void EmitWindow(WindowId wid);
   void Route(const Event& e);
+  void RouteRun(const EventBatch& batch, size_t begin, size_t end);
   void DeliverToPartition(Partition* p, const Event& e);
+  void DeliverBatchToPartition(Partition* p, const EventBatch& batch,
+                               const std::vector<uint32_t>& rows);
   Partition* GetOrCreatePartition(const std::vector<Value>& key, SeqNo upto);
   bool BroadcastMatches(const BroadcastEvent& b,
                         const std::vector<Value>& key) const;
@@ -185,6 +204,17 @@ class GretaEngine : public EngineInterface {
   // per-event hash lookup becomes an index; nullptr marks irrelevant types.
   std::vector<const std::vector<AttrId>*> route_table_;
   std::deque<BroadcastEvent> broadcast_buffer_;
+
+  // RouteRun scratch: per-partition row groups of the current equal-ts run.
+  // Slots (and their index vectors) are reused across runs; partitions find
+  // their slot through the epoch fields instead of a per-run hash map.
+  struct RunGroup {
+    Partition* partition = nullptr;
+    std::vector<uint32_t> rows;
+  };
+  std::vector<RunGroup> run_groups_;
+  size_t run_groups_used_ = 0;
+  uint32_t route_epoch_ = 0;
 
   // Micro-batch of the current timestamp (parallel mode only).
   std::vector<Event> batch_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/event.h"
+#include "common/event_batch.h"
 #include "common/status.h"
 #include "core/aggregate.h"
 
@@ -69,6 +70,20 @@ class EngineInterface {
   virtual ~EngineInterface() = default;
 
   virtual Status Process(const Event& e) = 0;
+
+  /// Columnar ingest: processes every row of a time-ordered batch. The
+  /// default materializes each row through Process(), so scalar engines
+  /// (the two-step baselines, the shared workload engine) accept batches
+  /// unchanged; GretaEngine overrides it with a native batch path whose
+  /// rows must produce bit-identical results to the scalar loop.
+  virtual Status ProcessBatch(const EventBatch& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Status s = Process(batch.ToEvent(i));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
   virtual Status Flush() = 0;
 
   /// Drains emitted rows (ordered by window id, then group values).

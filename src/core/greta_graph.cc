@@ -1,7 +1,10 @@
 #include "core/greta_graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <new>
+#include <numeric>
 
 #include "storage/window.h"
 
@@ -52,6 +55,27 @@ GretaGraph::GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
         break;
     }
   }
+
+  // Plan-level batch fast-path eligibility (the link-dependent half lives in
+  // BatchFastPathEligible, since negation links attach after construction).
+  // The amortized kernel relies on the frozen-predecessor-set property of
+  // strict trend order under skip-till-any-match, on a single window id per
+  // equal-timestamp run (tumbling), and on every edge predicate being
+  // enforced by the tree key range (no residuals).
+  batch_plan_ok_ = exec_->enable_batch_kernels && !exec_->partial.has_value() &&
+                   (plan_->kernel == PropKernel::kCountModular ||
+                    plan_->kernel == PropKernel::kCountExact) &&
+                   tumbling_slide_ > 0 &&
+                   exec_->semantics == Semantics::kSkipTillAnyMatch;
+  for (const TransitionPlan& tp : plan_->transitions) {
+    if (!tp.residual_preds.empty()) batch_plan_ok_ = false;
+  }
+  if (batch_plan_ok_) {
+    state_filters_.reserve(plan_->states.size());
+    for (const StatePlan& sp : plan_->states) {
+      state_filters_.emplace_back(sp.local_preds);
+    }
+  }
 }
 
 void GretaGraph::AttachTransitionLink(int transition_index,
@@ -60,6 +84,7 @@ void GretaGraph::AttachTransitionLink(int transition_index,
               static_cast<size_t>(transition_index) <
                   transition_links_.size());
   transition_links_[transition_index].push_back(link);
+  has_negation_links_ = true;
 }
 
 void GretaGraph::AttachGraphLink(NegationLink* link) {
@@ -81,7 +106,7 @@ Ts GretaGraph::TransitionBarrier(int transition_index, WindowId wid, Ts now) {
   return barrier;
 }
 
-void GretaGraph::Insert(const Event& e) {
+void GretaGraph::Insert(const EventRef& e) {
   const std::vector<StateId>& states = plan_->templ.states_for_type(e.type);
   if (states.empty()) return;
   bool seen = false;
@@ -94,29 +119,30 @@ void GretaGraph::Insert(const Event& e) {
   if (seen) last_seen_seq_ = e.seq;
 }
 
-GraphVertex* GretaGraph::StoreVertex(const Event& e, StateId s,
-                                     WindowId first_wid, int k, int nq) {
+GraphVertex* GretaGraph::StoreVertex(const EventRef& e, StateId s,
+                                     WindowId first_wid, int k, int nq,
+                                     AggCell* src_cells) {
   const StatePlan& sp = plan_->states[s];
   const int total = k * nq;
 
-  // Move the finished scratch cells and the stored attribute prefix into
+  // Move the finished source cells and the stored attribute prefix into
   // the arena of the pane that will own the vertex, then insert. The
   // following Insert() into the same pane picks up the arena growth for
   // incremental accounting.
   Arena* arena = panes_.ArenaFor(e.time);
   AggCell* cells = arena->AllocateArray<AggCell>(total);
   for (int i = 0; i < total; ++i) {
-    new (&cells[i]) AggCell(std::move(scratch_cells_[i]));
+    new (&cells[i]) AggCell(std::move(src_cells[i]));
   }
   uint16_t num_attrs = sp.stored_attr_count;
-  GRETA_DCHECK(num_attrs <= e.attrs.size());
-  if (num_attrs > e.attrs.size()) {
-    num_attrs = static_cast<uint16_t>(e.attrs.size());
+  GRETA_DCHECK(num_attrs <= e.num_attrs);
+  if (num_attrs > e.num_attrs) {
+    num_attrs = static_cast<uint16_t>(e.num_attrs);
   }
   const Value* attrs = nullptr;
   if (num_attrs > 0) {
     Value* copy = arena->AllocateArray<Value>(num_attrs);
-    std::copy_n(e.attrs.data(), num_attrs, copy);
+    std::copy_n(e.attrs, num_attrs, copy);
     attrs = copy;
   }
 
@@ -142,7 +168,7 @@ GraphVertex* GretaGraph::StoreVertex(const Event& e, StateId s,
 }
 
 template <PropKernel K, bool kSingleQuery>
-bool GretaGraph::InsertAtState(const Event& e, StateId s) {
+bool GretaGraph::InsertAtState(const EventRef& e, StateId s) {
   const StatePlan& sp = plan_->states[s];
   for (const Expr* pred : sp.local_preds) {
     if (!pred->EvalVertex(e).Truthy()) return false;
@@ -310,7 +336,8 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
     }
   }
 
-  GraphVertex* stored = StoreVertex(e, s, first_wid, k, nq);
+  GraphVertex* stored =
+      StoreVertex(e, s, first_wid, k, nq, scratch_cells_.data());
 
   if (plan_->templ.IsEnd(s)) {
     const bool incremental_final = graph_links_.empty();
@@ -344,7 +371,7 @@ bool GretaGraph::InsertAtState(const Event& e, StateId s) {
   return true;
 }
 
-bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
+bool GretaGraph::InsertAtStatePartial(const EventRef& e, StateId s) {
   const PartialSharingPlan& partial = *exec_->partial;
   const StatePlan& sp = plan_->states[s];
   for (const Expr* pred : sp.local_preds) {
@@ -465,7 +492,8 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
     }
   }
 
-  GraphVertex* stored = StoreVertex(e, s, first_wid, k, stride);
+  GraphVertex* stored =
+      StoreVertex(e, s, first_wid, k, stride, scratch_cells_.data());
 
   // Incremental final aggregates for every query whose END is this state.
   const size_t nq = plan_->aggs.size();
@@ -494,6 +522,213 @@ bool GretaGraph::InsertAtStatePartial(const Event& e, StateId s) {
     }
   }
   return true;
+}
+
+void GretaGraph::InsertBatch(const EventBatch& batch, const uint32_t* rows,
+                             size_t n) {
+  if (n == 0) return;
+  if (!BatchFastPathEligible()) {
+    for (size_t i = 0; i < n; ++i) Insert(batch.ref(rows[i]));
+    return;
+  }
+  // Split into equal-timestamp runs: within a run the strict trend order
+  // (Def. 1, u.time < e.time) makes the predecessor set identical for every
+  // event, so the run shares one collection and one window id.
+  size_t i = 0;
+  while (i < n) {
+    Ts ts = batch.time(rows[i]);
+    size_t j = i + 1;
+    while (j < n && batch.time(rows[j]) == ts) ++j;
+    InsertRunFast(batch, rows + i, j - i, ts);
+    i = j;
+  }
+}
+
+void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
+                               size_t n, Ts ts) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const WindowSpec& window = exec_->window;
+  const WindowId wid = LastWindowOf(ts, window);  // Tumbling: one division.
+  const Ts lo_time = WindowStartTime(wid, window);
+  const int nq = num_queries_;
+  const CounterMode mode = exec_->mode;
+
+  // last_seen_seq_ bookkeeping (contiguous semantics, unread on this path
+  // but kept exact): the newest run event passing local predicates at any
+  // state. Row indices ascend within a run, so a max over rows suffices.
+  uint32_t last_seen_row = 0;
+  bool any_seen = false;
+
+  const size_t num_states = plan_->states.size();
+  for (size_t si = 0; si < num_states; ++si) {
+    const StateId s = static_cast<StateId>(si);
+    const StatePlan& sp = plan_->states[si];
+
+    // Selection vector: run rows of this state's type passing its local
+    // predicates (column loops; see predicate/batch_filter.h).
+    run_sel_.clear();
+    for (size_t r = 0; r < n; ++r) {
+      if (batch.type(rows[r]) == sp.type) run_sel_.push_back(rows[r]);
+    }
+    if (run_sel_.empty()) continue;
+    size_t m = state_filters_[si].Filter(batch, run_sel_.data(),
+                                         run_sel_.size());
+    run_sel_.resize(m);
+    if (m == 0) continue;
+    if (!any_seen || run_sel_.back() > last_seen_row) {
+      last_seen_row = run_sel_.back();
+      any_seen = true;
+    }
+
+    // Per-(transition, event) key lower bounds. The suffix-sum merge needs
+    // every admitted set to be a suffix of the key-sorted collection, which
+    // holds only for upward-unbounded ranges — a finite (or strict-infinite)
+    // upper bound, or a NaN bound, sends the whole state-run to the scalar
+    // kernel (correct at per-(state, run) granularity: same-timestamp
+    // insertions commute under skip-till-any-match).
+    const std::vector<StateId>& pred_states = plan_->templ.pred_states(s);
+    const size_t nt = pred_states.size();
+    run_lo_.assign(nt * m, -kInf);
+    run_lo_strict_.assign(nt * m, 0);
+    bool fallback = false;
+    for (size_t t = 0; t < nt && !fallback; ++t) {
+      int t_idx = plan_->templ.FindTransition(pred_states[t], s);
+      GRETA_DCHECK(t_idx >= 0);
+      const TransitionPlan& tp = plan_->transitions[t_idx];
+      for (size_t i = 0; i < m && !fallback; ++i) {
+        KeyBounds bounds;
+        for (const EdgePredicatePlan& ep : tp.preds) {
+          if (!ep.drives_sort_key || !ep.range.has_value()) continue;
+          KeyBounds b = ep.range->ComputeBounds(batch.view(run_sel_[i]));
+          if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
+            bounds.lo = b.lo;
+            bounds.lo_strict = b.lo_strict;
+          }
+          if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
+            bounds.hi = b.hi;
+            bounds.hi_strict = b.hi_strict;
+          }
+        }
+        if (bounds.hi < kInf || bounds.hi_strict || std::isnan(bounds.lo)) {
+          fallback = true;
+          break;
+        }
+        run_lo_[t * m + i] = bounds.lo;
+        run_lo_strict_[t * m + i] = bounds.lo_strict ? 1 : 0;
+      }
+    }
+    if (fallback) {
+      for (size_t i = 0; i < m; ++i) {
+        (this->*insert_fn_)(batch.ref(run_sel_[i]), s);
+      }
+      continue;
+    }
+
+    run_cells_.assign(m * static_cast<size_t>(nq), AggCell());
+    run_found_.assign(m, 0);
+    const bool is_start = plan_->templ.IsStart(s);
+
+    for (size_t t = 0; t < nt; ++t) {
+      const StateId p = pred_states[t];
+      const double* lo_col = run_lo_.data() + t * m;
+      const uint8_t* strict_col = run_lo_strict_.data() + t * m;
+
+      // ONE collection per (transition, run): the weakest bound (the run's
+      // minimum lo, non-strict) over the predecessor bucket, keeping key and
+      // cell row. Entries arrive in ascending key order.
+      double min_lo = lo_col[0];
+      for (size_t i = 1; i < m; ++i) min_lo = std::min(min_lo, lo_col[i]);
+      KeyBounds collect;
+      collect.lo = min_lo;
+      run_entries_.clear();
+      panes_.ScanBucketWithKey(
+          lo_time, ts, static_cast<size_t>(p), collect,
+          [&](double key, GraphVertex* u) {
+            if (u->dead) return;
+            if (u->time >= ts) return;  // Strict trend order (Def. 1).
+            if (u->cells[0].count.IsZero()) return;
+            GRETA_DCHECK(u->first_wid == wid);
+            run_entries_.push_back({key, u->cells});
+          });
+      if (run_entries_.empty()) continue;
+
+      // Events ordered by descending lo (strict before non-strict at equal
+      // lo): admitted entry sets are then nested suffixes of the key-sorted
+      // collection, so a single backwards two-pointer merge accumulates
+      // each entry into the running sum exactly once. Each event pays one
+      // Counter add for its whole admitted set instead of one per edge.
+      run_order_.resize(m);
+      std::iota(run_order_.begin(), run_order_.end(), 0u);
+      std::sort(run_order_.begin(), run_order_.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (lo_col[a] != lo_col[b]) return lo_col[a] > lo_col[b];
+                  return strict_col[a] > strict_col[b];
+                });
+
+      run_running_.assign(nq, Counter());
+      size_t ei = run_entries_.size();  // Entries [ei, end) are consumed.
+      for (size_t r = 0; r < m; ++r) {
+        const uint32_t i = run_order_[r];
+        const double lo = lo_col[i];
+        const bool strict = strict_col[i] != 0;
+        while (ei > 0) {
+          const double key = run_entries_[ei - 1].key;
+          if (!(strict ? key > lo : key >= lo)) break;
+          --ei;
+          const AggCell* cells = run_entries_[ei].cells;
+          for (int q = 0; q < nq; ++q) {
+            run_running_[q].Add(cells[q].count, mode);
+          }
+          // This entry is admitted by every event of rank >= r (their lo
+          // bounds only weaken), i.e. it accounts for (m - r) edges.
+          edges_ += m - r;
+        }
+        if (ei == run_entries_.size()) continue;  // Nothing admitted yet.
+        run_found_[i] = 1;
+        AggCell* vrow = run_cells_.data() + static_cast<size_t>(i) * nq;
+        for (int q = 0; q < nq; ++q) {
+          vrow[q].count.Add(run_running_[q], mode);
+        }
+      }
+    }
+
+    // Finish + store, in arrival order. Bulk-reserve the pane arena first so
+    // the stores bump-allocate without mid-run chunk growth.
+    size_t stored_count = 0;
+    if (is_start) {
+      stored_count = m;
+    } else {
+      for (size_t i = 0; i < m; ++i) stored_count += run_found_[i];
+    }
+    if (stored_count == 0) continue;
+    panes_.ArenaFor(ts)->Reserve(
+        stored_count * (static_cast<size_t>(nq) * sizeof(AggCell) +
+                        sp.stored_attr_count * sizeof(Value) +
+                        alignof(std::max_align_t)));
+
+    const bool is_end = plan_->templ.IsEnd(s);
+    std::vector<AggOutputs>* out = nullptr;
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_start && !run_found_[i]) continue;
+      AggCell* vrow = run_cells_.data() + static_cast<size_t>(i) * nq;
+      if (is_start) {
+        for (int q = 0; q < nq; ++q) vrow[q].count.AddOne(mode);
+      }
+      GraphVertex* stored =
+          StoreVertex(batch.ref(run_sel_[i]), s, wid, /*k=*/1, nq, vrow);
+      if (is_end) {
+        const AggCell* row = stored->cells;
+        if (row->count.IsZero()) continue;
+        if (out == nullptr) out = ResultsFor(wid);
+        for (int q = 0; q < nq; ++q) {
+          (*out)[q].count.Add(row[q].count, mode);
+          (*out)[q].any = true;
+        }
+      }
+    }
+  }
+
+  if (any_seen) last_seen_seq_ = batch.seq(last_seen_row);
 }
 
 void GretaGraph::CollectWindow(WindowId wid, size_t q, AggOutputs* out) {

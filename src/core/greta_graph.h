@@ -1,10 +1,13 @@
 #ifndef GRETA_CORE_GRETA_GRAPH_H_
 #define GRETA_CORE_GRETA_GRAPH_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/event_batch.h"
 #include "common/memory.h"
+#include "predicate/batch_filter.h"
 #include "core/negation.h"
 #include "core/plan.h"
 #include "storage/pane.h"
@@ -117,8 +120,20 @@ class GretaGraph {
   void SetOutLink(NegationLink* link) { out_link_ = link; }
 
   /// Processes one event (all matching states). Events of types outside the
-  /// template are ignored.
-  void Insert(const Event& e);
+  /// template are ignored. Takes a borrowed view — an owning `Event` or an
+  /// `EventBatch` row converts implicitly.
+  void Insert(const EventRef& e);
+
+  /// Processes `n` batch rows (given by `rows`, ascending, non-decreasing
+  /// timestamps). Equivalent to Insert(batch.ref(rows[i])) in order — rows
+  /// are split into equal-timestamp runs and, when the plan qualifies
+  /// (COUNT kernel, tumbling window, skip-till-any-match, fully
+  /// tree-indexed transitions, no negation), each run goes through the
+  /// amortized batch kernel: one window-id division per run, one B+-tree
+  /// predecessor collection per (transition, run), and one suffix-summed
+  /// counter add per event instead of one add per edge. Results are
+  /// bit-identical to the scalar path (the equivalence tests assert it).
+  void InsertBatch(const EventBatch& batch, const uint32_t* rows, size_t n);
 
   /// Adds this graph's final aggregate for `wid` into `out` (Theorem 4.3:
   /// the sum over END events). With trailing negation (Case 2) this scans
@@ -159,7 +174,7 @@ class GretaGraph {
   // identical across instantiations — only the aggregate ops differ — so
   // results are bit-identical by construction.
   template <PropKernel K, bool kSingleQuery>
-  bool InsertAtState(const Event& e, StateId s);
+  bool InsertAtState(const EventRef& e, StateId s);
 
   // Partial sharing (ExecPlan::partial): insertion over a merged template.
   // Shared-core vertices carry one structural snapshot cell per window
@@ -168,12 +183,27 @@ class GretaGraph {
   // carry a single full cell laid out over the owning query's own window
   // range. Negation, pruning and the restricted semantics never reach this
   // path (the planner rejects them for partial clusters).
-  bool InsertAtStatePartial(const Event& e, StateId s);
+  bool InsertAtStatePartial(const EventRef& e, StateId s);
 
-  // Moves the scratch cells and the stored attribute prefix of `e` into the
-  // arena of the pane covering e.time and inserts the assembled vertex.
-  GraphVertex* StoreVertex(const Event& e, StateId s, WindowId first_wid,
-                           int k, int nq);
+  // Moves `src_cells` (k*nq scratch cells) and the stored attribute prefix
+  // of `e` into the arena of the pane covering e.time and inserts the
+  // assembled vertex.
+  GraphVertex* StoreVertex(const EventRef& e, StateId s, WindowId first_wid,
+                           int k, int nq, AggCell* src_cells);
+
+  // Batch fast path: true when every structural precondition holds for this
+  // call (the plan-level part is precomputed in the constructor; negation
+  // links attach after construction, so they are tested per call).
+  bool BatchFastPathEligible() const {
+    return batch_plan_ok_ && !has_negation_links_ && graph_links_.empty() &&
+           follow_links_.empty() && out_link_ == nullptr;
+  }
+
+  // One equal-timestamp run of batch rows through the amortized COUNT
+  // kernel; falls back to the scalar kernel per (state, run) when a row's
+  // key bounds are not an upward-unbounded range.
+  void InsertRunFast(const EventBatch& batch, const uint32_t* rows, size_t n,
+                     Ts ts);
 
   // Aggregate plan of query slot `q` (plans predating the multi-query
   // extension may leave GraphPlan::aggs empty; they have exactly one slot).
@@ -187,7 +217,7 @@ class GretaGraph {
   const ExecPlan* exec_;
   int num_queries_;  // query slots per (vertex, window): plan_->aggs.size()
   PaneStore<GraphVertex> panes_;
-  bool (GretaGraph::*insert_fn_)(const Event&, StateId);  // kernel dispatch
+  bool (GretaGraph::*insert_fn_)(const EventRef&, StateId);  // dispatch
   // Cells of the vertex being built: filled during the predecessor scan,
   // moved into the pane arena only if the vertex is actually inserted (so
   // rejected events never consume arena space). Reused across inserts.
@@ -202,6 +232,26 @@ class GretaGraph {
   size_t total_vertices_ = 0;
   bool single_window_;  // enables eager invalid-event pruning
   Ts tumbling_slide_ = 0;  // within == slide: window ids need one division
+  // Plan-level batch fast-path eligibility (constructor; see
+  // BatchFastPathEligible) and whether any AttachTransitionLink happened.
+  bool batch_plan_ok_ = false;
+  bool has_negation_links_ = false;
+  // Per-state compiled local-predicate filters (built only when the plan
+  // qualifies for the batch fast path).
+  std::vector<CompiledVertexFilter> state_filters_;
+  // InsertRunFast scratch, reused across runs to avoid per-run allocation.
+  std::vector<uint32_t> run_sel_;        // batch rows selected at the state
+  std::vector<AggCell> run_cells_;       // per selected row: nq cells
+  std::vector<double> run_lo_;           // per selected row: key lower bound
+  std::vector<uint8_t> run_lo_strict_;
+  std::vector<uint8_t> run_found_;       // per selected row: found_pred
+  std::vector<uint32_t> run_order_;      // rows sorted by (lo desc)
+  struct CollectedEntry {
+    double key;
+    const AggCell* cells;
+  };
+  std::vector<CollectedEntry> run_entries_;  // per (transition, run) collect
+  std::vector<Counter> run_running_;         // suffix-sum accumulators
   // One-entry cache for the per-END-insert results_[wid] hash lookup
   // (window ids advance monotonically, so consecutive END inserts hit the
   // same entry). Entries are stable across rehash (node-based map);

@@ -138,6 +138,7 @@ struct ExecPlan {
   Semantics semantics = Semantics::kSkipTillAnyMatch;
   CounterMode mode = CounterMode::kExact;
   bool enable_pruning = true;
+  bool enable_batch_kernels = true;
 
   // Partitioning: key attribute names = GROUP-BY attrs then the remaining
   // equivalence attrs; the first `num_group_attrs` form the output group.
@@ -190,6 +191,10 @@ struct PlannerOptions {
   /// disabling the COUNT(*)-specialized fast paths. Results must be
   /// bit-identical either way (the kernel equivalence tests assert it).
   bool enable_specialized_kernels = true;
+  /// Ablation knob: false makes ProcessBatch fall back to the scalar insert
+  /// kernel per row, disabling the run-amortized batch fast path. Results
+  /// must be bit-identical either way.
+  bool enable_batch_kernels = true;
 };
 
 /// Compiles a QuerySpec: validates the pattern, expands sugar into disjoint

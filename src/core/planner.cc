@@ -255,6 +255,7 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
   plan->semantics = options.semantics;
   plan->mode = options.counter_mode;
   plan->enable_pruning = options.enable_pruning;
+  plan->enable_batch_kernels = options.enable_batch_kernels;
   plan->agg_specs = spec.aggs;
 
   if (!spec.window.unbounded() &&
@@ -497,6 +498,7 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPartialSharedPlan(
   plan->semantics = options.semantics;
   plan->mode = options.counter_mode;
   plan->enable_pruning = options.enable_pruning;
+  plan->enable_batch_kernels = options.enable_batch_kernels;
 
   // Decompose every query and re-validate cluster agreement.
   std::vector<PartialQuery> queries(specs.size());

@@ -1,0 +1,96 @@
+#include "predicate/batch_filter.h"
+
+namespace greta {
+
+namespace {
+
+bool IsCmp(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Mirror of the comparison semantics in predicate/expr.cc (null operands
+// are false; Eq/Ne use structural equality; the orderings use
+// Value::Compare, which keeps int/int comparisons exact).
+bool EvalCmp(ExprOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  if (op == ExprOp::kEq) return a == b;
+  if (op == ExprOp::kNe) return !(a == b);
+  int c = a.Compare(b);
+  switch (op) {
+    case ExprOp::kLt:
+      return c < 0;
+    case ExprOp::kLe:
+      return c <= 0;
+    case ExprOp::kGt:
+      return c > 0;
+    case ExprOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CompiledVertexFilter::CompiledVertexFilter(
+    const std::vector<const Expr*>& preds) {
+  for (const Expr* pred : preds) {
+    if (IsCmp(pred->op())) {
+      const Expr& l = pred->lhs();
+      const Expr& r = pred->rhs();
+      if (l.op() == ExprOp::kAttr && r.op() == ExprOp::kConst) {
+        fast_.push_back({l.attr_ref().attr, pred->op(), r.const_value(),
+                         /*attr_on_left=*/true});
+        continue;
+      }
+      if (l.op() == ExprOp::kConst && r.op() == ExprOp::kAttr) {
+        fast_.push_back({r.attr_ref().attr, pred->op(), l.const_value(),
+                         /*attr_on_left=*/false});
+        continue;
+      }
+    }
+    general_.push_back(pred);
+  }
+}
+
+size_t CompiledVertexFilter::Filter(const EventBatch& batch, uint32_t* rows,
+                                    size_t n) const {
+  // One compaction pass per predicate: each loop touches a single attribute
+  // column of the surviving rows, with the pass/fail decision folded into
+  // the output cursor bump (no data-dependent branch in the loop body).
+  for (const AttrCmpConst& c : fast_) {
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = rows[i];
+      const Value& v = batch.attrs(row)[c.attr];
+      bool pass = c.attr_on_left ? EvalCmp(c.op, v, c.rhs)
+                                 : EvalCmp(c.op, c.rhs, v);
+      rows[out] = row;
+      out += pass ? 1 : 0;
+    }
+    n = out;
+  }
+  for (const Expr* pred : general_) {
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = rows[i];
+      bool pass = pred->EvalVertex(batch.view(row)).Truthy();
+      rows[out] = row;
+      out += pass ? 1 : 0;
+    }
+    n = out;
+  }
+  return n;
+}
+
+}  // namespace greta

@@ -1,0 +1,48 @@
+#ifndef GRETA_PREDICATE_BATCH_FILTER_H_
+#define GRETA_PREDICATE_BATCH_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event_batch.h"
+#include "predicate/expr.h"
+
+namespace greta {
+
+/// Batch evaluator for a conjunction of vertex predicates: classifies each
+/// predicate once at plan time and filters a selection vector of batch rows
+/// with tight per-predicate loops instead of one recursive expression-tree
+/// walk per (row, predicate).
+///
+/// Predicates of the shape `attr CMP const` (or mirrored) run as a direct
+/// column compare; every other shape falls back to Expr::EvalVertex per
+/// surviving row. Results are exactly EvalVertex(...).Truthy() for every
+/// shape — the compare mirrors Value::Compare, including null rejection and
+/// exact int/int ordering — so selection is bit-identical to the scalar
+/// path by construction.
+class CompiledVertexFilter {
+ public:
+  CompiledVertexFilter() = default;
+  explicit CompiledVertexFilter(const std::vector<const Expr*>& preds);
+
+  /// Compacts `rows` (indices into `batch`) in place to those passing every
+  /// predicate; returns the surviving count. Rows keep their relative order.
+  size_t Filter(const EventBatch& batch, uint32_t* rows, size_t n) const;
+
+  bool trivial() const { return fast_.empty() && general_.empty(); }
+
+ private:
+  struct AttrCmpConst {
+    AttrId attr = kInvalidAttr;
+    ExprOp op = ExprOp::kEq;
+    Value rhs;
+    bool attr_on_left = true;
+  };
+
+  std::vector<AttrCmpConst> fast_;
+  std::vector<const Expr*> general_;
+};
+
+}  // namespace greta
+
+#endif  // GRETA_PREDICATE_BATCH_FILTER_H_

@@ -38,10 +38,11 @@ class RangeExtraction {
   /// Attribute of the *previous* event serving as the tree sort key.
   AttrId key_attr() const { return key_attr_; }
 
-  /// Resolves the bounds for a concrete next event. The common bare
-  /// `NEXT(T).attr` right-hand side is read directly (per-insert hot path);
-  /// composite expressions evaluate through rhs_.
-  KeyBounds ComputeBounds(const Event& next) const {
+  /// Resolves the bounds for a concrete next event (an `Event` or a batch
+  /// row converts implicitly). The common bare `NEXT(T).attr` right-hand
+  /// side is read directly (per-insert hot path); composite expressions
+  /// evaluate through rhs_.
+  KeyBounds ComputeBounds(const EventView next) const {
     return ResolveBounds(rhs_attr_ == kInvalidAttr
                              ? rhs_->EvalEdge(next, next)
                              : next.attr(rhs_attr_));

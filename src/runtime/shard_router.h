@@ -53,8 +53,9 @@ class ShardRouter {
                                       size_t num_shards,
                                       const PlannerOptions& options = {});
 
-  /// Shard index for `e`, or kDrop / kBroadcast.
-  int ShardOf(const Event& e) const {
+  /// Shard index for `e`, or kDrop / kBroadcast. Takes a borrowed view, so
+  /// an owning `Event` and an `EventBatch` row route identically.
+  int ShardOf(const EventRef& e) const {
     if (static_cast<size_t>(e.type) >= routes_.size() ||
         !routes_[e.type].relevant) {
       return kDrop;

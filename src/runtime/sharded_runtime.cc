@@ -15,6 +15,7 @@ PlannerOptions PlannerOptionsFrom(const EngineOptions& options) {
   popts.enable_tree_ranges = options.enable_tree_ranges;
   popts.enable_pruning = options.enable_pruning;
   popts.enable_specialized_kernels = options.enable_specialized_kernels;
+  popts.enable_batch_kernels = options.enable_batch_kernels;
   return popts;
 }
 
@@ -61,6 +62,7 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
     }
     shard->queue = std::make_unique<SpscQueue<Batch>>(
         std::max<size_t>(options.queue_capacity, 2));
+    shard->pending.reserve(rt->options_.batch_size);
     rt->shards_.push_back(std::move(shard));
   }
 
@@ -129,22 +131,49 @@ Status ShardedRuntime::Process(const Event& e) {
   clock_ = e.time;
   ++events_processed_;
 
+  RouteOne(e);
+  MaybeHeartbeat();
+  return Status::Ok();
+}
+
+Status ShardedRuntime::ProcessBatch(const EventBatch& batch) {
+  if (batch.empty()) return Status::Ok();
+  if (any_error_.load(std::memory_order_relaxed)) return FirstShardError();
+  if (!batch.time_ordered() ||
+      (saw_events_ && batch.time(0) < clock_)) {
+    return Status::InvalidArgument(
+        "events must arrive in-order by timestamp (Section 2)");
+  }
+  merger_->ClearFlushed();
+  saw_events_ = true;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    clock_ = batch.time(i);
+    ++events_processed_;
+    RouteOne(batch.ref(i));
+    MaybeHeartbeat();
+  }
+  return Status::Ok();
+}
+
+void ShardedRuntime::RouteOne(const EventRef& e) {
   int target = router_.ShardOf(e);
   if (target == ShardRouter::kBroadcast) {
     for (size_t s = 0; s < shards_.size(); ++s) {
-      shards_[s]->pending.push_back(e);
+      shards_[s]->pending.Append(e);
       if (shards_[s]->pending.size() >= options_.batch_size) {
         FlushShardBatch(s, /*flush=*/false);
       }
     }
   } else if (target >= 0) {
     Shard& shard = *shards_[target];
-    shard.pending.push_back(e);
+    shard.pending.Append(e);
     if (shard.pending.size() >= options_.batch_size) {
       FlushShardBatch(static_cast<size_t>(target), /*flush=*/false);
     }
   }
+}
 
+void ShardedRuntime::MaybeHeartbeat() {
   if (options_.heartbeat_events > 0 &&
       ++events_since_heartbeat_ >= options_.heartbeat_events) {
     // Watermark-only heartbeats for idle shards: every shard's clock keeps
@@ -156,7 +185,6 @@ Status ShardedRuntime::Process(const Event& e) {
     events_since_heartbeat_ = 0;
     TelemetryHeartbeat();
   }
-  return Status::Ok();
 }
 
 void ShardedRuntime::TelemetryHeartbeat() {
@@ -179,8 +207,14 @@ void ShardedRuntime::TelemetryHeartbeat() {
 void ShardedRuntime::FlushShardBatch(size_t shard_index, bool flush) {
   Shard& shard = *shards_[shard_index];
   Batch batch;
-  batch.events = std::move(shard.pending);
-  shard.pending.clear();
+  // Heartbeats on idle shards are frequent: moving an EMPTY pending batch
+  // would hand its reserved columns to a throwaway watermark-only Batch, so
+  // only a non-empty pending is moved — and immediately re-reserved for the
+  // next fill, keeping the router side allocation-free at steady state.
+  if (!shard.pending.empty()) {
+    batch.events = std::move(shard.pending);
+    shard.pending.reserve(options_.batch_size);
+  }
   batch.watermark = clock_;
   batch.flush = flush;
 #if GRETA_TELEMETRY
@@ -240,12 +274,12 @@ void ShardedRuntime::DrainLoop(size_t shard_index) {
       healthy = shard.error.ok();
     }
     if (healthy) {
-      Status status = Status::Ok();
-      for (const Event& e : batch.events) {
-        status = shard.greta != nullptr ? shard.greta->Process(e)
-                                        : shard.shared->Process(e);
-        if (!status.ok()) break;
-      }
+      // Whole-batch delivery: the GRETA engine takes its native columnar
+      // path; the shared workload engine goes through the EngineInterface
+      // default (row loop). Row order within the batch is arrival order.
+      Status status = shard.greta != nullptr
+                          ? shard.greta->ProcessBatch(batch.events)
+                          : shard.shared->ProcessBatch(batch.events);
       if (status.ok()) {
         status = shard.greta != nullptr
                      ? shard.greta->AdvanceWatermark(batch.watermark)

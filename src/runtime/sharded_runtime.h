@@ -75,6 +75,11 @@ class ShardedRuntime : public EngineInterface {
   ~ShardedRuntime() override;
 
   Status Process(const Event& e) override;
+  /// Columnar ingest: routes the batch row-wise into per-shard columnar
+  /// pending batches (no per-event Event materialization on the router
+  /// side); shard workers then feed whole batches to their engine's native
+  /// batch path. Row-for-row equivalent to calling Process on each row.
+  Status ProcessBatch(const EventBatch& batch) override;
   Status Flush() override;
 
   /// Merged rows of every query whose windows are fully closed across all
@@ -137,8 +142,12 @@ class ShardedRuntime : public EngineInterface {
   std::string name() const override { return "SHARDED"; }
 
  private:
+  // The unit shipped through a shard's SPSC queue. `events` is columnar:
+  // the router appends rows column-wise and the worker hands the whole
+  // batch to the engine's native batch path. A default-constructed batch
+  // with empty events is a watermark-only heartbeat.
   struct Batch {
-    std::vector<Event> events;
+    EventBatch events;
     Ts watermark = kMinTs;
     bool flush = false;
   };
@@ -150,7 +159,7 @@ class ShardedRuntime : public EngineInterface {
     std::unique_ptr<GretaEngine> greta;
     std::unique_ptr<sharing::SharedWorkloadEngine> shared;
     std::unique_ptr<SpscQueue<Batch>> queue;
-    std::vector<Event> pending;  // router side, pre-batch
+    EventBatch pending;  // router side, pre-batch (columnar)
     std::mutex snapshot_mu;
     EngineStats stats_snapshot;
     Status error = Status::Ok();  // guarded by snapshot_mu
@@ -168,6 +177,10 @@ class ShardedRuntime : public EngineInterface {
 
   void DrainLoop(size_t shard_index);
   void DrainShardResults(size_t shard_index, Shard* shard);
+  // Appends one routed event to its shard(s)' pending batch, flushing any
+  // batch that reached batch_size. Shared by Process and ProcessBatch.
+  void RouteOne(const EventRef& e);
+  void MaybeHeartbeat();
   void FlushShardBatch(size_t shard_index, bool flush);
   Status FirstShardError() const;
   // Updates the watermark-lag gauge and emits a kWatermarkAdvance trace

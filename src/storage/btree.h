@@ -88,6 +88,35 @@ class BPlusTree {
     }
   }
 
+  /// Scan variant invoking `fn(key, value)` — the batch kernels collect
+  /// (key, cell) pairs once per run and re-filter per event, so they need
+  /// the key back out of the tree.
+  template <typename Fn>
+  void ScanWithKey(const KeyBounds& bounds, Fn&& fn) const {
+    if (root_ == nullptr) return;
+    const Leaf* leaf = FindLeaf(bounds.lo);
+    int i = 0;
+    while (leaf != nullptr) {
+      while (i < leaf->count &&
+             (bounds.lo_strict ? leaf->keys[i] <= bounds.lo
+                               : leaf->keys[i] < bounds.lo)) {
+        ++i;
+      }
+      if (i < leaf->count) break;
+      leaf = leaf->next;
+      i = 0;
+    }
+    while (leaf != nullptr) {
+      for (; i < leaf->count; ++i) {
+        double k = leaf->keys[i];
+        if (bounds.hi_strict ? k >= bounds.hi : k > bounds.hi) return;
+        fn(k, leaf->values[i]);
+      }
+      leaf = leaf->next;
+      i = 0;
+    }
+  }
+
   /// Invokes `fn(value)` for every entry in ascending key order.
   template <typename Fn>
   void ScanAll(Fn&& fn) const {

@@ -92,6 +92,21 @@ class PaneStore {
     }
   }
 
+  /// ScanBucket variant invoking `fn(key, V*)` so callers get the tree key
+  /// alongside the vertex (the batch kernels collect (key, cell) pairs once
+  /// per equal-timestamp run).
+  template <typename Fn>
+  void ScanBucketWithKey(Ts lo_time, Ts hi_time, size_t bucket,
+                         const KeyBounds& bounds, Fn&& fn) const {
+    GRETA_DCHECK(bucket < num_buckets_);
+    if (panes_.empty() || lo_time > hi_time) return;
+    int64_t lo_idx = FloorDivTs(lo_time);
+    for (auto it = panes_.lower_bound(lo_idx); it != panes_.end(); ++it) {
+      if (it->second.start > hi_time) break;
+      it->second.buckets[bucket].index.ScanWithKey(bounds, fn);
+    }
+  }
+
   /// Visits every vertex of `bucket` across all panes (pane order, then key
   /// order), e.g. for window-close scans.
   template <typename Fn>

@@ -401,6 +401,17 @@ Status ReadRuntime(const Json& block, runtime::ShardedOptions* options) {
   return s;
 }
 
+Status ReadIngest(const Json& block, IngestOptions* options) {
+  Status keys = ExpectKeys(block, "\"ingest\"",
+                           {"batch_size", "sort_within_batch"});
+  if (!keys.ok()) return keys;
+  Status s = ReadSize(block, "batch_size", &options->batch_size);
+  if (s.ok()) {
+    s = ReadBool(block, "sort_within_batch", &options->sort_within_batch);
+  }
+  return s;
+}
+
 Status ReadTelemetry(const Json& block, telemetry::TelemetryOptions* options) {
   Status keys = ExpectKeys(block, "\"telemetry\"",
                            {"enabled", "trace_capacity", "sample_every"});
@@ -477,7 +488,7 @@ StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view json,
   Status keys = ExpectKeys(
       root, "the top-level object",
       {"name", "queries", "engine", "sharing", "adaptive", "runtime",
-       "telemetry", "dataset"});
+       "ingest", "telemetry", "dataset"});
   if (!keys.ok()) return keys;
 
   WorkloadSpec spec;
@@ -528,6 +539,10 @@ StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view json,
   }
   if (const Json* v = root.Find("runtime"); v != nullptr) {
     Status s = ReadRuntime(*v, &spec.runtime);
+    if (!s.ok()) return s;
+  }
+  if (const Json* v = root.Find("ingest"); v != nullptr) {
+    Status s = ReadIngest(*v, &spec.ingest);
     if (!s.ok()) return s;
   }
   if (const Json* v = root.Find("telemetry"); v != nullptr) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/catalog.h"
+#include "common/event_batch.h"
 #include "common/status.h"
 #include "query/query.h"
 #include "runtime/sharded_runtime.h"
@@ -46,6 +47,9 @@ namespace greta::workload {
 ///       "num_shards": 4, "batch_size": 256, "queue_capacity": 16,
 ///       "heartbeat_events": 1024
 ///     },
+///     "ingest": {
+///       "batch_size": 256, "sort_within_batch": false
+///     },
 ///     "telemetry": {
 ///       "enabled": true, "trace_capacity": 1024, "sample_every": 1
 ///     },
@@ -76,6 +80,10 @@ struct WorkloadSpec {
   sharing::SharedEngineOptions options;
   /// Sharded-runtime options ("runtime" block), with `workload` = `options`.
   runtime::ShardedOptions runtime;
+  /// Ingest batching ("ingest" block): how drivers pack the stream into
+  /// columnar EventBatches before ProcessBatch (batch_size 0 = the scalar
+  /// per-event Process path).
+  IngestOptions ingest;
   /// Telemetry configuration ("telemetry" block). Apply it with
   /// `MetricRegistry::Default().Configure(spec.telemetry)` BEFORE building
   /// engines — instruments are cached at construction (telemetry.h).

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/event_batch.h"
+#include "common/kslack.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
 #include "query/parser.h"
@@ -269,6 +271,345 @@ TEST(HotpathEquivalence, TelemetryOnOffRowsIdentical) {
                         std::string("telemetry on/off: ") + text);
   }
   reg.Reset();
+}
+
+// --- Columnar batch path (ProcessBatch) vs scalar (Process) ---
+
+// Packs the events into columnar batches of `batch_size` rows and feeds
+// them through ProcessBatch, draining emitted rows after every batch. Takes
+// a raw vector (not a Stream) so locally disordered wires can exercise
+// sort_within_batch.
+std::vector<ResultRow> RunEngineBatched(EngineInterface* engine,
+                                        const std::vector<Event>& events,
+                                        size_t batch_size,
+                                        bool sort_within_batch = false) {
+  std::vector<ResultRow> rows;
+  EventBatch batch;
+  batch.reserve(batch_size);
+  size_t i = 0;
+  while (i < events.size()) {
+    batch.clear();
+    for (; i < events.size() && batch.size() < batch_size; ++i) {
+      batch.Append(events[i]);
+    }
+    if (sort_within_batch) batch.SortByTime();
+    Status s = engine->ProcessBatch(batch);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (!s.ok()) return rows;
+    for (ResultRow& row : engine->TakeResults()) rows.push_back(std::move(row));
+  }
+  Status s = engine->Flush();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (ResultRow& row : engine->TakeResults()) rows.push_back(std::move(row));
+  return rows;
+}
+
+std::vector<ResultRow> RunEngineBatched(EngineInterface* engine,
+                                        const Stream& stream,
+                                        size_t batch_size) {
+  return RunEngineBatched(engine, stream.events(), batch_size);
+}
+
+// Like ProcessStream but through ProcessBatch (multi-query engines drain per
+// slot afterwards).
+void ProcessStreamBatched(GretaEngine* engine, const Stream& stream,
+                          size_t batch_size) {
+  EventBatch batch;
+  batch.reserve(batch_size);
+  const std::vector<Event>& events = stream.events();
+  size_t i = 0;
+  while (i < events.size()) {
+    batch.clear();
+    for (; i < events.size() && batch.size() < batch_size; ++i) {
+      batch.Append(events[i]);
+    }
+    ASSERT_TRUE(engine->ProcessBatch(batch).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+}
+
+// One scalar run, then batched runs at ragged sizes (1 = degenerate
+// per-event batches, 7 = misaligned with every window and same-timestamp
+// run, 256 = whole stream in one batch), plus an enable_batch_kernels=false
+// ablation that forces the row-at-a-time path through the batch entry
+// point. All rows bit-identical.
+void ExpectBatchMatchesScalar(const Catalog* catalog, const QuerySpec& spec,
+                              const Stream& stream, EngineOptions options,
+                              const std::string& label) {
+  auto scalar = MakeGreta(catalog, spec.Clone(), options);
+  std::vector<ResultRow> scalar_rows = RunEngine(scalar.get(), stream);
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{256}}) {
+    auto batched = MakeGreta(catalog, spec.Clone(), options);
+    ExpectIdenticalRows(scalar_rows,
+                        RunEngineBatched(batched.get(), stream, batch_size),
+                        label + " batch=" + std::to_string(batch_size));
+  }
+  EngineOptions ablated = options;
+  ablated.enable_batch_kernels = false;
+  auto generic = MakeGreta(catalog, spec.Clone(), ablated);
+  ExpectIdenticalRows(scalar_rows, RunEngineBatched(generic.get(), stream, 64),
+                      label + " [batch kernels off]");
+}
+
+TEST(BatchEquivalence, SingleQueryKernelGrid) {
+  auto catalog = FuzzCatalog();
+  const char* aggs[] = {"COUNT(*)", "SUM(S.x)"};
+  const char* patterns[] = {"A S+", "SEQ(A S+, B E)"};
+  // Unbounded, sliding and tumbling windows: only (COUNT, tumbling) takes
+  // the vectorized run kernel; the others must fall back row-by-row inside
+  // InsertBatch and still match.
+  const char* windows[] = {"", " WITHIN 8 seconds SLIDE 4 seconds",
+                           " WITHIN 10 seconds SLIDE 10 seconds"};
+  for (CounterMode mode : {CounterMode::kModular, CounterMode::kExact}) {
+    for (const char* agg : aggs) {
+      for (const char* pattern : patterns) {
+        for (const char* window : windows) {
+          std::string text = "RETURN " + std::string(agg) + " PATTERN " +
+                             pattern + " GROUP-BY g" + window;
+          QuerySpec spec = Parse(text, catalog.get());
+          Stream stream = FuzzStream(catalog.get(), 101, 150);
+          EngineOptions options;
+          options.counter_mode = mode;
+          ExpectBatchMatchesScalar(
+              catalog.get(), spec, stream, options,
+              text + (mode == CounterMode::kExact ? " [exact]"
+                                                  : " [modular]"));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, SemanticsAndPredicates) {
+  auto catalog = FuzzCatalog();
+  // The NEXT predicate populates follow_links_, which disqualifies the
+  // batch fast path per call; the plain query keeps it.
+  for (const char* text :
+       {"RETURN COUNT(*) PATTERN A S+ WITHIN 6 seconds SLIDE 6 seconds",
+        "RETURN COUNT(*) PATTERN A S+ WHERE S.x < NEXT(S).x "
+        "WITHIN 6 seconds SLIDE 3 seconds"}) {
+    QuerySpec spec = Parse(text, catalog.get());
+    for (Semantics semantics :
+         {Semantics::kSkipTillAnyMatch, Semantics::kSkipTillNextMatch,
+          Semantics::kContiguous}) {
+      Stream stream = FuzzStream(catalog.get(), 103, 150);
+      EngineOptions options;
+      options.semantics = semantics;
+      ExpectBatchMatchesScalar(
+          catalog.get(), spec, stream, options,
+          std::string(text) + " semantics=" +
+              std::to_string(static_cast<int>(semantics)));
+    }
+  }
+}
+
+TEST(BatchEquivalence, NegationFallsBackAndMatches) {
+  auto catalog = FuzzCatalog();
+  for (const char* pattern :
+       {"SEQ(A S+, NOT C N, B E)", "SEQ(NOT C N, A S+)"}) {
+    std::string text = "RETURN COUNT(*) PATTERN " + std::string(pattern) +
+                       " WITHIN 8 seconds SLIDE 8 seconds";
+    QuerySpec spec = Parse(text, catalog.get());
+    Stream stream = FuzzStream(catalog.get(), 107, 150);
+    ExpectBatchMatchesScalar(catalog.get(), spec, stream, {}, text);
+  }
+}
+
+// Tumbling boundaries land mid-batch: two events per timestamp so batch
+// splits of 3 and 5 cut through same-timestamp runs AND window closes.
+TEST(BatchEquivalence, CrossWindowBoundarySplits) {
+  auto catalog = FuzzCatalog();
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 4 seconds SLIDE 4 seconds",
+      catalog.get());
+  Random rng(109);
+  const char* types[] = {"A", "B", "C"};
+  Stream stream;
+  for (Ts t = 0; t < 30; ++t) {
+    for (int dup = 0; dup < 2; ++dup) {
+      stream.Append(EventBuilder(catalog.get(), types[rng.UniformInt(0, 2)], t)
+                        .Set("x", rng.UniformDouble(0, 10))
+                        .Set("g", rng.UniformInt(0, 2))
+                        .Build());
+    }
+  }
+  auto scalar = MakeGreta(catalog.get(), spec.Clone());
+  std::vector<ResultRow> scalar_rows = RunEngine(scalar.get(), stream);
+  for (size_t batch_size : {size_t{3}, size_t{5}}) {
+    auto batched = MakeGreta(catalog.get(), spec.Clone());
+    ExpectIdenticalRows(scalar_rows,
+                        RunEngineBatched(batched.get(), stream, batch_size),
+                        "window split batch=" + std::to_string(batch_size));
+  }
+}
+
+// Batched routing must broadcast exactly like scalar routing when a type
+// lacks a key attribute (delivery to every agreeing partition, replay into
+// partitions created later in the same run).
+TEST(BatchEquivalence, BroadcastRoutingInBatches) {
+  Catalog catalog;
+  catalog.DefineType("A", {{"x", Value::Kind::kDouble},
+                           {"g", Value::Kind::kInt}});
+  catalog.DefineType("B", {{"x", Value::Kind::kDouble}});  // no g: broadcasts
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN SEQ(A S+, B E) GROUP-BY g "
+      "WITHIN 8 seconds SLIDE 4 seconds",
+      &catalog);
+  Random rng(113);
+  Stream stream;
+  Ts time = 0;
+  for (int i = 0; i < 150; ++i) {
+    time += rng.UniformInt(0, 2);
+    if (rng.UniformInt(0, 3) == 0) {
+      stream.Append(EventBuilder(&catalog, "B", time)
+                        .Set("x", rng.UniformDouble(0, 10))
+                        .Build());
+    } else {
+      stream.Append(EventBuilder(&catalog, "A", time)
+                        .Set("x", rng.UniformDouble(0, 10))
+                        .Set("g", rng.UniformInt(0, 2))
+                        .Build());
+    }
+  }
+  ExpectBatchMatchesScalar(&catalog, spec, stream, {}, "broadcast");
+}
+
+TEST(BatchEquivalence, MultiQuerySharedCells) {
+  auto catalog = FuzzCatalog();
+  const std::vector<std::string> workload = {
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+      "RETURN SUM(S.x) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds"};
+  std::vector<QuerySpec> specs;
+  for (const std::string& text : workload) {
+    specs.push_back(Parse(text, catalog.get()));
+  }
+  std::vector<const QuerySpec*> spec_ptrs;
+  for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+
+  Stream stream = FuzzStream(catalog.get(), 127, 150);
+  auto scalar = GretaEngine::CreateMulti(catalog.get(), spec_ptrs, {});
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  auto batched = GretaEngine::CreateMulti(catalog.get(), spec_ptrs, {});
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+
+  ProcessStream(scalar.value().get(), stream);
+  ProcessStreamBatched(batched.value().get(), stream, 7);
+  for (size_t q = 0; q < specs.size(); ++q) {
+    ExpectIdenticalRows(scalar.value()->TakeResultsFor(q),
+                        batched.value()->TakeResultsFor(q),
+                        "multi-query batched slot " + std::to_string(q));
+  }
+}
+
+TEST(BatchEquivalence, PartialSharingBatchVsScalar) {
+  auto catalog = FuzzCatalog();
+  std::vector<QuerySpec> specs;
+  specs.push_back(Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+      catalog.get()));
+  specs.push_back(Parse(
+      "RETURN COUNT(*) PATTERN SEQ(A S+, B E) WITHIN 4 seconds SLIDE 4 "
+      "seconds",
+      catalog.get()));
+  std::vector<const QuerySpec*> spec_ptrs;
+  for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+
+  Stream stream = FuzzStream(catalog.get(), 131, 150);
+  auto scalar = GretaEngine::CreatePartial(catalog.get(), spec_ptrs, {});
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  auto batched = GretaEngine::CreatePartial(catalog.get(), spec_ptrs, {});
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+
+  ProcessStream(scalar.value().get(), stream);
+  ProcessStreamBatched(batched.value().get(), stream, 7);
+  for (size_t q = 0; q < specs.size(); ++q) {
+    ExpectIdenticalRows(scalar.value()->TakeResultsFor(q),
+                        batched.value()->TakeResultsFor(q),
+                        "partial batched slot " + std::to_string(q));
+  }
+}
+
+// Out-of-order front end: a jittered wire stream goes through the k-slack
+// buffer, whose in-order releases are packed into batches — identical to
+// feeding each released event through Process.
+TEST(BatchEquivalence, KSlackReleasedBatches) {
+  auto catalog = FuzzCatalog();
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 6 seconds SLIDE 3 seconds",
+      catalog.get());
+  std::vector<Event> wire = FuzzStream(catalog.get(), 137, 150).events();
+  Random rng(139);
+  for (size_t i = 0; i + 1 < wire.size(); i += 2) {
+    if (rng.UniformInt(0, 1) == 1) std::swap(wire[i], wire[i + 1]);
+  }
+  KSlackBuffer buffer(/*slack=*/3);
+  Stream released;
+  for (Event& e : wire) {
+    for (Event& r : buffer.Push(std::move(e))) released.Append(std::move(r));
+  }
+  for (Event& r : buffer.Flush()) released.Append(std::move(r));
+  ASSERT_EQ(buffer.dropped(), 0u);
+
+  auto scalar = MakeGreta(catalog.get(), spec.Clone());
+  std::vector<ResultRow> scalar_rows = RunEngine(scalar.get(), released);
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{256}}) {
+    auto batched = MakeGreta(catalog.get(), spec.Clone());
+    ExpectIdenticalRows(scalar_rows,
+                        RunEngineBatched(batched.get(), released, batch_size),
+                        "kslack batch=" + std::to_string(batch_size));
+  }
+}
+
+// sort_within_batch repairs disorder that is confined to a batch: swapping
+// unequal-timestamp neighbours at even offsets keeps every inversion inside
+// one batch of 8, and the stable SortByTime restores the original order.
+TEST(BatchEquivalence, SortWithinBatchRepairsLocalDisorder) {
+  auto catalog = FuzzCatalog();
+  QuerySpec spec = Parse(
+      "RETURN COUNT(*) PATTERN A S+ WITHIN 6 seconds SLIDE 3 seconds",
+      catalog.get());
+  Stream ordered = FuzzStream(catalog.get(), 149, 152);
+  std::vector<Event> wire = ordered.events();
+  Random rng(151);
+  for (size_t i = 0; i + 1 < wire.size(); i += 2) {
+    if (wire[i].time != wire[i + 1].time && rng.UniformInt(0, 1) == 1) {
+      std::swap(wire[i], wire[i + 1]);
+    }
+  }
+  auto scalar = MakeGreta(catalog.get(), spec.Clone());
+  std::vector<ResultRow> scalar_rows = RunEngine(scalar.get(), ordered);
+  auto batched = MakeGreta(catalog.get(), spec.Clone());
+  ExpectIdenticalRows(
+      scalar_rows,
+      RunEngineBatched(batched.get(), wire, 8, /*sort_within_batch=*/true),
+      "sort_within_batch");
+}
+
+TEST(BatchEquivalence, DisorderedBatchesRejected) {
+  auto catalog = FuzzCatalog();
+  QuerySpec spec = Parse("RETURN COUNT(*) PATTERN A S+", catalog.get());
+  auto engine = MakeGreta(catalog.get(), spec.Clone());
+  auto make = [&](Ts t) {
+    return EventBuilder(catalog.get(), "A", t).Set("x", 1.0).Set("g", 0)
+        .Build();
+  };
+  EventBatch unsorted;
+  unsorted.Append(make(5));
+  unsorted.Append(make(3));
+  ASSERT_FALSE(unsorted.time_ordered());
+  EXPECT_FALSE(engine->ProcessBatch(unsorted).ok());
+
+  EventBatch first;
+  first.Append(make(10));
+  ASSERT_TRUE(engine->ProcessBatch(first).ok());
+  // The watermark advanced to 10, so a batch starting earlier regresses.
+  EventBatch regress;
+  regress.Append(make(7));
+  EXPECT_FALSE(engine->ProcessBatch(regress).ok());
+  // Empty batches are harmless (watermark-only heartbeats).
+  EventBatch empty;
+  EXPECT_TRUE(engine->ProcessBatch(empty).ok());
 }
 
 // --- Counter promotion boundary (u64 overflow edge) ---

@@ -38,6 +38,10 @@ constexpr char kFullSpec[] = R"({
     "queue_capacity": 8,
     "heartbeat_events": 512
   },
+  "ingest": {
+    "batch_size": 64,
+    "sort_within_batch": true
+  },
   "dataset": {
     "kind": "stock", "seed": 7, "rate": 40, "duration": 30,
     "num_companies": 8, "num_sectors": 3, "drift": 0.4,
@@ -73,6 +77,8 @@ TEST(WorkloadSpec, ParsesFullSpec) {
   EXPECT_EQ(w.options.adaptive.min_windows_between_migrations, 10u);
   EXPECT_DOUBLE_EQ(w.options.adaptive.per_event_cost, 32.0);
   EXPECT_TRUE(w.runtime.workload.adaptive.enabled);
+  EXPECT_EQ(w.ingest.batch_size, 64u);
+  EXPECT_TRUE(w.ingest.sort_within_batch);
   ASSERT_TRUE(w.stock.has_value());
   EXPECT_EQ(w.stock->seed, 7u);
   EXPECT_EQ(w.stock->rate, 40);
@@ -230,6 +236,53 @@ TEST(WorkloadSpec, TelemetryBlockParsesStrictly) {
                    &catalog)
                    .ok())
       << "a zero sampling period would divide by zero at every use";
+}
+
+TEST(WorkloadSpec, IngestBlockParsesStrictly) {
+  Catalog catalog;
+  RegisterStockTypes(&catalog);
+  auto spec = workload::ParseWorkloadSpec(
+      R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+ WITHIN 5 seconds"],
+          "ingest": {"batch_size": 512, "sort_within_batch": true}})",
+      &catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().ingest.batch_size, 512u);
+  EXPECT_TRUE(spec.value().ingest.sort_within_batch);
+
+  // batch_size 0 is valid: it selects the scalar per-event Process path.
+  auto scalar = workload::ParseWorkloadSpec(
+      R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+ WITHIN 5 seconds"],
+          "ingest": {"batch_size": 0}})",
+      &catalog);
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  EXPECT_EQ(scalar.value().ingest.batch_size, 0u);
+
+  // Defaults without the block.
+  auto defaults = workload::ParseWorkloadSpec(
+      R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+ WITHIN 5 seconds"]})",
+      &catalog);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().ingest.batch_size, 256u);
+  EXPECT_FALSE(defaults.value().ingest.sort_within_batch);
+
+  // Strict keys and value validation.
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "ingest": {"batchsize": 64}})",
+                   &catalog)
+                   .ok())
+      << "typo'd ingest key must be rejected";
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "ingest": {"batch_size": -5}})",
+                   &catalog)
+                   .ok());
+  EXPECT_FALSE(workload::ParseWorkloadSpec(
+                   R"({"queries": ["RETURN COUNT(*) PATTERN Stock S+"],
+                       "ingest": {"sort_within_batch": 1}})",
+                   &catalog)
+                   .ok())
+      << "sort_within_batch must be a boolean";
 }
 
 TEST(WorkloadSpec, LoadedSpecDrivesShardedRuntime) {
