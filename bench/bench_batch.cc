@@ -1,11 +1,18 @@
 // Columnar ingest benchmark: throughput of the batch path (ProcessBatch +
-// vectorized run kernels) across ingest batch sizes, against the scalar
-// per-event Process path on the same Q1-shaped COUNT(*) query. Before
-// timing anything it replays a smaller stream through both paths and
-// checks the result rows are bit-identical — a bench that got faster by
-// computing something else is worthless. Emits one JSON row per
-// configuration for the BENCH_batch.json trajectory artifact (CI uploads
-// it; the perf-smoke step diffs it against
+// amortized run kernels) across ingest batch sizes and kernel strategies,
+// against the scalar per-event Process path. Four workloads:
+//  - the Q1-shaped tumbling COUNT(*) query across batch sizes (the original
+//    sweep: scalar / batch1 / batch64 / batch256 / batch1024 / rowwise);
+//  - a sliding-window COUNT(*) (5 panes per event, NEXT predicate) that the
+//    pre-generalized kernel used to reject — now suffix-merge;
+//  - a tumbling SUM (no NEXT predicate) — now the shared-fold strategy;
+//  - a partial-sharing cluster (two COUNT queries, same Kleene core,
+//    different window lengths) through the batched snapshot kernel.
+// Before timing anything each workload replays a smaller stream through
+// both paths and checks the result rows are bit-identical — a bench that
+// got faster by computing something else is worthless. Emits one JSON row
+// per configuration for the BENCH_batch.json trajectory artifact (CI
+// uploads it; the perf-smoke step diffs it against
 // bench/baselines/BENCH_batch_baseline.json).
 //
 // Flags: --rate/--duration size the stream, --within/--slide the window,
@@ -24,15 +31,28 @@
 namespace greta::bench {
 namespace {
 
-QuerySpec MakeQuery(Catalog* catalog, Ts within, Ts slide) {
-  std::string text =
-      "RETURN sector, COUNT(*) PATTERN Stock S+ WHERE [company, sector] AND "
-      "S.price > NEXT(S).price GROUP-BY sector WITHIN " +
-      std::to_string(within) + " seconds SLIDE " + std::to_string(slide) +
-      " seconds";
+enum Workload { kQ1, kSliding, kSum, kPartial };
+
+QuerySpec MakeQuery(Catalog* catalog, const std::string& agg, Ts within,
+                    Ts slide, bool next_pred) {
+  std::string text = "RETURN sector, " + agg +
+                     " PATTERN Stock S+ WHERE [company, sector]" +
+                     (next_pred ? " AND S.price > NEXT(S).price" : "") +
+                     " GROUP-BY sector WITHIN " + std::to_string(within) +
+                     " seconds SLIDE " + std::to_string(slide) + " seconds";
   auto spec = ParseQuery(text, catalog);
   GRETA_CHECK(spec.ok());
   return std::move(spec).value();
+}
+
+// The partial cluster: same Kleene core (type, predicates, keys), window
+// lengths `within` and `2 * within` on an equal slide — the regime where
+// only snapshot sharing merges the graphs.
+std::vector<QuerySpec> MakePartialSpecs(Catalog* catalog, Ts within) {
+  std::vector<QuerySpec> specs;
+  specs.push_back(MakeQuery(catalog, "COUNT(*)", within, within, false));
+  specs.push_back(MakeQuery(catalog, "COUNT(*)", 2 * within, within, false));
+  return specs;
 }
 
 std::unique_ptr<GretaEngine> MakeEngine(Catalog* catalog,
@@ -43,6 +63,41 @@ std::unique_ptr<GretaEngine> MakeEngine(Catalog* catalog,
   auto built = GretaEngine::Create(catalog, spec, options);
   GRETA_CHECK(built.ok());
   return std::move(built).value();
+}
+
+std::unique_ptr<GretaEngine> MakePartialEngine(
+    Catalog* catalog, const std::vector<QuerySpec>& specs,
+    bool batch_kernels) {
+  EngineOptions options;
+  options.enable_batch_kernels = batch_kernels;
+  std::vector<const QuerySpec*> spec_ptrs;
+  for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+  auto built = GretaEngine::CreatePartial(catalog, spec_ptrs, options);
+  GRETA_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+// Feeds the stream without draining (per-slot drains happen afterwards);
+// batch_size 0 is the scalar Process loop.
+void Feed(GretaEngine* engine, const Stream& stream, size_t batch_size) {
+  if (batch_size == 0) {
+    for (const Event& e : stream.events()) {
+      GRETA_CHECK(engine->Process(e).ok());
+    }
+  } else {
+    EventBatch batch;
+    batch.reserve(batch_size);
+    const std::vector<Event>& events = stream.events();
+    size_t i = 0;
+    while (i < events.size()) {
+      batch.clear();
+      for (; i < events.size() && batch.size() < batch_size; ++i) {
+        batch.Append(events[i]);
+      }
+      GRETA_CHECK(engine->ProcessBatch(batch).ok());
+    }
+  }
+  GRETA_CHECK(engine->Flush().ok());
 }
 
 // Replays the stream collecting every emitted row (scalar path when
@@ -90,6 +145,11 @@ void CheckIdenticalRows(const std::vector<ResultRow>& scalar,
       GRETA_CHECK(a.group[g] == b.group[g]);
     }
     GRETA_CHECK(a.aggs.count.ToDecimal() == b.aggs.count.ToDecimal());
+    // Bit-exact, no tolerance: the batch kernels must fold attribute
+    // aggregates in the scalar path's order.
+    GRETA_CHECK(a.aggs.sum == b.aggs.sum);
+    GRETA_CHECK(a.aggs.min == b.aggs.min);
+    GRETA_CHECK(a.aggs.max == b.aggs.max);
   }
   std::printf("verified: %s rows identical to scalar (%zu rows)\n", label,
               scalar.size());
@@ -104,21 +164,28 @@ int Run(const Flags& flags) {
 
   PrintHeader(
       "Columnar ingest: batch path vs scalar path across batch sizes",
-      "Q1-shaped COUNT(*) Kleene query on the stock stream; scalar is the "
-      "per-event Process loop, batchN packs N events per ProcessBatch call "
-      "(same-timestamp runs share one window division and one predecessor "
-      "scan), batch256_rowwise forces the row-at-a-time fallback through "
-      "the batch entry point.",
+      "Stock-stream Kleene queries; scalar is the per-event Process loop, "
+      "batchN packs N events per ProcessBatch call (same-timestamp runs "
+      "share one window division and one predecessor scan), "
+      "batch256_rowwise forces the row-at-a-time fallback through the batch "
+      "entry point. sliding_* is a 5-panes-per-event COUNT (suffix-merge "
+      "strategy), sum_* a tumbling SUM (shared-fold), partial_* a two-query "
+      "partial-sharing cluster (batched snapshot kernel).",
       "Throughput should rise with the batch size until every "
-      "same-timestamp run fits in one batch; batch256_rowwise isolates "
-      "call-overhead savings from the vectorized-kernel savings.");
+      "same-timestamp run fits in one batch; each *_batch256 row should "
+      "clearly beat its *_scalar twin now that sliding windows, attribute "
+      "aggregates and partial sharing run amortized kernels.");
 
   Catalog catalog;
   StockConfig stock;
   stock.rate = static_cast<int>(rate);
   stock.duration = duration;
   Stream stream = GenerateStockStream(&catalog, stock);
-  QuerySpec spec = MakeQuery(&catalog, within, slide);
+  QuerySpec q1 = MakeQuery(&catalog, "COUNT(*)", within, slide, true);
+  QuerySpec sliding =
+      MakeQuery(&catalog, "COUNT(*)", within, /*slide=*/2, true);
+  QuerySpec sum = MakeQuery(&catalog, "SUM(S.price)", within, within, false);
+  std::vector<QuerySpec> partial = MakePartialSpecs(&catalog, within);
 
   // Correctness first, on a smaller stream so the check stays cheap.
   {
@@ -126,32 +193,70 @@ int Run(const Flags& flags) {
     small.duration = duration / 4 > 0 ? duration / 4 : 1;
     Catalog check_catalog;
     Stream check_stream = GenerateStockStream(&check_catalog, small);
-    QuerySpec check_spec = MakeQuery(&check_catalog, within, slide);
-    auto scalar_engine = MakeEngine(&check_catalog, check_spec, true);
-    std::vector<ResultRow> scalar_rows =
-        CollectRows(scalar_engine.get(), check_stream, 0);
-    for (size_t batch_size : {size_t{1}, size_t{64}, size_t{256}}) {
-      auto batched_engine = MakeEngine(&check_catalog, check_spec, true);
+    struct Check {
+      const char* name;
+      QuerySpec spec;
+    };
+    Check checks[] = {
+        {"q1", MakeQuery(&check_catalog, "COUNT(*)", within, slide, true)},
+        {"sliding", MakeQuery(&check_catalog, "COUNT(*)", within, 2, true)},
+        {"sum", MakeQuery(&check_catalog, "SUM(S.price)", within, within,
+                          false)},
+    };
+    for (const Check& check : checks) {
+      auto scalar_engine = MakeEngine(&check_catalog, check.spec, true);
+      std::vector<ResultRow> scalar_rows =
+          CollectRows(scalar_engine.get(), check_stream, 0);
+      for (size_t batch_size : {size_t{1}, size_t{64}, size_t{256}}) {
+        auto batched_engine = MakeEngine(&check_catalog, check.spec, true);
+        CheckIdenticalRows(
+            scalar_rows,
+            CollectRows(batched_engine.get(), check_stream, batch_size),
+            (std::string(check.name) + " batch" + std::to_string(batch_size))
+                .c_str());
+      }
+      auto rowwise_engine = MakeEngine(&check_catalog, check.spec, false);
       CheckIdenticalRows(
           scalar_rows,
-          CollectRows(batched_engine.get(), check_stream, batch_size),
-          ("batch" + std::to_string(batch_size)).c_str());
+          CollectRows(rowwise_engine.get(), check_stream, 256),
+          (std::string(check.name) + " batch256_rowwise").c_str());
     }
-    auto rowwise_engine = MakeEngine(&check_catalog, check_spec, false);
-    CheckIdenticalRows(scalar_rows,
-                       CollectRows(rowwise_engine.get(), check_stream, 256),
-                       "batch256_rowwise");
+    // Partial cluster: per-slot drains (TakeResults would mix the slots).
+    std::vector<QuerySpec> check_partial =
+        MakePartialSpecs(&check_catalog, within);
+    auto scalar_partial = MakePartialEngine(&check_catalog, check_partial,
+                                            true);
+    Feed(scalar_partial.get(), check_stream, 0);
+    auto batched_partial = MakePartialEngine(&check_catalog, check_partial,
+                                             true);
+    Feed(batched_partial.get(), check_stream, 256);
+    for (size_t q = 0; q < check_partial.size(); ++q) {
+      CheckIdenticalRows(
+          scalar_partial->TakeResultsFor(q),
+          batched_partial->TakeResultsFor(q),
+          ("partial batch256 slot " + std::to_string(q)).c_str());
+    }
   }
 
   struct Config {
     const char* name;
     size_t batch_size;
     bool batch_kernels;
+    Workload workload;
   };
   const Config configs[] = {
-      {"scalar", 0, true},          {"batch1", 1, true},
-      {"batch64", 64, true},        {"batch256", 256, true},
-      {"batch1024", 1024, true},    {"batch256_rowwise", 256, false},
+      {"scalar", 0, true, kQ1},
+      {"batch1", 1, true, kQ1},
+      {"batch64", 64, true, kQ1},
+      {"batch256", 256, true, kQ1},
+      {"batch1024", 1024, true, kQ1},
+      {"batch256_rowwise", 256, false, kQ1},
+      {"sliding_scalar", 0, true, kSliding},
+      {"sliding_batch256", 256, true, kSliding},
+      {"sum_scalar", 0, true, kSum},
+      {"sum_batch256", 256, true, kSum},
+      {"partial_scalar", 0, true, kPartial},
+      {"partial_batch256", 256, true, kPartial},
   };
 
   Table table({"config", "events/s", "peak memory", "edges"});
@@ -160,7 +265,21 @@ int Run(const Flags& flags) {
     ingest.batch_size = config.batch_size;
     RunResult best;
     for (int64_t rep = 0; rep < reps; ++rep) {
-      auto engine = MakeEngine(&catalog, spec, config.batch_kernels);
+      std::unique_ptr<GretaEngine> engine;
+      switch (config.workload) {
+        case kQ1:
+          engine = MakeEngine(&catalog, q1, config.batch_kernels);
+          break;
+        case kSliding:
+          engine = MakeEngine(&catalog, sliding, config.batch_kernels);
+          break;
+        case kSum:
+          engine = MakeEngine(&catalog, sum, config.batch_kernels);
+          break;
+        case kPartial:
+          engine = MakePartialEngine(&catalog, partial, config.batch_kernels);
+          break;
+      }
       RunResult r = RunStreamBatched(engine.get(), stream, ingest);
       if (rep == 0 || r.throughput_eps > best.throughput_eps) best = r;
     }

@@ -87,7 +87,8 @@ int Run(const Flags& flags) {
       {"multi4", "COUNT(*)", CounterMode::kModular, 4, true},
   };
 
-  Table table({"config", "events/s", "peak memory", "vertices", "edges"});
+  Table table({"config", "events/s", "peak memory", "vertices", "edges",
+               "batch fb%"});
   for (const Config& config : configs) {
     EngineOptions options;
     options.counter_mode = config.mode;
@@ -118,17 +119,30 @@ int Run(const Flags& flags) {
       if (rep == 0 || r.throughput_eps > best.throughput_eps) best = r;
     }
 
+    // Fraction of batch-ingested rows that fell back to the row-wise path
+    // (0 when everything ran amortized, or when ingest was scalar).
+    const size_t batch_total =
+        best.stats.batch_rows_fast + best.stats.batch_rows_fallback;
+    const double fallback_frac =
+        batch_total > 0
+            ? static_cast<double>(best.stats.batch_rows_fallback) /
+                  static_cast<double>(batch_total)
+            : 0.0;
+    char fallback_cell[32];
+    std::snprintf(fallback_cell, sizeof(fallback_cell), "%.1f%%",
+                  fallback_frac * 100.0);
     table.AddRow({config.name, best.ThroughputCell(), best.MemoryCell(),
                   FormatCount(static_cast<double>(best.stats.vertices_stored)),
                   FormatCount(
-                      static_cast<double>(best.stats.edges_traversed))});
+                      static_cast<double>(best.stats.edges_traversed)),
+                  fallback_cell});
     std::printf(
         "{\"bench\":\"hotpath\",\"config\":\"%s\",\"events\":%zu,"
         "\"events_per_sec\":%.1f,\"peak_bytes\":%zu,\"vertices\":%zu,"
-        "\"edges\":%zu,\"rows\":%zu}\n",
+        "\"edges\":%zu,\"rows\":%zu,\"batch_fallback_frac\":%.4f}\n",
         config.name, stream.size(), best.throughput_eps,
         best.peak_memory_bytes, best.stats.vertices_stored,
-        best.stats.edges_traversed, best.rows_emitted);
+        best.stats.edges_traversed, best.rows_emitted, fallback_frac);
   }
   std::printf("\n");
   table.Print();

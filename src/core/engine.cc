@@ -94,6 +94,25 @@ GretaEngine::GretaEngine(const Catalog* catalog,
       tm_.kernel_dispatch[k] = reg.CounterIf(kKernelSeries[k]);
     }
   }
+  static constexpr const char* kBatchFallbackSeries
+      [GretaGraph::kNumBatchFallbackReasons] = {
+          "greta_core_batch_fallback_rows_total{reason=\"disabled\"}",
+          "greta_core_batch_fallback_rows_total{reason=\"semantics\"}",
+          "greta_core_batch_fallback_rows_total{reason=\"negation\"}",
+          "greta_core_batch_fallback_rows_total{reason=\"bounds\"}",
+      };
+  for (size_t r = 0; r < GretaGraph::kNumBatchFallbackReasons; ++r) {
+    tm_.batch_fallback[r] = reg.CounterIf(kBatchFallbackSeries[r]);
+  }
+  static constexpr const char* kBatchStrategySeries
+      [GretaGraph::kNumBatchStrategies] = {
+          "greta_core_batch_rows_total{strategy=\"shared_fold\"}",
+          "greta_core_batch_rows_total{strategy=\"suffix_merge\"}",
+          "greta_core_batch_rows_total{strategy=\"per_event\"}",
+      };
+  for (size_t r = 0; r < GretaGraph::kNumBatchStrategies; ++r) {
+    tm_.batch_strategy[r] = reg.CounterIf(kBatchStrategySeries[r]);
+  }
 #endif
 }
 
@@ -309,6 +328,10 @@ void GretaEngine::EmitWindow(WindowId wid) {
   // observation (cumulative graph counters -> deltas since the last close).
   size_t total_vertices = 0;
   size_t total_edges = 0;
+  [[maybe_unused]] uint64_t batch_fb[GretaGraph::kNumBatchFallbackReasons] = {
+      0, 0, 0, 0};
+  [[maybe_unused]] uint64_t batch_st[GretaGraph::kNumBatchStrategies] = {0, 0,
+                                                                         0};
   for (auto& [key, partition] : partitions_) {
     (void)key;
     for (AltRuntime& alt : partition->alts) {
@@ -316,6 +339,12 @@ void GretaEngine::EmitWindow(WindowId wid) {
         g->ForgetWindow(wid);
         total_vertices += g->total_vertices();
         total_edges += g->edges_traversed();
+        for (size_t r = 0; r < GretaGraph::kNumBatchFallbackReasons; ++r) {
+          batch_fb[r] += g->batch_fallback_rows()[r];
+        }
+        for (size_t r = 0; r < GretaGraph::kNumBatchStrategies; ++r) {
+          batch_st[r] += g->batch_strategy_rows()[r];
+        }
       }
       for (std::unique_ptr<NegationLink>& link : alt.links) {
         link->ForgetWindow(wid);
@@ -349,6 +378,20 @@ void GretaEngine::EmitWindow(WindowId wid) {
     if (tm_.kernel_dispatch[k] != nullptr) {
       tm_.kernel_dispatch[k]->Add(kernel_per_delivery_[k] * deliveries);
     }
+  }
+  // Batch coverage: cumulative graph counters -> per-close deltas, plus the
+  // engine-side negation rows (scalar schedule; attributed per close too).
+  batch_fb[static_cast<size_t>(GretaGraph::BatchFallbackReason::kNegation)] +=
+      batch_negation_rows_;
+  for (size_t r = 0; r < GretaGraph::kNumBatchFallbackReasons; ++r) {
+    const uint64_t delta = batch_fb[r] - tm_prev_batch_fallback_[r];
+    tm_prev_batch_fallback_[r] = batch_fb[r];
+    if (delta != 0) GRETA_TM_ADD(tm_.batch_fallback[r], delta);
+  }
+  for (size_t r = 0; r < GretaGraph::kNumBatchStrategies; ++r) {
+    const uint64_t delta = batch_st[r] - tm_prev_batch_strategy_[r];
+    tm_prev_batch_strategy_[r] = batch_st[r];
+    if (delta != 0) GRETA_TM_ADD(tm_.batch_strategy[r], delta);
   }
   if (tm_.emit_ns != nullptr) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -577,7 +620,9 @@ void GretaEngine::DeliverBatchToPartition(Partition* p,
       continue;
     }
     // Negation: keep the scalar per-event schedule — negative graphs first
-    // (reverse order), event by event.
+    // (reverse order), event by event. The graphs' own InsertBatch never
+    // runs here, so the fallback is tallied engine-side.
+    batch_negation_rows_ += rows.size();
     for (uint32_t row : rows) {
       const EventRef ref = batch.ref(row);
       for (size_t g = alt.graphs.size(); g-- > 0;) {
@@ -703,12 +748,20 @@ std::vector<ResultRow> GretaEngine::TakeResultsFor(size_t q) {
 void GretaEngine::RefreshAggregateStats() {
   size_t vertices = 0;
   size_t edges = 0;
+  size_t batch_fast = 0;
+  size_t batch_fallback = batch_negation_rows_;
   for (const auto& [key, partition] : partitions_) {
     (void)key;
     for (const AltRuntime& alt : partition->alts) {
       for (const std::unique_ptr<GretaGraph>& g : alt.graphs) {
         vertices += g->total_vertices();
         edges += g->edges_traversed();
+        for (size_t r = 0; r < GretaGraph::kNumBatchStrategies; ++r) {
+          batch_fast += g->batch_strategy_rows()[r];
+        }
+        for (size_t r = 0; r < GretaGraph::kNumBatchFallbackReasons; ++r) {
+          batch_fallback += g->batch_fallback_rows()[r];
+        }
       }
     }
   }
@@ -716,6 +769,8 @@ void GretaEngine::RefreshAggregateStats() {
   stats_.edges_traversed = edges;
   stats_.work_units = edges;
   stats_.peak_bytes = memory_->peak_bytes();
+  stats_.batch_rows_fast = batch_fast;
+  stats_.batch_rows_fallback = batch_fallback;
 }
 
 }  // namespace greta

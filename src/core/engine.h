@@ -248,6 +248,12 @@ class GretaEngine : public EngineInterface {
     telemetry::Counter* windows_closed = nullptr;
     // Indexed by PropKernel; only kinds present in the plan are registered.
     telemetry::Counter* kernel_dispatch[3] = {nullptr, nullptr, nullptr};
+    // Batch-kernel coverage, indexed by GretaGraph::BatchFallbackReason /
+    // BatchStrategy (labeled series; see ExplainTelemetry).
+    telemetry::Counter* batch_fallback[GretaGraph::kNumBatchFallbackReasons] =
+        {nullptr, nullptr, nullptr, nullptr};
+    telemetry::Counter* batch_strategy[GretaGraph::kNumBatchStrategies] = {
+        nullptr, nullptr, nullptr};
     telemetry::Histogram* emit_ns = nullptr;  // window close-to-emit latency
     telemetry::Gauge* pane_bytes = nullptr;   // tracked bytes after a close
     telemetry::TraceRing* trace = nullptr;
@@ -262,6 +268,17 @@ class GretaEngine : public EngineInterface {
   uint64_t kernel_per_delivery_[3] = {0, 0, 0};
   uint64_t tm_deliveries_ = 0;
   uint64_t tm_prev_deliveries_ = 0;
+  // Batch rows forced onto the per-event scalar schedule by negation
+  // (DeliverBatchToPartition's multi-graph path never reaches the graphs'
+  // own InsertBatch tally). Counted once per (row, alternative); serial
+  // routing path only.
+  size_t batch_negation_rows_ = 0;
+  // Last flushed cumulative batch counters (summed across all graphs);
+  // EmitWindow adds the delta into the registry, like kernel_dispatch.
+  uint64_t tm_prev_batch_fallback_[GretaGraph::kNumBatchFallbackReasons] = {
+      0, 0, 0, 0};
+  uint64_t tm_prev_batch_strategy_[GretaGraph::kNumBatchStrategies] = {0, 0,
+                                                                       0};
 };
 
 }  // namespace greta

@@ -57,6 +57,12 @@ struct EngineStats {
   size_t work_units = 0;          // abstract work, for budget enforcement
   size_t peak_bytes = 0;          // peak data structure footprint
   bool dnf = false;               // exceeded its work budget ("did not finish")
+  // Batch-kernel coverage (GRETA columnar ingest): rows that went through an
+  // amortized run kernel vs. rows that took the scalar row-wise fallback
+  // (any reason — kernels disabled, restricted semantics, negation, NaN
+  // bounds). Zero for scalar engines.
+  size_t batch_rows_fast = 0;
+  size_t batch_rows_fallback = 0;
 };
 
 /// Common interface of the GRETA engine and the two-step baselines (SASE,

@@ -58,22 +58,41 @@ GretaGraph::GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
 
   // Plan-level batch fast-path eligibility (the link-dependent half lives in
   // BatchFastPathEligible, since negation links attach after construction).
-  // The amortized kernel relies on the frozen-predecessor-set property of
-  // strict trend order under skip-till-any-match, on a single window id per
-  // equal-timestamp run (tumbling), and on every edge predicate being
-  // enforced by the tree key range (no residuals).
-  batch_plan_ok_ = exec_->enable_batch_kernels && !exec_->partial.has_value() &&
-                   (plan_->kernel == PropKernel::kCountModular ||
-                    plan_->kernel == PropKernel::kCountExact) &&
-                   tumbling_slide_ > 0 &&
+  // The amortized kernel family relies only on the frozen-predecessor-set
+  // property of strict trend order under skip-till-any-match — sliding
+  // windows, every PropKernel, residual predicates and partial sharing are
+  // all handled by strategy selection inside the run kernel (the planner
+  // already restricts partial clusters to skip-till-any-match, so the
+  // semantics test covers that path too).
+  batch_plan_ok_ = exec_->enable_batch_kernels &&
                    exec_->semantics == Semantics::kSkipTillAnyMatch;
-  for (const TransitionPlan& tp : plan_->transitions) {
-    if (!tp.residual_preds.empty()) batch_plan_ok_ = false;
+  for (size_t q = 0; q < static_cast<size_t>(num_queries_); ++q) {
+    any_sum_ |= AggAt(q).need_sum;
   }
   if (batch_plan_ok_) {
     state_filters_.reserve(plan_->states.size());
     for (const StatePlan& sp : plan_->states) {
       state_filters_.emplace_back(sp.local_preds);
+    }
+    edge_filters_.reserve(plan_->transitions.size());
+    for (const TransitionPlan& tp : plan_->transitions) {
+      edge_filters_.emplace_back(tp.residual_preds);
+    }
+    if (exec_->partial.has_value()) {
+      insert_run_fn_ = &GretaGraph::InsertRunFastPartial;
+    } else {
+      switch (plan_->kernel) {
+        case PropKernel::kCountModular:
+          insert_run_fn_ =
+              &GretaGraph::InsertRunFast<PropKernel::kCountModular>;
+          break;
+        case PropKernel::kCountExact:
+          insert_run_fn_ = &GretaGraph::InsertRunFast<PropKernel::kCountExact>;
+          break;
+        case PropKernel::kGeneric:
+          insert_run_fn_ = &GretaGraph::InsertRunFast<PropKernel::kGeneric>;
+          break;
+      }
     }
   }
 }
@@ -237,19 +256,7 @@ bool GretaGraph::InsertAtState(const EventRef& e, StateId s) {
     }
 
     // Key range on the predecessor tree from the sort-key predicates.
-    KeyBounds bounds;
-    for (const EdgePredicatePlan& ep : tp.preds) {
-      if (!ep.drives_sort_key || !ep.range.has_value()) continue;
-      KeyBounds b = ep.range->ComputeBounds(e);
-      if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
-        bounds.lo = b.lo;
-        bounds.lo_strict = b.lo_strict;
-      }
-      if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
-        bounds.hi = b.hi;
-        bounds.hi_strict = b.hi_strict;
-      }
-    }
+    KeyBounds bounds = CombineTransitionBounds(tp, e);
 
     Ts lo_time = window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
     const bool can_prune = exec_->enable_pruning && single_window_ &&
@@ -409,19 +416,7 @@ bool GretaGraph::InsertAtStatePartial(const EventRef& e, StateId s) {
     const int t_owner = partial.transition_owner[t_idx];
     const int p_owner = partial.state_owner[p];
 
-    KeyBounds bounds;
-    for (const EdgePredicatePlan& ep : tp.preds) {
-      if (!ep.drives_sort_key || !ep.range.has_value()) continue;
-      KeyBounds b = ep.range->ComputeBounds(e);
-      if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
-        bounds.lo = b.lo;
-        bounds.lo_strict = b.lo_strict;
-      }
-      if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
-        bounds.hi = b.hi;
-        bounds.hi_strict = b.hi_strict;
-      }
-    }
+    KeyBounds bounds = CombineTransitionBounds(tp, e);
 
     Ts lo_time =
         window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
@@ -528,30 +523,115 @@ void GretaGraph::InsertBatch(const EventBatch& batch, const uint32_t* rows,
                              size_t n) {
   if (n == 0) return;
   if (!BatchFastPathEligible()) {
+    const BatchFallbackReason reason =
+        !exec_->enable_batch_kernels ? BatchFallbackReason::kDisabled
+        : exec_->semantics != Semantics::kSkipTillAnyMatch
+            ? BatchFallbackReason::kSemantics
+            : BatchFallbackReason::kNegation;
+    batch_fallback_rows_[static_cast<size_t>(reason)] += n;
     for (size_t i = 0; i < n; ++i) Insert(batch.ref(rows[i]));
     return;
   }
   // Split into equal-timestamp runs: within a run the strict trend order
   // (Def. 1, u.time < e.time) makes the predecessor set identical for every
-  // event, so the run shares one collection and one window id.
+  // event, so the run shares one collection and one window-id range.
   size_t i = 0;
   while (i < n) {
     Ts ts = batch.time(rows[i]);
     size_t j = i + 1;
     while (j < n && batch.time(rows[j]) == ts) ++j;
-    InsertRunFast(batch, rows + i, j - i, ts);
+    (this->*insert_run_fn_)(batch, rows + i, j - i, ts);
     i = j;
   }
 }
 
+bool GretaGraph::CollectRunEntries(const std::vector<StateId>& pred_states,
+                                   Ts lo_time, Ts ts, size_t m,
+                                   bool lower_only, bool check_dead,
+                                   WindowId first_wid, WindowId last_wid) {
+  const size_t nt = pred_states.size();
+  run_entries_.clear();
+  run_spans_.assign(1, 0);
+  bool nan_key = false;
+  for (size_t t = 0; t < nt; ++t) {
+    // The weakest per-event bounds over the run: the minimum lo / maximum hi,
+    // preferring non-strict at ties, so the collection is a superset of every
+    // event's own scan. Entries outside the run's window range or zero in
+    // every shared window can never contribute to any run event and are
+    // dropped here once instead of re-tested per event.
+    const double* lo_col = run_lo_.data() + t * m;
+    const uint8_t* lo_strict_col = run_lo_strict_.data() + t * m;
+    KeyBounds collect;
+    collect.lo = lo_col[0];
+    collect.lo_strict = lo_strict_col[0] != 0;
+    for (size_t i = 1; i < m; ++i) {
+      if (lo_col[i] < collect.lo ||
+          (lo_col[i] == collect.lo && !lo_strict_col[i])) {
+        collect.lo = lo_col[i];
+        collect.lo_strict = lo_strict_col[i] != 0;
+      }
+    }
+    if (!lower_only) {
+      const double* hi_col = run_hi_.data() + t * m;
+      const uint8_t* hi_strict_col = run_hi_strict_.data() + t * m;
+      collect.hi = hi_col[0];
+      collect.hi_strict = hi_strict_col[0] != 0;
+      for (size_t i = 1; i < m; ++i) {
+        if (hi_col[i] > collect.hi ||
+            (hi_col[i] == collect.hi && !hi_strict_col[i])) {
+          collect.hi = hi_col[i];
+          collect.hi_strict = hi_strict_col[i] != 0;
+        }
+      }
+    }
+    panes_.ScanBucketWithKey(
+        lo_time, ts, static_cast<size_t>(pred_states[t]), collect,
+        [&](double key, GraphVertex* u) {
+          if (check_dead && u->dead) return;
+          if (u->time >= ts) return;  // Strict trend order (Def. 1).
+          if (std::isnan(key)) {
+            nan_key = true;
+            return;
+          }
+          WindowId lo_w = std::max(first_wid, u->first_wid);
+          WindowId hi_w =
+              std::min(last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+          if (lo_w > hi_w) return;
+          bool live = false;
+          for (WindowId w = lo_w; w <= hi_w && !live; ++w) {
+            live = !u->cell(w)->count.IsZero();
+          }
+          if (!live) return;
+          run_entries_.push_back({key, u});
+        });
+    run_spans_.push_back(run_entries_.size());
+  }
+  if (nan_key) return false;
+  run_views_.resize(run_entries_.size());
+  for (size_t i = 0; i < run_entries_.size(); ++i) {
+    run_views_[i] = run_entries_[i].u->view();
+  }
+  return true;
+}
+
+template <PropKernel K>
 void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
                                size_t n, Ts ts) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const WindowSpec& window = exec_->window;
-  const WindowId wid = LastWindowOf(ts, window);  // Tumbling: one division.
-  const Ts lo_time = WindowStartTime(wid, window);
+  WindowId first_wid, last_wid;
+  if (tumbling_slide_ > 0) {
+    first_wid = last_wid = LastWindowOf(ts, window);  // One division.
+  } else {
+    first_wid = FirstWindowOf(ts, window);
+    last_wid = LastWindowOf(ts, window);
+  }
+  const int k = static_cast<int>(last_wid - first_wid + 1);
+  GRETA_DCHECK(k >= 1 && k <= 64);
+  const Ts lo_time =
+      window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
   const int nq = num_queries_;
-  const CounterMode mode = exec_->mode;
+  const size_t cell_stride = static_cast<size_t>(k) * nq;
 
   // last_seen_seq_ bookkeeping (contiguous semantics, unread on this path
   // but kept exact): the newest run event passing local predicates at any
@@ -580,117 +660,295 @@ void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
       any_seen = true;
     }
 
-    // Per-(transition, event) key lower bounds. The suffix-sum merge needs
-    // every admitted set to be a suffix of the key-sorted collection, which
-    // holds only for upward-unbounded ranges — a finite (or strict-infinite)
-    // upper bound, or a NaN bound, sends the whole state-run to the scalar
-    // kernel (correct at per-(state, run) granularity: same-timestamp
-    // insertions commute under skip-till-any-match).
+    // Per-(transition, event) key bounds, and the run classification that
+    // picks the strategy: `uniform` (every event resolves bitwise-identical
+    // bounds), `lower_only` (no finite/strict upper bound anywhere) and
+    // whether any transition carries residual predicates.
     const std::vector<StateId>& pred_states = plan_->templ.pred_states(s);
     const size_t nt = pred_states.size();
+    run_tidx_.resize(nt);
     run_lo_.assign(nt * m, -kInf);
+    run_hi_.assign(nt * m, kInf);
     run_lo_strict_.assign(nt * m, 0);
-    bool fallback = false;
-    for (size_t t = 0; t < nt && !fallback; ++t) {
+    run_hi_strict_.assign(nt * m, 0);
+    bool has_residuals = false;
+    bool nan_bounds = false;
+    bool uniform = true;
+    bool lower_only = true;
+    for (size_t t = 0; t < nt && !nan_bounds; ++t) {
       int t_idx = plan_->templ.FindTransition(pred_states[t], s);
       GRETA_DCHECK(t_idx >= 0);
+      run_tidx_[t] = t_idx;
       const TransitionPlan& tp = plan_->transitions[t_idx];
-      for (size_t i = 0; i < m && !fallback; ++i) {
-        KeyBounds bounds;
-        for (const EdgePredicatePlan& ep : tp.preds) {
-          if (!ep.drives_sort_key || !ep.range.has_value()) continue;
-          KeyBounds b = ep.range->ComputeBounds(batch.view(run_sel_[i]));
-          if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
-            bounds.lo = b.lo;
-            bounds.lo_strict = b.lo_strict;
-          }
-          if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
-            bounds.hi = b.hi;
-            bounds.hi_strict = b.hi_strict;
-          }
-        }
-        if (bounds.hi < kInf || bounds.hi_strict || std::isnan(bounds.lo)) {
-          fallback = true;
+      has_residuals |= !tp.residual_preds.empty();
+      for (size_t i = 0; i < m; ++i) {
+        KeyBounds b = CombineTransitionBounds(tp, batch.view(run_sel_[i]));
+        if (std::isnan(b.lo) || std::isnan(b.hi)) {
+          nan_bounds = true;
           break;
         }
-        run_lo_[t * m + i] = bounds.lo;
-        run_lo_strict_[t * m + i] = bounds.lo_strict ? 1 : 0;
+        const size_t at = t * m + i;
+        run_lo_[at] = b.lo;
+        run_hi_[at] = b.hi;
+        run_lo_strict_[at] = b.lo_strict ? 1 : 0;
+        run_hi_strict_[at] = b.hi_strict ? 1 : 0;
+        uniform &= b.lo == run_lo_[t * m] && b.hi == run_hi_[t * m] &&
+                   run_lo_strict_[at] == run_lo_strict_[t * m] &&
+                   run_hi_strict_[at] == run_hi_strict_[t * m];
+        lower_only &= b.hi == kInf && !b.hi_strict;
       }
     }
-    if (fallback) {
+
+    // Strategy ladder. SharedFold replays one scalar scan for the whole run
+    // (valid for every kernel, including order-sensitive SUM: identical
+    // entries in identical order, and copying the folded row is bitwise).
+    // SuffixMerge re-associates additions across events, so it is reserved
+    // for order-insensitive aggregates (no SUM) with pure lower bounds.
+    // PerEvent replays the scalar kernel's exact op order per event over the
+    // shared collection and handles everything else.
+    BatchStrategy strat;
+    if (!has_residuals && uniform) {
+      strat = BatchStrategy::kSharedFold;
+    } else if (!has_residuals && lower_only && !any_sum_) {
+      strat = BatchStrategy::kSuffixMerge;
+    } else {
+      strat = BatchStrategy::kPerEvent;
+    }
+
+    // NaN bounds — and NaN tree keys under the collection-based strategies —
+    // take the scalar kernel per (state, run): value-based re-filtering only
+    // agrees with the tree's positional scans on real keys. Correct at this
+    // granularity because same-timestamp insertions commute under
+    // skip-till-any-match. Collection happens before any fold, so the
+    // fallback discards cleanly.
+    if (nan_bounds ||
+        (strat != BatchStrategy::kSharedFold &&
+         !CollectRunEntries(pred_states, lo_time, ts, m,
+                            strat == BatchStrategy::kSuffixMerge,
+                            /*check_dead=*/true, first_wid, last_wid))) {
+      batch_fallback_rows_[static_cast<size_t>(
+          BatchFallbackReason::kBounds)] += m;
       for (size_t i = 0; i < m; ++i) {
         (this->*insert_fn_)(batch.ref(run_sel_[i]), s);
       }
       continue;
     }
 
-    run_cells_.assign(m * static_cast<size_t>(nq), AggCell());
+    run_cells_.assign(m * cell_stride, AggCell());
     run_found_.assign(m, 0);
     const bool is_start = plan_->templ.IsStart(s);
 
-    for (size_t t = 0; t < nt; ++t) {
-      const StateId p = pred_states[t];
-      const double* lo_col = run_lo_.data() + t * m;
-      const uint8_t* strict_col = run_lo_strict_.data() + t * m;
-
-      // ONE collection per (transition, run): the weakest bound (the run's
-      // minimum lo, non-strict) over the predecessor bucket, keeping key and
-      // cell row. Entries arrive in ascending key order.
-      double min_lo = lo_col[0];
-      for (size_t i = 1; i < m; ++i) min_lo = std::min(min_lo, lo_col[i]);
-      KeyBounds collect;
-      collect.lo = min_lo;
-      run_entries_.clear();
-      panes_.ScanBucketWithKey(
-          lo_time, ts, static_cast<size_t>(p), collect,
-          [&](double key, GraphVertex* u) {
-            if (u->dead) return;
-            if (u->time >= ts) return;  // Strict trend order (Def. 1).
-            if (u->cells[0].count.IsZero()) return;
-            GRETA_DCHECK(u->first_wid == wid);
-            run_entries_.push_back({key, u->cells});
-          });
-      if (run_entries_.empty()) continue;
-
-      // Events ordered by descending lo (strict before non-strict at equal
-      // lo): admitted entry sets are then nested suffixes of the key-sorted
-      // collection, so a single backwards two-pointer merge accumulates
-      // each entry into the running sum exactly once. Each event pays one
-      // Counter add for its whole admitted set instead of one per edge.
-      run_order_.resize(m);
-      std::iota(run_order_.begin(), run_order_.end(), 0u);
-      std::sort(run_order_.begin(), run_order_.end(),
-                [&](uint32_t a, uint32_t b) {
-                  if (lo_col[a] != lo_col[b]) return lo_col[a] > lo_col[b];
-                  return strict_col[a] > strict_col[b];
-                });
-
-      run_running_.assign(nq, Counter());
-      size_t ei = run_entries_.size();  // Entries [ei, end) are consumed.
-      for (size_t r = 0; r < m; ++r) {
-        const uint32_t i = run_order_[r];
-        const double lo = lo_col[i];
-        const bool strict = strict_col[i] != 0;
-        while (ei > 0) {
-          const double key = run_entries_[ei - 1].key;
-          if (!(strict ? key > lo : key >= lo)) break;
-          --ei;
-          const AggCell* cells = run_entries_[ei].cells;
-          for (int q = 0; q < nq; ++q) {
-            run_running_[q].Add(cells[q].count, mode);
-          }
-          // This entry is admitted by every event of rank >= r (their lo
-          // bounds only weaken), i.e. it accounts for (m - r) edges.
-          edges_ += m - r;
-        }
-        if (ei == run_entries_.size()) continue;  // Nothing admitted yet.
-        run_found_[i] = 1;
-        AggCell* vrow = run_cells_.data() + static_cast<size_t>(i) * nq;
-        for (int q = 0; q < nq; ++q) {
-          vrow[q].count.Add(run_running_[q], mode);
+    if (strat == BatchStrategy::kSharedFold) {
+      // Every event admits the same entries: fold the bucket once into an
+      // accumulator row and copy it into each event's cells.
+      run_acc_.assign(cell_stride, AggCell());
+      AggCell* const acc = run_acc_.data();
+      bool any_entry = false;
+      size_t shared_edges = 0;
+      for (size_t t = 0; t < nt; ++t) {
+        KeyBounds bounds;
+        bounds.lo = run_lo_[t * m];
+        bounds.hi = run_hi_[t * m];
+        bounds.lo_strict = run_lo_strict_[t * m] != 0;
+        bounds.hi_strict = run_hi_strict_[t * m] != 0;
+        panes_.ScanBucket(
+            lo_time, ts, static_cast<size_t>(pred_states[t]), bounds,
+            [&](GraphVertex* u) {
+              if (u->dead) return;
+              if (u->time >= ts) return;  // Strict trend order (Def. 1).
+              WindowId lo_w = std::max(first_wid, u->first_wid);
+              WindowId hi_w = std::min(
+                  last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+              if (lo_w > hi_w) return;
+              for (WindowId w = lo_w; w <= hi_w; ++w) {
+                const AggCell* urow =
+                    u->cells + (w - u->first_wid) * u->num_queries;
+                if (urow->count.IsZero()) continue;
+                AggCell* arow = acc + static_cast<size_t>(w - first_wid) * nq;
+                if constexpr (K == PropKernel::kCountModular) {
+                  for (int q = 0; q < nq; ++q) {
+                    arow[q].count.Add(urow[q].count, CounterMode::kModular);
+                  }
+                } else if constexpr (K == PropKernel::kCountExact) {
+                  for (int q = 0; q < nq; ++q) {
+                    arow[q].count.Add(urow[q].count, CounterMode::kExact);
+                  }
+                } else {
+                  for (int q = 0; q < nq; ++q) {
+                    arow[q].AddPredecessor(urow[q], AggAt(q));
+                  }
+                }
+                any_entry = true;
+                ++shared_edges;
+              }
+            });
+      }
+      edges_ += shared_edges * m;
+      if (any_entry) {
+        for (size_t i = 0; i < m; ++i) {
+          run_found_[i] = 1;
+          AggCell* vrow = run_cells_.data() + i * cell_stride;
+          for (size_t c = 0; c < cell_stride; ++c) vrow[c] = acc[c];
         }
       }
+    } else if (strat == BatchStrategy::kSuffixMerge) {
+      for (size_t t = 0; t < nt; ++t) {
+        const size_t begin = run_spans_[t];
+        const size_t end = run_spans_[t + 1];
+        if (begin == end) continue;
+        // Entries arrive pane-major: a sliding collection spanning panes is
+        // not globally key-sorted, so sort on demand (unstable is fine —
+        // equal keys are consumed all-or-none and these folds commute).
+        CollectedEntry* const ents = run_entries_.data();
+        const auto by_key = [](const CollectedEntry& a,
+                               const CollectedEntry& b) {
+          return a.key < b.key;
+        };
+        if (!std::is_sorted(ents + begin, ents + end, by_key)) {
+          std::sort(ents + begin, ents + end, by_key);
+        }
+
+        // Events ordered by descending lo (strict before non-strict at
+        // equal lo): admitted entry sets are then nested suffixes of the
+        // key-sorted collection, so a single backwards two-pointer merge
+        // accumulates each entry into the running fold exactly once. Each
+        // event pays one add per (window, query) for its whole admitted set
+        // instead of one per edge.
+        const double* lo_col = run_lo_.data() + t * m;
+        const uint8_t* strict_col = run_lo_strict_.data() + t * m;
+        run_order_.resize(m);
+        std::iota(run_order_.begin(), run_order_.end(), 0u);
+        std::sort(run_order_.begin(), run_order_.end(),
+                  [&](uint32_t a, uint32_t b) {
+                    if (lo_col[a] != lo_col[b]) return lo_col[a] > lo_col[b];
+                    return strict_col[a] > strict_col[b];
+                  });
+
+        if constexpr (K == PropKernel::kGeneric) {
+          run_acc_.assign(cell_stride, AggCell());
+        } else {
+          run_running_.assign(cell_stride, Counter());
+        }
+        size_t ei = end;  // Entries [ei, end) are consumed.
+        for (size_t r = 0; r < m; ++r) {
+          const uint32_t i = run_order_[r];
+          const double lo = lo_col[i];
+          const bool strict = strict_col[i] != 0;
+          while (ei > begin) {
+            const double key = ents[ei - 1].key;
+            if (!(strict ? key > lo : key >= lo)) break;
+            --ei;
+            const GraphVertex* u = ents[ei].u;
+            WindowId lo_w = std::max(first_wid, u->first_wid);
+            WindowId hi_w =
+                std::min(last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+            for (WindowId w = lo_w; w <= hi_w; ++w) {
+              const AggCell* urow =
+                  u->cells + (w - u->first_wid) * u->num_queries;
+              if (urow->count.IsZero()) continue;
+              const size_t off = static_cast<size_t>(w - first_wid) * nq;
+              if constexpr (K == PropKernel::kCountModular) {
+                for (int q = 0; q < nq; ++q) {
+                  run_running_[off + q].Add(urow[q].count,
+                                            CounterMode::kModular);
+                }
+              } else if constexpr (K == PropKernel::kCountExact) {
+                for (int q = 0; q < nq; ++q) {
+                  run_running_[off + q].Add(urow[q].count,
+                                            CounterMode::kExact);
+                }
+              } else {
+                for (int q = 0; q < nq; ++q) {
+                  run_acc_[off + q].AddPredecessor(urow[q], AggAt(q));
+                }
+              }
+              // This entry is admitted by every event of rank >= r (their
+              // lo bounds only weaken), i.e. it accounts for (m - r) edges.
+              edges_ += m - r;
+            }
+          }
+          if (ei == end) continue;  // Nothing admitted yet.
+          run_found_[i] = 1;
+          AggCell* vrow = run_cells_.data() + static_cast<size_t>(i) * cell_stride;
+          if constexpr (K == PropKernel::kCountModular) {
+            for (size_t c = 0; c < cell_stride; ++c) {
+              vrow[c].count.Add(run_running_[c], CounterMode::kModular);
+            }
+          } else if constexpr (K == PropKernel::kCountExact) {
+            for (size_t c = 0; c < cell_stride; ++c) {
+              vrow[c].count.Add(run_running_[c], CounterMode::kExact);
+            }
+          } else {
+            for (size_t c = 0; c < cell_stride; ++c) {
+              vrow[c].AddPredecessor(run_acc_[c],
+                                     AggAt(c % static_cast<size_t>(nq)));
+            }
+          }
+        }
+      }
+    } else {
+      // PerEvent: each event re-filters the shared collection by its own
+      // bounds (plain value comparisons; exact for real keys) and the
+      // transition's compiled residual filter, then folds the survivors in
+      // the scalar scan's exact order — bit-identical even for SUM.
+      for (size_t i = 0; i < m; ++i) {
+        const EventView e_view = batch.view(run_sel_[i]);
+        AggCell* vrow = run_cells_.data() + i * cell_stride;
+        bool found = false;
+        for (size_t t = 0; t < nt; ++t) {
+          const size_t begin = run_spans_[t];
+          const size_t end = run_spans_[t + 1];
+          if (begin == end) continue;
+          const size_t at = t * m + i;
+          const double lo = run_lo_[at];
+          const double hi = run_hi_[at];
+          const bool lo_strict = run_lo_strict_[at] != 0;
+          const bool hi_strict = run_hi_strict_[at] != 0;
+          run_filtered_.clear();
+          for (size_t j = begin; j < end; ++j) {
+            const double key = run_entries_[j].key;
+            if (lo_strict ? key <= lo : key < lo) continue;
+            if (hi_strict ? key >= hi : key > hi) continue;
+            run_filtered_.push_back(static_cast<uint32_t>(j));
+          }
+          size_t cnt = run_filtered_.size();
+          const CompiledEdgeFilter& ef = edge_filters_[run_tidx_[t]];
+          if (cnt != 0 && !ef.trivial()) {
+            cnt = ef.Filter(e_view, run_views_.data(), run_filtered_.data(),
+                            cnt);
+          }
+          for (size_t fj = 0; fj < cnt; ++fj) {
+            const GraphVertex* u = run_entries_[run_filtered_[fj]].u;
+            WindowId lo_w = std::max(first_wid, u->first_wid);
+            WindowId hi_w =
+                std::min(last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+            for (WindowId w = lo_w; w <= hi_w; ++w) {
+              const AggCell* urow =
+                  u->cells + (w - u->first_wid) * u->num_queries;
+              if (urow->count.IsZero()) continue;
+              AggCell* vw = vrow + static_cast<size_t>(w - first_wid) * nq;
+              if constexpr (K == PropKernel::kCountModular) {
+                for (int q = 0; q < nq; ++q) {
+                  vw[q].count.Add(urow[q].count, CounterMode::kModular);
+                }
+              } else if constexpr (K == PropKernel::kCountExact) {
+                for (int q = 0; q < nq; ++q) {
+                  vw[q].count.Add(urow[q].count, CounterMode::kExact);
+                }
+              } else {
+                for (int q = 0; q < nq; ++q) {
+                  vw[q].AddPredecessor(urow[q], AggAt(q));
+                }
+              }
+              found = true;
+              ++edges_;
+            }
+          }
+        }
+        run_found_[i] = found ? 1 : 0;
+      }
     }
+    batch_strategy_rows_[static_cast<size_t>(strat)] += m;
 
     // Finish + store, in arrival order. Bulk-reserve the pane arena first so
     // the stores bump-allocate without mid-run chunk growth.
@@ -702,27 +960,342 @@ void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
     }
     if (stored_count == 0) continue;
     panes_.ArenaFor(ts)->Reserve(
-        stored_count * (static_cast<size_t>(nq) * sizeof(AggCell) +
+        stored_count * (cell_stride * sizeof(AggCell) +
                         sp.stored_attr_count * sizeof(Value) +
                         alignof(std::max_align_t)));
 
     const bool is_end = plan_->templ.IsEnd(s);
-    std::vector<AggOutputs>* out = nullptr;
+    run_outs_.assign(static_cast<size_t>(k), nullptr);
     for (size_t i = 0; i < m; ++i) {
       if (!is_start && !run_found_[i]) continue;
-      AggCell* vrow = run_cells_.data() + static_cast<size_t>(i) * nq;
-      if (is_start) {
-        for (int q = 0; q < nq; ++q) vrow[q].count.AddOne(mode);
+      AggCell* vrow = run_cells_.data() + i * cell_stride;
+      const EventRef e = batch.ref(run_sel_[i]);
+      for (int c = 0; c < k; ++c) {
+        AggCell* wrow = vrow + static_cast<size_t>(c) * nq;
+        if constexpr (K == PropKernel::kCountModular) {
+          if (is_start) {
+            for (int q = 0; q < nq; ++q) {
+              wrow[q].count.AddOne(CounterMode::kModular);
+            }
+          }
+        } else if constexpr (K == PropKernel::kCountExact) {
+          if (is_start) {
+            for (int q = 0; q < nq; ++q) {
+              wrow[q].count.AddOne(CounterMode::kExact);
+            }
+          }
+        } else {
+          for (int q = 0; q < nq; ++q) {
+            wrow[q].FinishVertex(e, is_start, AggAt(q));
+          }
+        }
       }
-      GraphVertex* stored =
-          StoreVertex(batch.ref(run_sel_[i]), s, wid, /*k=*/1, nq, vrow);
+      GraphVertex* stored = StoreVertex(e, s, first_wid, k, nq, vrow);
       if (is_end) {
-        const AggCell* row = stored->cells;
-        if (row->count.IsZero()) continue;
-        if (out == nullptr) out = ResultsFor(wid);
-        for (int q = 0; q < nq; ++q) {
-          (*out)[q].count.Add(row[q].count, mode);
-          (*out)[q].any = true;
+        for (int c = 0; c < k; ++c) {
+          const AggCell* row = stored->cells + static_cast<size_t>(c) * nq;
+          if (row->count.IsZero()) continue;
+          if (run_outs_[c] == nullptr) {
+            run_outs_[c] = ResultsFor(first_wid + c);
+          }
+          std::vector<AggOutputs>& out = *run_outs_[c];
+          if constexpr (K == PropKernel::kCountModular) {
+            for (int q = 0; q < nq; ++q) {
+              out[q].count.Add(row[q].count, CounterMode::kModular);
+              out[q].any = true;
+            }
+          } else if constexpr (K == PropKernel::kCountExact) {
+            for (int q = 0; q < nq; ++q) {
+              out[q].count.Add(row[q].count, CounterMode::kExact);
+              out[q].any = true;
+            }
+          } else {
+            for (int q = 0; q < nq; ++q) {
+              out[q].AccumulateEnd(row[q], AggAt(q));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (any_seen) last_seen_seq_ = batch.seq(last_seen_row);
+}
+
+void GretaGraph::InsertRunFastPartial(const EventBatch& batch,
+                                      const uint32_t* rows, size_t n, Ts ts) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const PartialSharingPlan& partial = *exec_->partial;
+
+  uint32_t last_seen_row = 0;
+  bool any_seen = false;
+
+  const size_t num_states = plan_->states.size();
+  for (size_t si = 0; si < num_states; ++si) {
+    const StateId s = static_cast<StateId>(si);
+    const StatePlan& sp = plan_->states[si];
+
+    run_sel_.clear();
+    for (size_t r = 0; r < n; ++r) {
+      if (batch.type(rows[r]) == sp.type) run_sel_.push_back(rows[r]);
+    }
+    if (run_sel_.empty()) continue;
+    size_t m = state_filters_[si].Filter(batch, run_sel_.data(),
+                                         run_sel_.size());
+    run_sel_.resize(m);
+    if (m == 0) continue;
+    if (!any_seen || run_sel_.back() > last_seen_row) {
+      last_seen_row = run_sel_.back();
+      any_seen = true;
+    }
+
+    // Core vertices span the cluster's union window range; a continuation
+    // vertex spans its owner's own range (see InsertAtStatePartial).
+    const int owner = partial.state_owner[s];
+    const WindowSpec& window =
+        owner < 0 ? exec_->window : partial.windows[owner];
+    const WindowId first_wid = FirstWindowOf(ts, window);
+    const WindowId last_wid = LastWindowOf(ts, window);
+    const int k = static_cast<int>(last_wid - first_wid + 1);
+    GRETA_DCHECK(k >= 1 && k <= 64);
+    const Ts lo_time =
+        window.unbounded() ? kMinTs : WindowStartTime(first_wid, window);
+    const int stride =
+        owner < 0 ? 1 + static_cast<int>(partial.num_fold_slots) : 1;
+    const size_t cell_stride = static_cast<size_t>(k) * stride;
+
+    const std::vector<StateId>& pred_states = plan_->templ.pred_states(s);
+    const size_t nt = pred_states.size();
+    run_tidx_.resize(nt);
+    run_lo_.assign(nt * m, -kInf);
+    run_hi_.assign(nt * m, kInf);
+    run_lo_strict_.assign(nt * m, 0);
+    run_hi_strict_.assign(nt * m, 0);
+    bool has_residuals = false;
+    bool nan_bounds = false;
+    bool uniform = true;
+    for (size_t t = 0; t < nt && !nan_bounds; ++t) {
+      int t_idx = plan_->templ.FindTransition(pred_states[t], s);
+      GRETA_DCHECK(t_idx >= 0);
+      run_tidx_[t] = t_idx;
+      const TransitionPlan& tp = plan_->transitions[t_idx];
+      has_residuals |= !tp.residual_preds.empty();
+      for (size_t i = 0; i < m; ++i) {
+        KeyBounds b = CombineTransitionBounds(tp, batch.view(run_sel_[i]));
+        if (std::isnan(b.lo) || std::isnan(b.hi)) {
+          nan_bounds = true;
+          break;
+        }
+        const size_t at = t * m + i;
+        run_lo_[at] = b.lo;
+        run_hi_[at] = b.hi;
+        run_lo_strict_[at] = b.lo_strict ? 1 : 0;
+        run_hi_strict_[at] = b.hi_strict ? 1 : 0;
+        uniform &= b.lo == run_lo_[t * m] && b.hi == run_hi_[t * m] &&
+                   run_lo_strict_[at] == run_lo_strict_[t * m] &&
+                   run_hi_strict_[at] == run_hi_strict_[t * m];
+      }
+    }
+
+    // The suffix merge is unavailable here — fold slots can carry
+    // order-sensitive SUM components — so the ladder is SharedFold (uniform
+    // bounds, no residuals) or the per-event fold.
+    const BatchStrategy strat = !has_residuals && uniform
+                                    ? BatchStrategy::kSharedFold
+                                    : BatchStrategy::kPerEvent;
+
+    if (nan_bounds ||
+        (strat == BatchStrategy::kPerEvent &&
+         !CollectRunEntries(pred_states, lo_time, ts, m, /*lower_only=*/false,
+                            /*check_dead=*/false, first_wid, last_wid))) {
+      batch_fallback_rows_[static_cast<size_t>(
+          BatchFallbackReason::kBounds)] += m;
+      for (size_t i = 0; i < m; ++i) {
+        (this->*insert_fn_)(batch.ref(run_sel_[i]), s);
+      }
+      continue;
+    }
+
+    run_cells_.assign(m * cell_stride, AggCell());
+    run_found_.assign(m, 0);
+    const bool is_start = plan_->templ.IsStart(s);
+
+    // One edge fold, shared by both strategies: mirrors the per-ownership
+    // branches of InsertAtStatePartial exactly. Returns whether the window
+    // contributed.
+    auto fold_edge = [&](size_t t, const GraphVertex* u, WindowId w,
+                         AggCell* dst_row) -> bool {
+      const AggCell* uc = u->cell(w);
+      if (uc->count.IsZero()) return false;
+      const int t_owner = partial.transition_owner[run_tidx_[t]];
+      if (t_owner < 0) {
+        // Core-internal edge: ONE snapshot propagation (the structural count
+        // every query reads), plus the per-query folds.
+        dst_row[0].count.Add(uc->count, exec_->mode);
+        for (size_t f = 1; f <= partial.num_fold_slots; ++f) {
+          dst_row[f].AddPredecessorFold(*u->cell(w, f),
+                                        AggAt(partial.fold_queries[f - 1]));
+        }
+      } else {
+        // Query-owned edge (core hand-off or continuation-internal): only
+        // the owner's aggregates move.
+        const size_t q = static_cast<size_t>(t_owner);
+        const AggPlan& qagg = AggAt(q);
+        const int fold = partial.fold_slots[q];
+        if (partial.state_owner[pred_states[t]] < 0) {
+          dst_row[0].count.Add(uc->count, qagg.mode);
+          if (fold >= 0) {
+            dst_row[0].AddPredecessorFold(*u->cell(w, fold), qagg);
+          }
+        } else {
+          dst_row[0].AddPredecessor(*uc, qagg);
+        }
+      }
+      return true;
+    };
+
+    if (strat == BatchStrategy::kSharedFold) {
+      run_acc_.assign(cell_stride, AggCell());
+      bool any_entry = false;
+      size_t shared_edges = 0;
+      for (size_t t = 0; t < nt; ++t) {
+        KeyBounds bounds;
+        bounds.lo = run_lo_[t * m];
+        bounds.hi = run_hi_[t * m];
+        bounds.lo_strict = run_lo_strict_[t * m] != 0;
+        bounds.hi_strict = run_hi_strict_[t * m] != 0;
+        panes_.ScanBucket(
+            lo_time, ts, static_cast<size_t>(pred_states[t]), bounds,
+            [&](GraphVertex* u) {
+              if (u->time >= ts) return;  // Strict trend order (Def. 1).
+              WindowId lo_w = std::max(first_wid, u->first_wid);
+              WindowId hi_w = std::min(
+                  last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+              if (lo_w > hi_w) return;
+              for (WindowId w = lo_w; w <= hi_w; ++w) {
+                AggCell* arow =
+                    run_acc_.data() + static_cast<size_t>(w - first_wid) * stride;
+                if (fold_edge(t, u, w, arow)) {
+                  any_entry = true;
+                  ++shared_edges;
+                }
+              }
+            });
+      }
+      edges_ += shared_edges * m;
+      if (any_entry) {
+        for (size_t i = 0; i < m; ++i) {
+          run_found_[i] = 1;
+          AggCell* vrow = run_cells_.data() + i * cell_stride;
+          for (size_t c = 0; c < cell_stride; ++c) vrow[c] = run_acc_[c];
+        }
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        const EventView e_view = batch.view(run_sel_[i]);
+        AggCell* vrow = run_cells_.data() + i * cell_stride;
+        bool found = false;
+        for (size_t t = 0; t < nt; ++t) {
+          const size_t begin = run_spans_[t];
+          const size_t end = run_spans_[t + 1];
+          if (begin == end) continue;
+          const size_t at = t * m + i;
+          const double lo = run_lo_[at];
+          const double hi = run_hi_[at];
+          const bool lo_strict = run_lo_strict_[at] != 0;
+          const bool hi_strict = run_hi_strict_[at] != 0;
+          run_filtered_.clear();
+          for (size_t j = begin; j < end; ++j) {
+            const double key = run_entries_[j].key;
+            if (lo_strict ? key <= lo : key < lo) continue;
+            if (hi_strict ? key >= hi : key > hi) continue;
+            run_filtered_.push_back(static_cast<uint32_t>(j));
+          }
+          size_t cnt = run_filtered_.size();
+          const CompiledEdgeFilter& ef = edge_filters_[run_tidx_[t]];
+          if (cnt != 0 && !ef.trivial()) {
+            cnt = ef.Filter(e_view, run_views_.data(), run_filtered_.data(),
+                            cnt);
+          }
+          for (size_t fj = 0; fj < cnt; ++fj) {
+            const GraphVertex* u = run_entries_[run_filtered_[fj]].u;
+            WindowId lo_w = std::max(first_wid, u->first_wid);
+            WindowId hi_w =
+                std::min(last_wid, u->first_wid + WindowId{u->num_wids} - 1);
+            for (WindowId w = lo_w; w <= hi_w; ++w) {
+              AggCell* vw = vrow + static_cast<size_t>(w - first_wid) * stride;
+              if (fold_edge(t, u, w, vw)) {
+                found = true;
+                ++edges_;
+              }
+            }
+          }
+        }
+        run_found_[i] = found ? 1 : 0;
+      }
+    }
+    batch_strategy_rows_[static_cast<size_t>(strat)] += m;
+
+    size_t stored_count = 0;
+    if (is_start) {
+      stored_count = m;
+    } else {
+      for (size_t i = 0; i < m; ++i) stored_count += run_found_[i];
+    }
+    if (stored_count == 0) continue;
+    panes_.ArenaFor(ts)->Reserve(
+        stored_count * (cell_stride * sizeof(AggCell) +
+                        sp.stored_attr_count * sizeof(Value) +
+                        alignof(std::max_align_t)));
+
+    const size_t nq_total = plan_->aggs.size();
+    run_outs_.assign(static_cast<size_t>(k), nullptr);
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_start && !run_found_[i]) continue;
+      AggCell* vrow = run_cells_.data() + i * cell_stride;
+      const EventRef e = batch.ref(run_sel_[i]);
+      if (owner < 0) {
+        for (int c = 0; c < k; ++c) {
+          AggCell* wrow = vrow + static_cast<size_t>(c) * stride;
+          if (is_start) wrow[0].count.AddOne(exec_->mode);
+          for (size_t f = 1; f <= partial.num_fold_slots; ++f) {
+            wrow[f].FinishVertexFold(e, wrow[0].count,
+                                     AggAt(partial.fold_queries[f - 1]));
+          }
+        }
+      } else {
+        for (int c = 0; c < k; ++c) {
+          vrow[c].FinishVertex(e, /*is_start=*/false, AggAt(owner));
+        }
+      }
+      GraphVertex* stored = StoreVertex(e, s, first_wid, k, stride, vrow);
+
+      // Incremental final aggregates for every query whose END is this
+      // state (mirrors InsertAtStatePartial).
+      for (size_t q = 0; q < nq_total; ++q) {
+        if (partial.end_states[q] != s) continue;
+        const AggPlan& qagg = AggAt(q);
+        if (owner < 0) {
+          WindowId q_first = FirstWindowOf(ts, partial.windows[q]);
+          const int fold = partial.fold_slots[q];
+          for (WindowId w = std::max(first_wid, q_first); w <= last_wid; ++w) {
+            const AggCell* snap = stored->cell(w);
+            if (snap->count.IsZero()) continue;
+            const size_t c = static_cast<size_t>(w - first_wid);
+            if (run_outs_[c] == nullptr) run_outs_[c] = ResultsFor(w);
+            (*run_outs_[c])[q].AccumulateEndShared(
+                snap->count, fold >= 0 ? stored->cell(w, fold) : nullptr,
+                qagg);
+          }
+        } else {
+          for (int c = 0; c < k; ++c) {
+            const AggCell& cell = stored->cells[c];
+            if (cell.count.IsZero()) continue;
+            if (run_outs_[c] == nullptr) {
+              run_outs_[c] = ResultsFor(first_wid + c);
+            }
+            (*run_outs_[c])[q].AccumulateEnd(cell, qagg);
+          }
         }
       }
     }

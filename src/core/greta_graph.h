@@ -127,13 +127,39 @@ class GretaGraph {
   /// Processes `n` batch rows (given by `rows`, ascending, non-decreasing
   /// timestamps). Equivalent to Insert(batch.ref(rows[i])) in order — rows
   /// are split into equal-timestamp runs and, when the plan qualifies
-  /// (COUNT kernel, tumbling window, skip-till-any-match, fully
-  /// tree-indexed transitions, no negation), each run goes through the
-  /// amortized batch kernel: one window-id division per run, one B+-tree
-  /// predecessor collection per (transition, run), and one suffix-summed
-  /// counter add per event instead of one add per edge. Results are
-  /// bit-identical to the scalar path (the equivalence tests assert it).
+  /// (skip-till-any-match, no negation), each run goes through an amortized
+  /// batch kernel: one window-range division per run, one B+-tree
+  /// predecessor collection per (transition, run), and one of three
+  /// propagation strategies per (state, run) — a shared fold when every run
+  /// event resolves identical key bounds, a suffix-sum merge for
+  /// non-uniform pure-lower bounds on order-insensitive aggregates, or a
+  /// per-event fold over the collected entries that replays the scalar
+  /// kernel's exact operation order (residual predicates, upper bounds,
+  /// order-sensitive SUM). Sliding windows, every PropKernel, and partial
+  /// sharing are all covered; results are bit-identical to the scalar path
+  /// (the equivalence tests assert it).
   void InsertBatch(const EventBatch& batch, const uint32_t* rows, size_t n);
+
+  /// Why batch rows took the row-wise path (row counts, cumulative).
+  enum class BatchFallbackReason : uint8_t {
+    kDisabled = 0,   // enable_batch_kernels = false
+    kSemantics = 1,  // skip-till-next / contiguous
+    kNegation = 2,   // negation links attached to this graph
+    kBounds = 3,     // NaN key bound or NaN tree key in a run
+  };
+  static constexpr size_t kNumBatchFallbackReasons = 4;
+
+  /// Which amortized strategy a (state, run) took (selected-row counts,
+  /// cumulative; one row can be counted once per matching state).
+  enum class BatchStrategy : uint8_t {
+    kSharedFold = 0,   // uniform bounds: one fold shared by the whole run
+    kSuffixMerge = 1,  // nested-suffix admission: one add per entry
+    kPerEvent = 2,     // per-event fold over the shared collection
+  };
+  static constexpr size_t kNumBatchStrategies = 3;
+
+  const size_t* batch_fallback_rows() const { return batch_fallback_rows_; }
+  const size_t* batch_strategy_rows() const { return batch_strategy_rows_; }
 
   /// Adds this graph's final aggregate for `wid` into `out` (Theorem 4.3:
   /// the sum over END events). With trailing negation (Case 2) this scans
@@ -199,11 +225,33 @@ class GretaGraph {
            follow_links_.empty() && out_link_ == nullptr;
   }
 
-  // One equal-timestamp run of batch rows through the amortized COUNT
-  // kernel; falls back to the scalar kernel per (state, run) when a row's
-  // key bounds are not an upward-unbounded range.
+  // One equal-timestamp run of batch rows through the amortized kernel
+  // family, instantiated per PropKernel like the scalar path. Strategy is
+  // chosen per (state, run) from the resolved key bounds and the plan's
+  // residual predicates; NaN bounds/keys fall back to the scalar kernel per
+  // (state, run), which is correct at that granularity because
+  // same-timestamp insertions commute under skip-till-any-match.
+  template <PropKernel K>
   void InsertRunFast(const EventBatch& batch, const uint32_t* rows, size_t n,
                      Ts ts);
+
+  // The partial-sharing batch kernel: builds one structural snapshot cell
+  // per (vertex, window) for a whole run (shared fold under uniform bounds,
+  // per-event fold otherwise — the suffix merge is unavailable because fold
+  // slots can carry order-sensitive SUM components).
+  void InsertRunFastPartial(const EventBatch& batch, const uint32_t* rows,
+                            size_t n, Ts ts);
+
+  // Collects one predecessor-entry span per transition for a run: the
+  // weakest bounds over the run's events, entries in pane-major ascending
+  // key order (the scalar scan's order). Returns false when a NaN tree key
+  // was seen — per-pane positional scans and value-based re-filtering only
+  // agree on real keys, so such runs take the scalar kernel. `lo_time` is
+  // the scan floor; spans are recorded in run_spans_ (nt + 1 offsets) and
+  // entry views (for residual evaluation) in run_views_.
+  bool CollectRunEntries(const std::vector<StateId>& pred_states, Ts lo_time,
+                         Ts ts, size_t m, bool lower_only, bool check_dead,
+                         WindowId first_wid, WindowId last_wid);
 
   // Aggregate plan of query slot `q` (plans predating the multi-query
   // extension may leave GraphPlan::aggs empty; they have exactly one slot).
@@ -218,6 +266,10 @@ class GretaGraph {
   int num_queries_;  // query slots per (vertex, window): plan_->aggs.size()
   PaneStore<GraphVertex> panes_;
   bool (GretaGraph::*insert_fn_)(const EventRef&, StateId);  // dispatch
+  // Batch run-kernel dispatch, resolved alongside insert_fn_ (null when the
+  // plan is ineligible).
+  void (GretaGraph::*insert_run_fn_)(const EventBatch&, const uint32_t*,
+                                     size_t, Ts) = nullptr;
   // Cells of the vertex being built: filled during the predecessor scan,
   // moved into the pane arena only if the vertex is actually inserted (so
   // rejected events never consume arena space). Reused across inserts.
@@ -236,22 +288,39 @@ class GretaGraph {
   // BatchFastPathEligible) and whether any AttachTransitionLink happened.
   bool batch_plan_ok_ = false;
   bool has_negation_links_ = false;
-  // Per-state compiled local-predicate filters (built only when the plan
-  // qualifies for the batch fast path).
+  // Per-state compiled local-predicate filters and per-transition compiled
+  // residual edge filters (built only when the plan qualifies for the batch
+  // fast path).
   std::vector<CompiledVertexFilter> state_filters_;
+  std::vector<CompiledEdgeFilter> edge_filters_;  // indexed by transition
+  // Any query slot folds an order-sensitive double SUM (resolved once; the
+  // suffix merge re-associates additions and is only valid without it).
+  bool any_sum_ = false;
+  // Batch observability (plain members like edges_; the engine flushes
+  // deltas into telemetry at window close and sums them into EngineStats).
+  size_t batch_fallback_rows_[kNumBatchFallbackReasons] = {0, 0, 0, 0};
+  size_t batch_strategy_rows_[kNumBatchStrategies] = {0, 0, 0};
   // InsertRunFast scratch, reused across runs to avoid per-run allocation.
   std::vector<uint32_t> run_sel_;        // batch rows selected at the state
-  std::vector<AggCell> run_cells_;       // per selected row: nq cells
-  std::vector<double> run_lo_;           // per selected row: key lower bound
+  std::vector<AggCell> run_cells_;       // per selected row: k * stride cells
+  std::vector<double> run_lo_;           // per (transition, row): key bounds
+  std::vector<double> run_hi_;
   std::vector<uint8_t> run_lo_strict_;
+  std::vector<uint8_t> run_hi_strict_;
   std::vector<uint8_t> run_found_;       // per selected row: found_pred
   std::vector<uint32_t> run_order_;      // rows sorted by (lo desc)
   struct CollectedEntry {
     double key;
-    const AggCell* cells;
+    const GraphVertex* u;
   };
-  std::vector<CollectedEntry> run_entries_;  // per (transition, run) collect
-  std::vector<Counter> run_running_;         // suffix-sum accumulators
+  std::vector<CollectedEntry> run_entries_;  // all transitions, span-sliced
+  std::vector<size_t> run_spans_;            // nt + 1 offsets into entries
+  std::vector<EventView> run_views_;         // parallel to run_entries_
+  std::vector<uint32_t> run_filtered_;       // per (event, transition) sel
+  std::vector<int> run_tidx_;                // per transition: t_idx
+  std::vector<Counter> run_running_;         // COUNT-kernel accumulators
+  std::vector<AggCell> run_acc_;             // generic fold accumulators
+  std::vector<std::vector<AggOutputs>*> run_outs_;  // per window result slot
   // One-entry cache for the per-END-insert results_[wid] hash lookup
   // (window ids advance monotonically, so consecutive END inserts hit the
   // same entry). Entries are stable across rehash (node-based map);

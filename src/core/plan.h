@@ -47,6 +47,29 @@ struct TransitionPlan {
   std::vector<const Expr*> residual_preds;
 };
 
+/// Combines every sort-key-driving range predicate of `tp` into one key
+/// range over the predecessor tree, resolved against the new event. Shared
+/// by the scalar insert kernels and the batch run kernels, so the two can
+/// never disagree on a bound (the batch kernels' strategy choice — shared
+/// fold vs suffix merge vs per-event fold — keys off these values).
+inline KeyBounds CombineTransitionBounds(const TransitionPlan& tp,
+                                         const EventView next) {
+  KeyBounds bounds;
+  for (const EdgePredicatePlan& ep : tp.preds) {
+    if (!ep.drives_sort_key || !ep.range.has_value()) continue;
+    KeyBounds b = ep.range->ComputeBounds(next);
+    if (b.lo > bounds.lo || (b.lo == bounds.lo && b.lo_strict)) {
+      bounds.lo = b.lo;
+      bounds.lo_strict = b.lo_strict;
+    }
+    if (b.hi < bounds.hi || (b.hi == bounds.hi && b.hi_strict)) {
+      bounds.hi = b.hi;
+      bounds.hi_strict = b.hi_strict;
+    }
+  }
+  return bounds;
+}
+
 /// Propagation kernel compiled for one graph at plan time from its AggPlan
 /// flag set and CounterMode (see src/core/README.md for the dispatch table).
 /// The kernels change only how aggregate state moves along an edge — every

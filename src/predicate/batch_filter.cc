@@ -93,4 +93,74 @@ size_t CompiledVertexFilter::Filter(const EventBatch& batch, uint32_t* rows,
   return n;
 }
 
+CompiledEdgeFilter::CompiledEdgeFilter(const std::vector<const Expr*>& preds) {
+  for (const Expr* pred : preds) {
+    if (IsCmp(pred->op())) {
+      const Expr& l = pred->lhs();
+      const Expr& r = pred->rhs();
+      if (l.op() == ExprOp::kAttr &&
+          (r.op() == ExprOp::kNextAttr || r.op() == ExprOp::kConst)) {
+        PrevCmp c;
+        c.prev_attr = l.attr_ref().attr;
+        c.op = pred->op();
+        if (r.op() == ExprOp::kNextAttr) {
+          c.next_attr = r.attr_ref().attr;
+        } else {
+          c.rhs = r.const_value();
+        }
+        c.prev_on_left = true;
+        fast_.push_back(std::move(c));
+        continue;
+      }
+      if (r.op() == ExprOp::kAttr &&
+          (l.op() == ExprOp::kNextAttr || l.op() == ExprOp::kConst)) {
+        PrevCmp c;
+        c.prev_attr = r.attr_ref().attr;
+        c.op = pred->op();
+        if (l.op() == ExprOp::kNextAttr) {
+          c.next_attr = l.attr_ref().attr;
+        } else {
+          c.rhs = l.const_value();
+        }
+        c.prev_on_left = false;
+        fast_.push_back(std::move(c));
+        continue;
+      }
+    }
+    general_.push_back(pred);
+  }
+}
+
+size_t CompiledEdgeFilter::Filter(const EventView next, const EventView* prevs,
+                                  uint32_t* idx, size_t n) const {
+  // Same compaction idiom as the vertex filter: one pass per predicate, the
+  // pass/fail decision folded into the output cursor bump. The next-event
+  // operand is resolved once per call (i.e. once per event), not per pair.
+  for (const PrevCmp& c : fast_) {
+    const Value& other = c.next_attr != kInvalidAttr ? next.attr(c.next_attr)
+                                                     : c.rhs;
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t j = idx[i];
+      const Value& v = prevs[j].attr(c.prev_attr);
+      bool pass =
+          c.prev_on_left ? EvalCmp(c.op, v, other) : EvalCmp(c.op, other, v);
+      idx[out] = j;
+      out += pass ? 1 : 0;
+    }
+    n = out;
+  }
+  for (const Expr* pred : general_) {
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t j = idx[i];
+      bool pass = pred->EvalEdge(prevs[j], next).Truthy();
+      idx[out] = j;
+      out += pass ? 1 : 0;
+    }
+    n = out;
+  }
+  return n;
+}
+
 }  // namespace greta

@@ -43,6 +43,48 @@ class CompiledVertexFilter {
   std::vector<const Expr*> general_;
 };
 
+/// Batch evaluator for a conjunction of residual *edge* predicates: the
+/// batch run kernels collect one predecessor-entry span per (transition,
+/// equal-timestamp run) and must re-evaluate the predicates the Vertex
+/// Tree's key range does not enforce, once per (entry, event) pair. This
+/// filter classifies each predicate at plan time and compacts an index
+/// selection over the collected entries with one tight pass per predicate,
+/// resolving the next-event side once per event instead of re-walking the
+/// expression tree per pair.
+///
+/// Fast shapes (either orientation):
+///   prev.attr CMP NEXT.attr   — next side resolved once per event
+///   prev.attr CMP const       — next side not read at all
+/// Everything else falls back to Expr::EvalEdge per surviving pair. Results
+/// are exactly EvalEdge(prev, next).Truthy() for every shape, so selection
+/// is bit-identical to the scalar scan's inline residual checks.
+class CompiledEdgeFilter {
+ public:
+  CompiledEdgeFilter() = default;
+  explicit CompiledEdgeFilter(const std::vector<const Expr*>& preds);
+
+  /// Compacts `idx` (indices into `prevs`) in place to the pairs
+  /// (prevs[idx[i]], next) passing every predicate; returns the surviving
+  /// count. Indices keep their relative order (the fold that follows must
+  /// replay the scalar scan's entry order exactly).
+  size_t Filter(const EventView next, const EventView* prevs, uint32_t* idx,
+                size_t n) const;
+
+  bool trivial() const { return fast_.empty() && general_.empty(); }
+
+ private:
+  struct PrevCmp {
+    AttrId prev_attr = kInvalidAttr;
+    ExprOp op = ExprOp::kEq;
+    AttrId next_attr = kInvalidAttr;  // kInvalidAttr: compare against rhs
+    Value rhs;
+    bool prev_on_left = true;
+  };
+
+  std::vector<PrevCmp> fast_;
+  std::vector<const Expr*> general_;
+};
+
 }  // namespace greta
 
 #endif  // GRETA_PREDICATE_BATCH_FILTER_H_

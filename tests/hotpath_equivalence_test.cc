@@ -355,9 +355,10 @@ TEST(BatchEquivalence, SingleQueryKernelGrid) {
   auto catalog = FuzzCatalog();
   const char* aggs[] = {"COUNT(*)", "SUM(S.x)"};
   const char* patterns[] = {"A S+", "SEQ(A S+, B E)"};
-  // Unbounded, sliding and tumbling windows: only (COUNT, tumbling) takes
-  // the vectorized run kernel; the others must fall back row-by-row inside
-  // InsertBatch and still match.
+  // Unbounded, sliding and tumbling windows: every cell of this grid is now
+  // covered by an amortized run kernel (shared-fold or suffix-merge for the
+  // predicate-free queries); the rows must stay bit-identical regardless of
+  // which strategy the kernel picks.
   const char* windows[] = {"", " WITHIN 8 seconds SLIDE 4 seconds",
                            " WITHIN 10 seconds SLIDE 10 seconds"};
   for (CounterMode mode : {CounterMode::kModular, CounterMode::kExact}) {
@@ -528,6 +529,201 @@ TEST(BatchEquivalence, PartialSharingBatchVsScalar) {
                         batched.value()->TakeResultsFor(q),
                         "partial batched slot " + std::to_string(q));
   }
+}
+
+// Sliding windows with k = 2 and k = 5 panes per event: the run kernel must
+// produce the identical per-window fan-out the scalar path gets from
+// FirstWindowOf/LastWindowOf, including events whose run straddles a pane
+// boundary. With a NEXT predicate the lower time bound varies per event, so
+// the suffix-merge strategy (COUNT) is exercised alongside shared-fold.
+TEST(BatchEquivalence, SlidingWindows) {
+  auto catalog = FuzzCatalog();
+  for (const char* text :
+       {"RETURN COUNT(*) PATTERN A S+ GROUP-BY g "
+        "WITHIN 8 seconds SLIDE 4 seconds",
+        "RETURN COUNT(*) PATTERN A S+ GROUP-BY g "
+        "WITHIN 10 seconds SLIDE 2 seconds",
+        "RETURN COUNT(*) PATTERN A S+ WHERE S.x < NEXT(S).x "
+        "WITHIN 10 seconds SLIDE 2 seconds",
+        "RETURN COUNT(*) PATTERN SEQ(A S+, B E) WHERE S.x < NEXT(S).x "
+        "WITHIN 8 seconds SLIDE 4 seconds"}) {
+    QuerySpec spec = Parse(text, catalog.get());
+    Stream stream = FuzzStream(catalog.get(), 157, 150);
+    ExpectBatchMatchesScalar(catalog.get(), spec, stream, {}, text);
+  }
+}
+
+// SUM/MIN/MAX/AVG drive the generic fold through the batch kernels.
+// Without a predicate every event of a run sees the same bounds
+// (shared-fold, valid even for order-sensitive FP sums); with a NEXT
+// predicate SUM/AVG must take the per-event strategy (FP addition does not
+// commute) while MIN/MAX may suffix-merge — all bit-identical to scalar.
+TEST(BatchEquivalence, AttributeAggregates) {
+  auto catalog = FuzzCatalog();
+  const char* aggs[] = {"SUM(S.x)", "MIN(S.x)", "MAX(S.x)", "AVG(S.x)",
+                        "MIN(S.x), MAX(S.x)"};
+  const char* wheres[] = {"", " WHERE S.x < NEXT(S).x"};
+  const char* windows[] = {" WITHIN 10 seconds SLIDE 10 seconds",
+                           " WITHIN 8 seconds SLIDE 4 seconds"};
+  for (const char* agg : aggs) {
+    for (const char* where : wheres) {
+      for (const char* window : windows) {
+        std::string text = "RETURN " + std::string(agg) + " PATTERN A S+" +
+                           where + " GROUP-BY g" + window;
+        QuerySpec spec = Parse(text, catalog.get());
+        Stream stream = FuzzStream(catalog.get(), 163, 150);
+        ExpectBatchMatchesScalar(catalog.get(), spec, stream, {}, text);
+      }
+    }
+  }
+}
+
+// Residual predicates (not expressible as a time/attribute range over the
+// skip-list key) no longer disqualify the batch path: the per-event strategy
+// compacts collected predecessors through the compiled edge filters. The
+// arithmetic conjunct is entirely non-extractable, so every edge goes
+// through the residual filter.
+TEST(BatchEquivalence, ResidualPredicates) {
+  auto catalog = FuzzCatalog();
+  for (const char* text :
+       {"RETURN COUNT(*) PATTERN A S+ "
+        "WHERE S.x < NEXT(S).x AND S.g >= NEXT(S).g "
+        "WITHIN 8 seconds SLIDE 4 seconds",
+        "RETURN SUM(S.x) PATTERN A S+ "
+        "WHERE S.x < NEXT(S).x AND S.g >= NEXT(S).g "
+        "WITHIN 10 seconds SLIDE 10 seconds",
+        "RETURN COUNT(*) PATTERN A S+ WHERE S.x + S.g < NEXT(S).x "
+        "WITHIN 8 seconds SLIDE 4 seconds"}) {
+    QuerySpec spec = Parse(text, catalog.get());
+    Stream stream = FuzzStream(catalog.get(), 167, 150);
+    ExpectBatchMatchesScalar(catalog.get(), spec, stream, {}, text);
+  }
+}
+
+// Partial sharing with attribute aggregates at ragged batch sizes: the
+// batched snapshot kernel must fill the same (snapshot, fold-slot) cells as
+// InsertAtStatePartial, including the per-query handoff at suffix states.
+TEST(BatchEquivalence, PartialSharingBatchedAggregates) {
+  auto catalog = FuzzCatalog();
+  std::vector<QuerySpec> specs;
+  specs.push_back(Parse(
+      "RETURN SUM(S.x) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+      catalog.get()));
+  specs.push_back(Parse(
+      "RETURN COUNT(*) PATTERN SEQ(A S+, B E) WITHIN 4 seconds SLIDE 4 "
+      "seconds",
+      catalog.get()));
+  std::vector<const QuerySpec*> spec_ptrs;
+  for (const QuerySpec& s : specs) spec_ptrs.push_back(&s);
+
+  Stream stream = FuzzStream(catalog.get(), 173, 150);
+  auto scalar = GretaEngine::CreatePartial(catalog.get(), spec_ptrs, {});
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  ProcessStream(scalar.value().get(), stream);
+  std::vector<std::vector<ResultRow>> expected;
+  for (size_t q = 0; q < specs.size(); ++q) {
+    expected.push_back(scalar.value()->TakeResultsFor(q));
+  }
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{256}}) {
+    auto batched = GretaEngine::CreatePartial(catalog.get(), spec_ptrs, {});
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ProcessStreamBatched(batched.value().get(), stream, batch_size);
+    for (size_t q = 0; q < specs.size(); ++q) {
+      ExpectIdenticalRows(batched.value()->TakeResultsFor(q), expected[q],
+                          "partial agg slot " + std::to_string(q) +
+                              " batch=" + std::to_string(batch_size));
+    }
+  }
+}
+
+// The engine tallies which rows took an amortized kernel and which fell
+// back (and why); the aggregate surfaces through EngineStats. These are
+// coverage guards: if a future change silently disqualifies an eligible
+// plan, batch_rows_fast drops to zero here before any benchmark notices.
+TEST(BatchEquivalence, FallbackAndStrategyCounters) {
+  auto catalog = FuzzCatalog();
+  Stream stream = FuzzStream(catalog.get(), 179, 150);
+
+  auto run_batched = [&](const QuerySpec& spec, EngineOptions options) {
+    auto engine = MakeGreta(catalog.get(), spec.Clone(), options);
+    RunEngineBatched(engine.get(), stream.events(), 16);
+    engine->RefreshStats();
+    return engine->stats();
+  };
+
+  // Eligible plans — sliding COUNT, SUM, residual predicate — are fully
+  // covered: no row falls back.
+  for (const char* text :
+       {"RETURN COUNT(*) PATTERN A S+ WITHIN 10 seconds SLIDE 2 seconds",
+        "RETURN SUM(S.x) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+        "RETURN COUNT(*) PATTERN A S+ WHERE S.x + S.g < NEXT(S).x "
+        "WITHIN 8 seconds SLIDE 4 seconds"}) {
+    EngineStats stats = run_batched(Parse(text, catalog.get()), {});
+    EXPECT_GT(stats.batch_rows_fast, 0u) << text;
+    EXPECT_EQ(stats.batch_rows_fallback, 0u) << text;
+  }
+
+  // Kernels disabled: everything falls back, nothing runs fast.
+  {
+    QuerySpec spec = Parse(
+        "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+        catalog.get());
+    EngineOptions options;
+    options.enable_batch_kernels = false;
+    EngineStats stats = run_batched(spec, options);
+    EXPECT_EQ(stats.batch_rows_fast, 0u);
+    EXPECT_GT(stats.batch_rows_fallback, 0u);
+  }
+
+  // Restricted semantics: the plan is ineligible (edge sets are not
+  // run-stable), so the batch entry point falls back row-wise.
+  {
+    QuerySpec spec = Parse(
+        "RETURN COUNT(*) PATTERN A S+ WITHIN 8 seconds SLIDE 4 seconds",
+        catalog.get());
+    EngineOptions options;
+    options.semantics = Semantics::kSkipTillNextMatch;
+    EngineStats stats = run_batched(spec, options);
+    EXPECT_EQ(stats.batch_rows_fast, 0u);
+    EXPECT_GT(stats.batch_rows_fallback, 0u);
+  }
+
+  // Negation splits the pattern into alternative graphs whose marking scan
+  // is inherently per-event.
+  {
+    QuerySpec spec = Parse(
+        "RETURN COUNT(*) PATTERN SEQ(A S+, NOT C N, B E) "
+        "WITHIN 8 seconds SLIDE 8 seconds",
+        catalog.get());
+    EngineStats stats = run_batched(spec, {});
+    EXPECT_EQ(stats.batch_rows_fast, 0u);
+    EXPECT_GT(stats.batch_rows_fallback, 0u);
+  }
+
+#if GRETA_TELEMETRY
+  // The registry sees the same tallies, labelled by reason and strategy.
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
+  reg.Reset();
+  reg.set_enabled(true);
+  {
+    QuerySpec spec = Parse(
+        "RETURN COUNT(*) PATTERN A S+ WITHIN 10 seconds SLIDE 2 seconds",
+        catalog.get());
+    auto engine = MakeGreta(catalog.get(), spec.Clone(), {});
+    RunEngineBatched(engine.get(), stream.events(), 16);
+  }
+  uint64_t fast_rows = 0, fallback_rows = 0;
+  for (const auto& c : reg.ScrapeCounters()) {
+    if (c.name.rfind("greta_core_batch_rows_total", 0) == 0) {
+      fast_rows += c.value;
+    } else if (c.name.rfind("greta_core_batch_fallback_rows_total", 0) == 0) {
+      fallback_rows += c.value;
+    }
+  }
+  EXPECT_GT(fast_rows, 0u);
+  EXPECT_EQ(fallback_rows, 0u);
+  reg.Reset();
+#endif
 }
 
 // Out-of-order front end: a jittered wire stream goes through the k-slack
