@@ -62,10 +62,12 @@ void PrintJsonRow(const char* mode, int n, const RunResult& r,
                   double speedup) {
   std::printf(
       "{\"bench\":\"sharing\",\"mode\":\"%s\",\"queries\":%d,"
-      "\"throughput_eps\":%.1f,\"peak_latency_ms\":%.3f,"
+      "\"throughput_eps\":%.1f,\"latency_p50_ms\":%.3f,"
+      "\"latency_p95_ms\":%.3f,\"latency_p99_ms\":%.3f,"
       "\"peak_memory_bytes\":%zu,\"vertices\":%zu,\"edges\":%zu,"
       "\"rows\":%zu,\"speedup_vs_independent\":%.3f}\n",
-      mode, n, r.throughput_eps, r.peak_latency_ms, r.peak_memory_bytes,
+      mode, n, r.throughput_eps, r.latency_p50_ms, r.latency_p95_ms,
+      r.latency_p99_ms, r.peak_memory_bytes,
       r.stats.vertices_stored, r.stats.edges_traversed, r.rows_emitted,
       speedup);
 }

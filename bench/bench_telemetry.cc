@@ -13,19 +13,31 @@
 // the "overhead" row carries the on/off ratio only, and the snapshot goes
 // to a separate file so BENCH_telemetry.json stays a clean row stream.
 //
+// A fourth phase ("telemetry_serving") reruns the sharded workload with
+// the embedded HTTP endpoint up and a scraper thread hammering /metrics,
+// /healthz and /queries throughout — the observability service's contract
+// is that concurrent scrapes ride on snapshots and atomics, never the hot
+// path, so this row should match "sharded_adaptive" within noise.
+//
 // Flags: --rate/--duration size the stream, --reps best-of repetitions,
-// --snapshot=PATH writes the JSON snapshot, --sharded=false skips phase 3.
+// --snapshot=PATH writes the JSON snapshot, --sharded=false skips phase 3,
+// --serve=false skips phase 4.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util/harness.h"
 #include "bench_util/metrics.h"
 #include "query/parser.h"
+#include "runtime/observability.h"
 #include "runtime/sharded_runtime.h"
 #include "telemetry/exporters.h"
+#include "telemetry/http_server.h"
 #include "telemetry/telemetry.h"
 #include "workload/stock.h"
 
@@ -87,6 +99,7 @@ int Run(const Flags& flags) {
   Ts duration = flags.GetInt("duration", 60);
   int64_t reps = flags.GetInt("reps", 5);
   bool sharded = flags.GetBool("sharded", true);
+  bool serve = flags.GetBool("serve", true);
   std::string snapshot_path = flags.GetString("snapshot", "");
 
   PrintHeader(
@@ -139,10 +152,8 @@ int Run(const Flags& flags) {
       "%.2f}\n",
       overhead_pct);
 
-  if (sharded) {
+  if (sharded || serve) {
     telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Default();
-    reg.Reset();
-    reg.set_enabled(true);
 
     Catalog shared_catalog;
     RegisterStockTypes(&shared_catalog);
@@ -165,33 +176,82 @@ int Run(const Flags& flags) {
     options.workload.adaptive.min_windows_between_migrations = 4;
     options.workload.adaptive.hysteresis = 1.2;
     std::vector<QuerySpec> workload = AdaptiveWorkload(&shared_catalog);
-    auto rt = runtime::ShardedRuntime::Create(&shared_catalog, workload,
-                                              options);
-    GRETA_CHECK(rt.ok());
-    RunResult r = RunStream(rt.value().get(), bursty_stream);
-    table.AddRow({"sharded_adaptive", r.ThroughputCell(), r.MemoryCell(),
-                  FormatCount(static_cast<double>(r.rows_emitted))});
-    std::printf(
-        "{\"bench\":\"telemetry\",\"config\":\"sharded_adaptive\","
-        "\"events\":%zu,\"events_per_sec\":%.1f,\"peak_bytes\":%zu,"
-        "\"rows\":%zu,\"migrations\":%zu}\n",
-        bursty_stream.size(), r.throughput_eps, r.peak_memory_bytes,
-        r.rows_emitted, rt.value()->TotalMigrations());
 
-    if (!snapshot_path.empty()) {
-      std::string json = telemetry::ExportJson(reg, /*include_trace=*/true);
-      std::FILE* f = std::fopen(snapshot_path.c_str(), "wb");
-      if (f != nullptr) {
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fwrite("\n", 1, 1, f);
-        std::fclose(f);
-        std::printf("snapshot written to %s (%zu bytes)\n",
-                    snapshot_path.c_str(), json.size());
-      } else {
-        std::printf("cannot open snapshot path %s\n", snapshot_path.c_str());
+    if (sharded) {
+      reg.Reset();
+      reg.set_enabled(true);
+      auto rt = runtime::ShardedRuntime::Create(&shared_catalog, workload,
+                                                options);
+      GRETA_CHECK(rt.ok());
+      RunResult r = RunStream(rt.value().get(), bursty_stream);
+      table.AddRow({"sharded_adaptive", r.ThroughputCell(), r.MemoryCell(),
+                    FormatCount(static_cast<double>(r.rows_emitted))});
+      std::printf(
+          "{\"bench\":\"telemetry\",\"config\":\"sharded_adaptive\","
+          "\"events\":%zu,\"events_per_sec\":%.1f,\"peak_bytes\":%zu,"
+          "\"rows\":%zu,\"migrations\":%zu}\n",
+          bursty_stream.size(), r.throughput_eps, r.peak_memory_bytes,
+          r.rows_emitted, rt.value()->TotalMigrations());
+
+      if (!snapshot_path.empty()) {
+        std::string json =
+            telemetry::ExportJson(reg, /*include_trace=*/true);
+        std::FILE* f = std::fopen(snapshot_path.c_str(), "wb");
+        if (f != nullptr) {
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fwrite("\n", 1, 1, f);
+          std::fclose(f);
+          std::printf("snapshot written to %s (%zu bytes)\n",
+                      snapshot_path.c_str(), json.size());
+        } else {
+          std::printf("cannot open snapshot path %s\n",
+                      snapshot_path.c_str());
+        }
       }
+      std::printf("\n%s", telemetry::ExplainTelemetry(reg).c_str());
     }
-    std::printf("\n%s", telemetry::ExplainTelemetry(reg).c_str());
+
+    if (serve) {
+      // Same workload, endpoint up, scraper thread hammering the routes
+      // for the whole replay — scrapes must ride on snapshots/atomics
+      // only, so throughput should match "sharded_adaptive" within noise.
+      reg.Reset();
+      reg.set_enabled(true);
+      auto rt = runtime::ShardedRuntime::Create(&shared_catalog, workload,
+                                                options);
+      GRETA_CHECK(rt.ok());
+      telemetry::HttpServer server(reg);
+      runtime::AttachRuntimeObservability(&server, rt.value().get());
+      GRETA_CHECK(server.Start(0));
+      std::atomic<bool> stop{false};
+      std::atomic<size_t> scrapes{0};
+      std::thread scraper([&] {
+        const char* paths[] = {"/metrics", "/healthz", "/queries"};
+        size_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          int status = 0;
+          std::string body;
+          if (telemetry::HttpGet(server.port(), paths[i % 3], &status,
+                                 &body)) {
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+          ++i;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
+      RunResult r = RunStream(rt.value().get(), bursty_stream);
+      stop.store(true, std::memory_order_release);
+      scraper.join();
+      server.Stop();
+      table.AddRow({"telemetry_serving", r.ThroughputCell(), r.MemoryCell(),
+                    FormatCount(static_cast<double>(r.rows_emitted))});
+      std::printf(
+          "{\"bench\":\"telemetry\",\"config\":\"telemetry_serving\","
+          "\"events\":%zu,\"events_per_sec\":%.1f,\"peak_bytes\":%zu,"
+          "\"rows\":%zu,\"scrapes\":%zu}\n",
+          bursty_stream.size(), r.throughput_eps, r.peak_memory_bytes,
+          r.rows_emitted, scrapes.load());
+    }
   }
 
   std::printf("\n");

@@ -1,27 +1,45 @@
 // Sharded parallel runtime tour: load a declarative workload artifact
 // (src/workload/spec.h), run it across N in-process shards
 // (src/runtime/sharded_runtime.h), and show that the watermark-ordered
-// merge reproduces single-threaded results exactly.
+// merge reproduces single-threaded results exactly. When the workload's
+// telemetry block says {"serve": true}, the embedded observability
+// endpoint (src/telemetry/http_server.h) comes up first and serves
+// /metrics, /snapshot, /trace, /explain, /healthz and /queries while the
+// stream replays.
 //
-//   ./example_sharded_runtime [path/to/workload.json]
+//   ./example_sharded_runtime [path/to/workload.json] [--serve-seconds=N]
 //
 // Defaults to examples/workloads/stock_downtrends.json (run from the repo
-// root).
+// root). --serve-seconds keeps the process alive after the replay so the
+// endpoint can be scraped (try examples/workloads/observed_stock.json).
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "runtime/observability.h"
 #include "runtime/sharded_runtime.h"
+#include "telemetry/http_server.h"
+#include "telemetry/telemetry.h"
 #include "workload/spec.h"
 
 using namespace greta;
 
 int main(int argc, char** argv) {
-  std::string path = argc > 1 ? argv[1]
-                              : "examples/workloads/stock_downtrends.json";
+  std::string path = "examples/workloads/stock_downtrends.json";
+  int serve_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      serve_seconds = std::atoi(argv[i] + 16);
+    } else {
+      path = argv[i];
+    }
+  }
 
   Catalog catalog;
   auto loaded = workload::LoadWorkloadSpecFile(path, &catalog);
@@ -36,6 +54,10 @@ int main(int argc, char** argv) {
   for (const std::string& text : spec.query_texts) {
     std::printf("  %s\n", text.c_str());
   }
+
+  // Arm telemetry BEFORE building the runtime — instruments are cached at
+  // construction (src/telemetry/telemetry.h).
+  telemetry::MetricRegistry::Default().Configure(spec.telemetry);
 
   if (!spec.stock.has_value()) {
     std::fprintf(stderr, "this example needs a {\"kind\": \"stock\"} "
@@ -56,6 +78,22 @@ int main(int argc, char** argv) {
   runtime::ShardedRuntime& runtime = *rt.value();
   std::printf("\nrouting\n  %s\n",
               runtime.router().ToString(catalog).c_str());
+
+  telemetry::HttpServer server(telemetry::MetricRegistry::Default());
+  if (spec.telemetry.serve) {
+    // Runtime routes must be registered before Start.
+    runtime::AttachRuntimeObservability(&server, rt.value().get());
+    if (!server.Start(spec.telemetry.http_port)) {
+      std::fprintf(stderr, "cannot start endpoint: %s\n",
+                   server.error().c_str());
+      return 1;
+    }
+    // Scrapers (and the CI smoke job) parse this line for the bound port;
+    // flush in case stdout is redirected to a file (fully buffered).
+    std::printf("observability: http://127.0.0.1:%u/\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+  }
 
   auto start = std::chrono::steady_clock::now();
   for (const Event& e : stream.events()) {
@@ -98,5 +136,23 @@ int main(int argc, char** argv) {
     std::printf("  shard %zu: current %.1f KB\n", s,
                 runtime.shard_memory(s).current_bytes() / 1024.0);
   }
+
+  // The estimated-vs-observed join the /queries route serves, rendered for
+  // the terminal.
+  std::printf("\n%s", runtime::ExplainAnalyze(runtime, 0).c_str());
+  std::fflush(stdout);
+
+  if (spec.telemetry.serve && serve_seconds > 0) {
+    std::printf("\nserving for %ds — try:\n"
+                "  curl http://127.0.0.1:%u/metrics\n"
+                "  curl http://127.0.0.1:%u/healthz\n"
+                "  curl http://127.0.0.1:%u/queries/0\n",
+                serve_seconds, static_cast<unsigned>(server.port()),
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
+  server.Stop();
   return 0;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition scrape (the /metrics body).
+
+Stdlib-only checker used by the CI observability smoke job: every
+non-comment line must parse as `name[{labels}] value`, every series must
+be preceded by a `# TYPE` declaration, histogram bucket counts must be
+cumulative and agree with their `_count` series, and label values must not
+contain unescaped quotes or raw newlines (the exporter escapes them).
+
+Usage:
+  check_prometheus.py metrics.txt [--require greta_runtime_e2e_latency_ns]
+Exits non-zero with a line-numbered diagnostic on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  -- labels block is matched non-greedily and validated
+# separately so escaped quotes inside values don't confuse the split.
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r"(?P<labels>\{.*\})?\s+(?P<value>\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(lineno, msg):
+    print("check_prometheus: line %d: %s" % (lineno, msg))
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--require", action="append", default=[],
+                        help="metric family that must be present")
+    args = parser.parse_args()
+
+    with open(args.path, "rb") as f:
+        raw = f.read()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as e:
+        print("check_prometheus: not UTF-8: %s" % e)
+        return 1
+
+    declared = set()   # families with a # TYPE line
+    families = set()   # families seen as samples (suffixes stripped)
+    buckets = {}       # series labels-sans-le -> cumulative check state
+    counts = {}        # histogram family+labels -> _count value
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                         r"(counter|gauge|histogram|summary|untyped)$", line)
+            if m is None:
+                return fail(lineno, "malformed comment: %r" % line)
+            declared.add(m.group(1))
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            return fail(lineno, "unparseable sample: %r" % line)
+        name, labels, value = m.group("name", "labels", "value")
+        try:
+            val = float(value)
+        except ValueError:
+            return fail(lineno, "non-numeric value %r" % value)
+        if labels is not None:
+            inner = labels[1:-1]
+            consumed = LABEL_RE.sub("", inner)
+            if consumed.strip(", ") != "":
+                return fail(lineno, "malformed label block %r" % labels)
+
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        families.add(family)
+        base_declared = (name in declared or family in declared)
+        if not base_declared:
+            return fail(lineno, "series %r has no # TYPE declaration" % name)
+
+        if name.endswith("_bucket"):
+            # Normalize the series key to match the _count line's labels:
+            # drop the le pair, then any empty or trailing-comma braces.
+            series = re.sub(r'le="[^"]*",?', "", labels or "")
+            series = series.replace(",}", "}")
+            if series == "{}":
+                series = ""
+            key = (family, series)
+            prev = buckets.get(key, -1.0)
+            if val < prev:
+                return fail(lineno,
+                            "bucket counts not cumulative for %s" % name)
+            buckets[key] = val
+        elif name.endswith("_count"):
+            counts[(family, labels or "")] = (lineno, val)
+
+    for (family, series), cum in buckets.items():
+        entry = counts.get((family, series))
+        if entry is None:
+            print("check_prometheus: histogram %s%s has buckets but no "
+                  "_count" % (family, series))
+            return 1
+        lineno, total = entry
+        if cum != total:
+            return fail(lineno, "histogram %s: +Inf bucket %g != _count %g"
+                        % (family, cum, total))
+
+    missing = [r for r in args.require if r not in families]
+    if missing:
+        print("check_prometheus: required families missing: %s"
+              % ", ".join(missing))
+        return 1
+
+    print("check_prometheus: OK (%d families, %d histogram series)"
+          % (len(families), len(buckets)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #include "bench_util/metrics.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "telemetry/exporters.h"
 #include "telemetry/telemetry.h"
@@ -22,35 +24,62 @@ std::string Format(double value, const char* suffix) {
   return buf;
 }
 
+// Arrival→emit samples for one run: one sample per drain that returned at
+// least one result row, measured from the ingest tick of the work just
+// submitted. Exact nearest-rank percentiles (the telemetry histograms are
+// log2-bucketed; the bench wants precise numbers).
+class LatencySamples {
+ public:
+  void Record(double ms) { samples_ms_.push_back(ms); }
+
+  void Finish(RunResult* result) {
+    result->latency_samples = samples_ms_.size();
+    if (samples_ms_.empty()) return;
+    std::sort(samples_ms_.begin(), samples_ms_.end());
+    result->latency_p50_ms = Percentile(0.50);
+    result->latency_p95_ms = Percentile(0.95);
+    result->latency_p99_ms = Percentile(0.99);
+  }
+
+ private:
+  double Percentile(double q) const {
+    const size_t n = samples_ms_.size();
+    size_t rank = static_cast<size_t>(q * static_cast<double>(n) + 0.999999);
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    return samples_ms_[rank - 1];
+  }
+
+  std::vector<double> samples_ms_;
+};
+
 }  // namespace
 
 RunResult RunStream(EngineInterface* engine, const Stream& stream) {
   RunResult result;
   result.engine = engine->name();
+  LatencySamples latency;
   Clock::time_point run_start = Clock::now();
   for (const Event& e : stream.events()) {
-    Clock::time_point call_start = Clock::now();
+    Clock::time_point arrival = Clock::now();
     Status s = engine->Process(e);
-    double call_seconds = SecondsSince(call_start);
     if (!s.ok()) break;
     std::vector<ResultRow> rows = engine->TakeResults();
     if (!rows.empty()) {
       result.rows_emitted += rows.size();
-      result.peak_latency_ms =
-          std::max(result.peak_latency_ms, call_seconds * 1e3);
+      latency.Record(SecondsSince(arrival) * 1e3);
     }
     if (engine->stats().dnf) break;
   }
-  Clock::time_point flush_start = Clock::now();
+  Clock::time_point flush_arrival = Clock::now();
   (void)engine->Flush();
-  double flush_seconds = SecondsSince(flush_start);
   std::vector<ResultRow> rows = engine->TakeResults();
   if (!rows.empty()) {
     result.rows_emitted += rows.size();
-    result.peak_latency_ms =
-        std::max(result.peak_latency_ms, flush_seconds * 1e3);
+    latency.Record(SecondsSince(flush_arrival) * 1e3);
   }
   result.total_seconds = SecondsSince(run_start);
+  latency.Finish(&result);
   result.stats = engine->stats();
   result.dnf = result.stats.dnf;
   result.peak_memory_bytes = result.stats.peak_bytes;
@@ -73,6 +102,7 @@ RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
   if (ingest.batch_size == 0) return RunStream(engine, stream);
   RunResult result;
   result.engine = engine->name();
+  LatencySamples latency;
   Clock::time_point run_start = Clock::now();
   EventBatch batch;
   batch.reserve(ingest.batch_size);
@@ -85,9 +115,11 @@ RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
       batch.Append(events[i]);
     }
     if (ingest.sort_within_batch) batch.SortByTime();
-    Clock::time_point call_start = Clock::now();
+    Clock::time_point arrival = Clock::now();
+    // Stamp the batch's arrival column so engines that propagate it (the
+    // sharded runtime) fill their e2e latency histograms with real ticks.
+    batch.StampArrivals(telemetry::SteadyNowNs());
     Status s = engine->ProcessBatch(batch);
-    double call_seconds = SecondsSince(call_start);
     if (!s.ok()) {
       failed = true;
       break;
@@ -95,21 +127,19 @@ RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
     std::vector<ResultRow> rows = engine->TakeResults();
     if (!rows.empty()) {
       result.rows_emitted += rows.size();
-      result.peak_latency_ms =
-          std::max(result.peak_latency_ms, call_seconds * 1e3);
+      latency.Record(SecondsSince(arrival) * 1e3);
     }
     if (engine->stats().dnf) break;
   }
-  Clock::time_point flush_start = Clock::now();
+  Clock::time_point flush_arrival = Clock::now();
   (void)engine->Flush();
-  double flush_seconds = SecondsSince(flush_start);
   std::vector<ResultRow> rows = engine->TakeResults();
   if (!rows.empty()) {
     result.rows_emitted += rows.size();
-    result.peak_latency_ms =
-        std::max(result.peak_latency_ms, flush_seconds * 1e3);
+    latency.Record(SecondsSince(flush_arrival) * 1e3);
   }
   result.total_seconds = SecondsSince(run_start);
+  latency.Finish(&result);
   result.stats = engine->stats();
   result.dnf = result.stats.dnf;
   result.peak_memory_bytes = result.stats.peak_bytes;
@@ -152,7 +182,8 @@ std::string FormatMillis(double ms) {
 
 std::string RunResult::LatencyCell() const {
   if (dnf) return "DNF";
-  return FormatMillis(peak_latency_ms);
+  if (latency_samples == 0) return "-";
+  return FormatMillis(latency_p99_ms);
 }
 
 std::string RunResult::MemoryCell() const {

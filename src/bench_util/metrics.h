@@ -9,16 +9,25 @@
 namespace greta::bench {
 
 /// Metrics of one engine run over one stream (Section 10.1):
-///  - latency: peak time between the arrival of the last event contributing
-///    to a window's aggregate and the emission of that aggregate — under a
-///    backlog replay this is the longest Process/Flush call that emitted at
-///    least one result row;
+///  - latency: arrival-to-emit distribution. Every event (or batch) is
+///    stamped with its ingest tick on the way in; whenever a drain returns
+///    at least one result row, the harness records (now - arrival of the
+///    work just submitted) as one sample. p50/p95/p99 are exact
+///    nearest-rank percentiles over those samples — not the old single
+///    "peak call" number, which under per-batch draining only ever
+///    measured the longest synchronous call. Batched runs against the
+///    sharded runtime additionally stamp the batch's arrival column, so
+///    the per-shard `greta_runtime_e2e_latency_ns` histograms fill with
+///    the same ticks;
 ///  - throughput: events processed per second of total wall time;
 ///  - memory: peak bytes of the engine's runtime data structures.
 struct RunResult {
   std::string engine;
   double total_seconds = 0.0;
-  double peak_latency_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  size_t latency_samples = 0;
   double throughput_eps = 0.0;
   size_t peak_memory_bytes = 0;
   size_t rows_emitted = 0;
@@ -31,7 +40,8 @@ struct RunResult {
   /// per-run numbers reset the registry between runs.
   std::string telemetry_json;
 
-  /// "DNF" or a value with a unit, for table cells.
+  /// "DNF" or a value with a unit, for table cells. LatencyCell prints the
+  /// p99 ("-" when no window ever closed, so there are no samples).
   std::string LatencyCell() const;
   std::string MemoryCell() const;
   std::string ThroughputCell() const;
@@ -43,8 +53,9 @@ RunResult RunStream(EngineInterface* engine, const Stream& stream);
 
 /// Like RunStream but feeding the engine through ProcessBatch with columnar
 /// batches of `ingest.batch_size` events (0 delegates to RunStream). Results
-/// drain after every batch, so peak latency is per-batch rather than
-/// per-event.
+/// drain after every batch, so latency samples are per-batch rather than
+/// per-event; each batch's arrival column is stamped so runtimes that
+/// propagate it record true end-to-end latency in telemetry.
 RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
                            const IngestOptions& ingest);
 

@@ -27,7 +27,11 @@ void EventBatch::SortByTime() {
   });
   EventBatch sorted;
   sorted.reserve(n, n == 0 ? 4 : (attrs_.size() + n - 1) / n);
-  for (uint32_t i : order) sorted.Append(ref(i));
+  const bool stamped = has_arrivals();
+  for (uint32_t i : order) {
+    sorted.Append(ref(i));
+    if (stamped) sorted.AppendArrival(arrivals_[i]);
+  }
   *this = std::move(sorted);
 }
 

@@ -37,6 +37,7 @@ class EventBatch {
       types_ = std::move(other.types_);
       attrs_ = std::move(other.attrs_);
       offsets_ = std::move(other.offsets_);
+      arrivals_ = std::move(other.arrivals_);
       time_ordered_ = other.time_ordered_;
       other.clear();
     }
@@ -84,6 +85,22 @@ class EventBatch {
   /// incrementally by Append; restored by SortByTime).
   bool time_ordered() const { return time_ordered_; }
 
+  /// Optional arrival-clock column (steady-clock ns at ingest) used for
+  /// end-to-end latency: result emission subtracts the stamp to get
+  /// arrival→emit latency. Absent unless the ingest boundary opts in —
+  /// the column costs 8 bytes/row, so only latency-measuring paths pay it.
+  bool has_arrivals() const { return !arrivals_.empty(); }
+  uint64_t arrival_ns(size_t i) const {
+    GRETA_DCHECK(i < arrivals_.size());
+    return arrivals_[i];
+  }
+  /// Stamps every current row with one arrival tick (batch-granularity: all
+  /// rows of a batch arrive together at the ingest boundary).
+  void StampArrivals(uint64_t now_ns) { arrivals_.assign(size(), now_ns); }
+  /// Appends one arrival stamp; pair with Append when re-packing a stamped
+  /// batch row by row (shard routing, SortByTime).
+  void AppendArrival(uint64_t now_ns) { arrivals_.push_back(now_ns); }
+
   /// Stable-sorts rows by timestamp, preserving the append order of rows
   /// with equal timestamps. For ingest sources that are only sorted within a
   /// bounded horizon (`IngestOptions::sort_within_batch`).
@@ -96,6 +113,7 @@ class EventBatch {
     types_.clear();
     attrs_.clear();
     offsets_.clear();
+    arrivals_.clear();
     time_ordered_ = true;
   }
 
@@ -116,6 +134,7 @@ class EventBatch {
   std::vector<TypeId> types_;
   std::vector<Value> attrs_;     // row-major flattened payloads
   std::vector<size_t> offsets_;  // offsets_[i] = end of row i in attrs_
+  std::vector<uint64_t> arrivals_;  // empty, or one ingest tick per row
   bool time_ordered_ = true;
 };
 

@@ -100,6 +100,16 @@ class GretaEngine : public EngineInterface {
   /// backlog is capped at 256 undrained windows (oldest dropped).
   std::vector<WindowObservation> TakeWindowObservations() override;
 
+  /// Cumulative per-query EXPLAIN ANALYZE tallies, one slot per query slot
+  /// (slot index == query_id; the sharing layer re-maps slots to workload
+  /// query ids). Updated once per window close with plain members on the
+  /// serial path — zero per-event cost. Structural counters are
+  /// cluster-attributed (see QueryExecStats); rows_emitted is exact per
+  /// slot. Empty until the first window closes.
+  const std::vector<QueryExecStats>& query_exec_stats() const {
+    return query_stats_;
+  }
+
   /// Watermark hook for external drivers (src/runtime/ sharded execution):
   /// declares that every event with time < `now` has already been delivered,
   /// closing (and emitting) windows exactly as Process(e with e.time == now)
@@ -233,6 +243,7 @@ class GretaEngine : public EngineInterface {
   // Per-window observation state: routed-event counter reset at every
   // window close; last seen cumulative graph counters for the deltas.
   std::deque<WindowObservation> window_obs_;
+  std::vector<QueryExecStats> query_stats_;  // sized lazily at first close
   size_t obs_events_routed_ = 0;
   size_t obs_prev_vertices_ = 0;
   size_t obs_prev_edges_ = 0;

@@ -48,6 +48,22 @@ struct WindowObservation {
   size_t edges_traversed = 0;
 };
 
+/// Cumulative per-query execution tallies for EXPLAIN ANALYZE, flushed from
+/// plain serial-path members at window close (never per-event atomics). In a
+/// merged multi-query engine the structural work (events routed, vertices,
+/// edges) is *cluster-attributed*: the graph is shared, so every member
+/// query of the cluster reports the full cluster totals — exact for
+/// dedicated (single-query) engines, an upper bound per query under sharing.
+struct QueryExecStats {
+  size_t query_id = 0;
+  size_t windows_closed = 0;
+  size_t events_routed = 0;
+  size_t vertices_created = 0;
+  size_t edges_traversed = 0;
+  size_t rows_emitted = 0;      // exact per query even when merged
+  uint64_t emit_ns = 0;         // window-close emission time (cluster-wide)
+};
+
 /// Counters common to all engines, reported by benchmarks.
 struct EngineStats {
   size_t events_processed = 0;

@@ -1,0 +1,63 @@
+#include "runtime/health.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace greta::runtime {
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{\"healthy\":";
+  out += healthy ? "true" : "false";
+  out += ",\"backpressure\":";
+  out += backpressure ? "true" : "false";
+  out += ",\"shards\":[";
+  char buf[192];
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardHealth& s = shards[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"shard\":%zu,\"clock\":%lld,\"queue_size\":%zu,"
+                  "\"queue_capacity\":%zu,\"producer_stalls\":%zu,"
+                  "\"stalled\":%s,\"backpressure\":%s}",
+                  i == 0 ? "" : ",", s.shard,
+                  static_cast<long long>(s.clock), s.queue_size,
+                  s.queue_capacity, s.producer_stalls,
+                  s.stalled ? "true" : "false",
+                  s.backpressure ? "true" : "false");
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+HealthReport StallDetector::Observe(
+    const std::vector<ShardHealthSample>& samples) {
+  if (prev_.size() < samples.size()) prev_.resize(samples.size());
+  HealthReport report;
+  report.shards.reserve(samples.size());
+  for (const ShardHealthSample& sample : samples) {
+    ShardHealth h;
+    h.shard = sample.shard;
+    h.clock = sample.clock;
+    h.queue_size = sample.queue_size;
+    h.queue_capacity = sample.queue_capacity;
+    h.producer_stalls = sample.producer_stalls;
+
+    PrevSample& prev = prev_[sample.shard];
+    const bool nonempty = sample.queue_size > 0;
+    if (prev.valid) {
+      h.stalled = nonempty && prev.queue_nonempty && sample.clock == prev.clock;
+      h.backpressure = sample.producer_stalls > prev.producer_stalls;
+    }
+    prev.clock = sample.clock;
+    prev.producer_stalls = sample.producer_stalls;
+    prev.queue_nonempty = nonempty;
+    prev.valid = true;
+
+    report.healthy = report.healthy && !h.stalled;
+    report.backpressure = report.backpressure || h.backpressure;
+    report.shards.push_back(h);
+  }
+  return report;
+}
+
+}  // namespace greta::runtime

@@ -1,0 +1,71 @@
+#ifndef GRETA_RUNTIME_HEALTH_H_
+#define GRETA_RUNTIME_HEALTH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace greta::runtime {
+
+/// One shard's instantaneous progress signals, gathered from reads that are
+/// safe from any thread: the merger-published ingest clock, the SPSC
+/// queue's occupancy and the cumulative producer-stall count.
+struct ShardHealthSample {
+  size_t shard = 0;
+  Ts clock = kMinTs;         // last published ingest clock
+  size_t queue_size = 0;     // batches currently in the SPSC ring
+  size_t queue_capacity = 0;
+  size_t producer_stalls = 0;  // cumulative router parks on a full ring
+};
+
+/// Per-shard verdict of one detector observation.
+struct ShardHealth {
+  size_t shard = 0;
+  Ts clock = kMinTs;
+  size_t queue_size = 0;
+  size_t queue_capacity = 0;
+  size_t producer_stalls = 0;
+  /// Watermark frozen while work is queued: the clock did not advance
+  /// between two consecutive observations and the queue was non-empty on
+  /// both — the worker is wedged, not merely idle.
+  bool stalled = false;
+  /// Producer stalls grew since the previous observation: the router is
+  /// parking on this shard's full ring. Reported, not unhealthy — bounded
+  /// queues are SUPPOSED to exert backpressure under load.
+  bool backpressure = false;
+};
+
+/// Aggregate health of the sharded runtime: unhealthy iff any shard is
+/// stalled. Rendered by /healthz (HTTP 200 / 503 keyed on `healthy`).
+struct HealthReport {
+  bool healthy = true;
+  bool backpressure = false;  // any shard's producer stalls grew
+  std::vector<ShardHealth> shards;
+  std::string ToJson() const;
+};
+
+/// Two-observation stall detector. A single snapshot cannot distinguish a
+/// wedged worker from one mid-batch, so the detector keeps the previous
+/// observation per shard and flags a stall only when the clock holds still
+/// across BOTH observations while the queue stays non-empty. The first
+/// observation therefore never reports a stall; scrape-driven callers (the
+/// /healthz handler) converge after two polls.
+class StallDetector {
+ public:
+  HealthReport Observe(const std::vector<ShardHealthSample>& samples);
+
+ private:
+  struct PrevSample {
+    Ts clock = kMinTs;
+    size_t producer_stalls = 0;
+    bool queue_nonempty = false;
+    bool valid = false;
+  };
+  std::vector<PrevSample> prev_;
+};
+
+}  // namespace greta::runtime
+
+#endif  // GRETA_RUNTIME_HEALTH_H_

@@ -82,6 +82,13 @@ class ResultMerger {
   /// Minimum over published shard clocks (kMinTs before any publication).
   Ts low_watermark() const;
 
+  /// Shard `shard`'s last published ingest clock (kMinTs before any
+  /// publication). Lock-free; readable from any thread — the stall
+  /// detector compares consecutive reads to spot a frozen shard.
+  Ts shard_clock(size_t shard) const {
+    return stages_[shard]->clock.load(std::memory_order_acquire);
+  }
+
   /// Windows currently held back awaiting the low watermark, summed over
   /// queries (driver thread only; current as of the last Merge call) — the
   /// merger's hold-back depth.

@@ -1,6 +1,8 @@
 #include "runtime/sharded_runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace greta::runtime {
@@ -98,8 +100,14 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
         "greta_runtime_producer_stalls_total", "shard", s));
     shard.tm_batch_events = reg.HistogramIf(
         telemetry::Labeled("greta_runtime_batch_events", "shard", s));
+    shard.tm_e2e = reg.HistogramIf(
+        telemetry::Labeled("greta_runtime_e2e_latency_ns", "shard", s));
   }
   rt->tm_watermark_lag_ = reg.GaugeIf("greta_runtime_watermark_lag");
+  rt->tm_watermark_lag_ns_ = reg.GaugeIf("greta_runtime_watermark_lag_ns");
+  // Arm router-side arrival stamping when the e2e histograms are live, so
+  // scalar Process callers get latency tracking without opting in.
+  rt->tm_stamp_arrivals_ = rt->shards_[0]->tm_e2e != nullptr;
   rt->tm_merger_holdback_ =
       reg.GaugeIf("greta_runtime_merger_pending_windows");
   rt->tm_trace_ = reg.TraceIf();
@@ -114,6 +122,7 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
 }
 
 ShardedRuntime::~ShardedRuntime() {
+  shutting_down_.store(true, std::memory_order_release);  // frees paused workers
   for (std::unique_ptr<Shard>& shard : shards_) {
     if (shard->queue != nullptr) shard->queue->Close();
   }
@@ -131,7 +140,7 @@ Status ShardedRuntime::Process(const Event& e) {
   clock_ = e.time;
   ++events_processed_;
 
-  RouteOne(e);
+  RouteOne(e, tm_stamp_arrivals_ ? telemetry::SteadyNowNs() : 0);
   MaybeHeartbeat();
   return Status::Ok();
 }
@@ -146,27 +155,42 @@ Status ShardedRuntime::ProcessBatch(const EventBatch& batch) {
   }
   merger_->ClearFlushed();
   saw_events_ = true;
+  // Arrival ticks: propagate the caller's per-row stamps (bench_util's
+  // RunStreamBatched stamps at ingest) or, when telemetry wants e2e latency
+  // and the batch carries none, stamp the whole batch once now.
+  const bool stamped = batch.has_arrivals();
+  const uint64_t now_ns =
+      (!stamped && tm_stamp_arrivals_) ? telemetry::SteadyNowNs() : 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     clock_ = batch.time(i);
     ++events_processed_;
-    RouteOne(batch.ref(i));
+    RouteOne(batch.ref(i), stamped ? batch.arrival_ns(i) : now_ns);
     MaybeHeartbeat();
   }
   return Status::Ok();
 }
 
-void ShardedRuntime::RouteOne(const EventRef& e) {
+void ShardedRuntime::RouteOne(const EventRef& e, uint64_t arrival_ns) {
+  // The arrival column must stay row-aligned even if stamping toggles
+  // between fills: a pending batch is stamped iff its FIRST row carried a
+  // stamp, and a stamped batch records every later row (0 = unknown).
+  auto append_row = [&](EventBatch* pending) {
+    const bool stamp =
+        pending->empty() ? arrival_ns != 0 : pending->has_arrivals();
+    pending->Append(e);
+    if (stamp) pending->AppendArrival(arrival_ns);
+  };
   int target = router_.ShardOf(e);
   if (target == ShardRouter::kBroadcast) {
     for (size_t s = 0; s < shards_.size(); ++s) {
-      shards_[s]->pending.Append(e);
+      append_row(&shards_[s]->pending);
       if (shards_[s]->pending.size() >= options_.batch_size) {
         FlushShardBatch(s, /*flush=*/false);
       }
     }
   } else if (target >= 0) {
     Shard& shard = *shards_[target];
-    shard.pending.Append(e);
+    append_row(&shard.pending);
     if (shard.pending.size() >= options_.batch_size) {
       FlushShardBatch(static_cast<size_t>(target), /*flush=*/false);
     }
@@ -189,6 +213,22 @@ void ShardedRuntime::MaybeHeartbeat() {
 
 void ShardedRuntime::TelemetryHeartbeat() {
 #if GRETA_TELEMETRY
+  // Real-clock watermark lag: the worst shard's distance between NOW and
+  // the arrival tick of the newest batch it finished, counted only while
+  // work is still queued behind it (an idle shard is caught up, not
+  // lagging). Complements greta_runtime_watermark_lag, which measures
+  // event-time distance.
+  if (tm_watermark_lag_ns_ != nullptr) {
+    const uint64_t now_ns = telemetry::SteadyNowNs();
+    uint64_t worst = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->queue->size() == 0) continue;
+      const uint64_t done =
+          shard->processed_arrival_ns.load(std::memory_order_relaxed);
+      if (done != 0 && now_ns > done) worst = std::max(worst, now_ns - done);
+    }
+    tm_watermark_lag_ns_->Set(static_cast<double>(worst));
+  }
   const Ts lw = merger_->low_watermark();
   if (lw <= kMinTs) return;  // no shard published a clock yet
   GRETA_TM_SET(tm_watermark_lag_, static_cast<double>(clock_ - lw));
@@ -268,6 +308,13 @@ void ShardedRuntime::DrainLoop(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   Batch batch;
   while (shard.queue->Pop(&batch)) {
+    // Test hook: a paused worker parks HERE with the popped batch in hand —
+    // its clock freezes while the queue behind it fills, which is exactly
+    // the wedged-worker signature the stall detector exists to flag.
+    while (shard.paused.load(std::memory_order_acquire) &&
+           !shutting_down_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
     bool healthy;
     {
       std::lock_guard<std::mutex> lock(shard.snapshot_mu);
@@ -289,7 +336,22 @@ void ShardedRuntime::DrainLoop(size_t shard_index) {
         status = shard.greta != nullptr ? shard.greta->Flush()
                                         : shard.shared->Flush();
       }
-      DrainShardResults(shard_index, &shard);
+      const size_t staged = DrainShardResults(shard_index, &shard);
+      if (batch.events.has_arrivals()) {
+        shard.processed_arrival_ns.store(batch.events.arrival_ns(0),
+                                         std::memory_order_relaxed);
+        // End-to-end latency, recorded only for batches that emitted rows:
+        // arrival at the router -> rows staged for the merger, covering
+        // queue wait + processing + emission. Batches that close no window
+        // are skipped — they have no result whose latency could be meant.
+        if (staged > 0 && shard.tm_e2e != nullptr) {
+          const uint64_t now_ns = telemetry::SteadyNowNs();
+          const uint64_t arrived = batch.events.arrival_ns(0);
+          if (now_ns > arrived && arrived != 0) {
+            shard.tm_e2e->Record(now_ns - arrived);
+          }
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(shard.snapshot_mu);
         if (!status.ok()) {
@@ -299,6 +361,12 @@ void ShardedRuntime::DrainLoop(size_t shard_index) {
         shard.stats_snapshot = shard.greta != nullptr
                                    ? shard.greta->stats()
                                    : shard.shared->stats();
+        shard.query_stats_snapshot =
+            shard.greta != nullptr ? shard.greta->query_exec_stats()
+                                   : shard.shared->query_exec_stats();
+        if (shard.shared != nullptr) {
+          shard.adapt_snapshot = shard.shared->adaptation_states();
+        }
       }
     }
     // Clock and flush ack even when poisoned: a stalled shard would
@@ -318,14 +386,19 @@ void ShardedRuntime::DrainLoop(size_t shard_index) {
   }
 }
 
-void ShardedRuntime::DrainShardResults(size_t shard_index, Shard* shard) {
+size_t ShardedRuntime::DrainShardResults(size_t shard_index, Shard* shard) {
   const size_t nq = merger_->num_queries();
+  size_t staged = 0;
   for (size_t q = 0; q < nq; ++q) {
     std::vector<ResultRow> rows = shard->greta != nullptr
                                       ? shard->greta->TakeResultsFor(q)
                                       : shard->shared->TakeResults(q);
-    if (!rows.empty()) merger_->Stage(shard_index, q, std::move(rows));
+    if (!rows.empty()) {
+      staged += rows.size();
+      merger_->Stage(shard_index, q, std::move(rows));
+    }
   }
+  return staged;
 }
 
 std::vector<ResultRow> ShardedRuntime::TakeResults() {
@@ -377,6 +450,59 @@ ShardedRuntime::ShardQueueStats ShardedRuntime::shard_queue_stats(
   out.depth_high_watermark = q.depth_high_watermark();
   out.producer_stalls = q.producer_stalls();
   return out;
+}
+
+HealthReport ShardedRuntime::CheckHealth() {
+  std::vector<ShardHealthSample> samples;
+  samples.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const SpscQueue<Batch>& q = *shards_[s]->queue;
+    ShardHealthSample sample;
+    sample.shard = s;
+    sample.clock = merger_->shard_clock(s);
+    sample.queue_size = q.size();
+    sample.queue_capacity = q.capacity();
+    sample.producer_stalls = q.producer_stalls();
+    samples.push_back(sample);
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return stall_detector_.Observe(samples);
+}
+
+std::vector<QueryExecStats> ShardedRuntime::WorkloadQueryExecStats() const {
+  std::vector<QueryExecStats> total(merger_->num_queries());
+  for (size_t q = 0; q < total.size(); ++q) total[q].query_id = q;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    for (const QueryExecStats& s : shard->query_stats_snapshot) {
+      if (s.query_id >= total.size()) continue;
+      QueryExecStats& acc = total[s.query_id];
+      acc.windows_closed += s.windows_closed;
+      acc.events_routed += s.events_routed;
+      acc.vertices_created += s.vertices_created;
+      acc.edges_traversed += s.edges_traversed;
+      acc.rows_emitted += s.rows_emitted;
+      acc.emit_ns += s.emit_ns;
+    }
+  }
+  return total;
+}
+
+std::vector<sharing::AdaptationStats> ShardedRuntime::ShardAdaptationSnapshot(
+    size_t shard) const {
+  GRETA_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->snapshot_mu);
+  return shards_[shard]->adapt_snapshot;
+}
+
+const sharing::SharingPlan* ShardedRuntime::sharing_plan() const {
+  const Shard& shard0 = *shards_[0];
+  return shard0.shared != nullptr ? &shard0.shared->sharing_plan() : nullptr;
+}
+
+void ShardedRuntime::SetShardPausedForTest(size_t shard, bool paused) {
+  GRETA_CHECK(shard < shards_.size());
+  shards_[shard]->paused.store(paused, std::memory_order_release);
 }
 
 size_t ShardedRuntime::TotalMigrations() const {

@@ -10,6 +10,7 @@
 #include "common/memory.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "runtime/health.h"
 #include "runtime/result_merger.h"
 #include "runtime/shard_router.h"
 #include "runtime/spsc_queue.h"
@@ -131,6 +132,38 @@ class ShardedRuntime : public EngineInterface {
   };
   ShardQueueStats shard_queue_stats(size_t shard) const;
 
+  /// One stall-detector observation over every shard (merger-published
+  /// clocks + queue occupancy + producer stalls — all any-thread-safe
+  /// reads). Stateful: a stall needs two consecutive observations with a
+  /// frozen clock and a non-empty queue (see runtime/health.h), so the
+  /// /healthz handler converges after two polls. Thread-safe.
+  HealthReport CheckHealth();
+
+  /// Per-query EXPLAIN ANALYZE tallies summed across shards, from the
+  /// snapshots each worker refreshes after its last processed batch (same
+  /// discipline as stats()). Every shard closes the same window grid over
+  /// its slice, so windows_closed is the across-shard sum of closes and
+  /// structural counters sum exactly like EngineStats. Thread-safe.
+  std::vector<QueryExecStats> WorkloadQueryExecStats() const;
+
+  /// Adaptation telemetry snapshot of shard `shard` (worker-refreshed,
+  /// like WorkloadQueryExecStats) — the thread-safe counterpart of
+  /// ShardAdaptationStates for live scrapes. Empty for single-query
+  /// workloads.
+  std::vector<sharing::AdaptationStats> ShardAdaptationSnapshot(
+      size_t shard) const;
+
+  /// The sharing plan compiled for every shard's workload runtime
+  /// (immutable after Create; identical across shards), or nullptr for
+  /// single-query workloads. Carries the planner's per-cluster cost
+  /// ESTIMATES that EXPLAIN ANALYZE joins against observed work.
+  const sharing::SharingPlan* sharing_plan() const;
+
+  /// Test hook: wedges shard `shard`'s worker (it parks after its next
+  /// queue pop, holding the batch unprocessed, clock frozen) until
+  /// unpaused. Drives the stall detector's unhealthy path in tests.
+  void SetShardPausedForTest(size_t shard, bool paused);
+
   /// Aggregated stats: events counted at the router; vertices / edges /
   /// work summed over per-shard snapshots (taken by each worker after its
   /// last processed batch); peak_bytes from the workload roll-up tracker.
@@ -163,6 +196,16 @@ class ShardedRuntime : public EngineInterface {
     std::mutex snapshot_mu;
     EngineStats stats_snapshot;
     Status error = Status::Ok();  // guarded by snapshot_mu
+    // Worker-refreshed observability snapshots (guarded by snapshot_mu):
+    // read by HTTP scrape threads, never by the hot path.
+    std::vector<QueryExecStats> query_stats_snapshot;
+    std::vector<sharing::AdaptationStats> adapt_snapshot;
+
+    // Test hook (SetShardPausedForTest): worker parks after its next pop.
+    std::atomic<bool> paused{false};
+    // Arrival tick of the newest batch this worker finished processing
+    // (0 until a stamped batch arrives) — real-clock watermark lag input.
+    std::atomic<uint64_t> processed_arrival_ns{0};
 
     // Telemetry series (null when disarmed), mirrored by the router at
     // batch-flush granularity; tm_stalls_seen tracks the last mirrored
@@ -170,16 +213,20 @@ class ShardedRuntime : public EngineInterface {
     telemetry::Gauge* tm_depth_hwm = nullptr;
     telemetry::Counter* tm_stalls = nullptr;
     telemetry::Histogram* tm_batch_events = nullptr;
+    telemetry::Histogram* tm_e2e = nullptr;  // arrival -> emit, worker side
     size_t tm_stalls_seen = 0;
   };
 
   ShardedRuntime() = default;
 
   void DrainLoop(size_t shard_index);
-  void DrainShardResults(size_t shard_index, Shard* shard);
-  // Appends one routed event to its shard(s)' pending batch, flushing any
-  // batch that reached batch_size. Shared by Process and ProcessBatch.
-  void RouteOne(const EventRef& e);
+  // Stages drained rows with the merger; returns how many rows were staged
+  // (the e2e latency recorder only samples batches that emitted).
+  size_t DrainShardResults(size_t shard_index, Shard* shard);
+  // Appends one routed event (and its arrival tick when non-zero) to its
+  // shard(s)' pending batch, flushing any batch that reached batch_size.
+  // Shared by Process and ProcessBatch.
+  void RouteOne(const EventRef& e, uint64_t arrival_ns);
   void MaybeHeartbeat();
   void FlushShardBatch(size_t shard_index, bool flush);
   Status FirstShardError() const;
@@ -211,13 +258,22 @@ class ShardedRuntime : public EngineInterface {
   size_t flush_target_ = 0;
 
   std::atomic<bool> any_error_{false};
+  std::atomic<bool> shutting_down_{false};  // releases paused workers
   mutable EngineStats stats_;
+
+  // Stall-detector state (mutex: /healthz scrapes may overlap).
+  std::mutex health_mu_;
+  StallDetector stall_detector_;
 
   // Runtime-wide telemetry (null when disarmed).
   telemetry::Gauge* tm_watermark_lag_ = nullptr;
+  telemetry::Gauge* tm_watermark_lag_ns_ = nullptr;  // real-clock lag
   telemetry::Gauge* tm_merger_holdback_ = nullptr;
   telemetry::TraceRing* tm_trace_ = nullptr;
   Ts tm_last_low_wm_ = kMinTs;  // router thread only
+  // Stamp arrivals at the router when telemetry wants e2e latency even if
+  // the caller's batches carry no arrival column.
+  bool tm_stamp_arrivals_ = false;
 
   std::unique_ptr<ThreadPool> pool_;
 };

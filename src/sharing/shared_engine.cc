@@ -447,6 +447,26 @@ void SharedWorkloadEngine::RetireOld(ClusterState* c) {
     c->retired_stats.edges_traversed += s.edges_traversed;
     c->retired_stats.work_units += s.work_units;
   }
+  // Same contract for the per-slot EXPLAIN tallies.
+  if (c->retired_query_stats.size() < c->query_ids.size()) {
+    c->retired_query_stats.resize(c->query_ids.size());
+  }
+  for (size_t slot = 0; slot < c->query_ids.size(); ++slot) {
+    const GretaEngine* old_unit = c->retiring_merged
+                                      ? c->retiring[0].get()
+                                      : c->retiring[slot].get();
+    const size_t old_slot = c->retiring_merged ? slot : 0;
+    const std::vector<QueryExecStats>& qstats = old_unit->query_exec_stats();
+    if (old_slot >= qstats.size()) continue;  // never closed a window
+    QueryExecStats& acc = c->retired_query_stats[slot];
+    const QueryExecStats& s = qstats[old_slot];
+    acc.windows_closed += s.windows_closed;
+    acc.events_routed += s.events_routed;
+    acc.vertices_created += s.vertices_created;
+    acc.edges_traversed += s.edges_traversed;
+    acc.rows_emitted += s.rows_emitted;
+    acc.emit_ns += s.emit_ns;
+  }
   // 2. Drain the outgoing engines' remaining rows; they own wid < split.
   //    (Push callbacks for these fired at window close already.)
   auto drain_old = [this, c](GretaEngine* unit, size_t engine_slot,
@@ -583,6 +603,40 @@ const AggPlan& SharedWorkloadEngine::agg_plan_for(size_t query_id) const {
   const ExecPlan& plan = EngineFor(c, route.slot)->plan();
   return plan.query_aggs.empty() ? plan.agg
                                  : plan.query_aggs[EngineSlot(c, route.slot)];
+}
+
+std::vector<QueryExecStats> SharedWorkloadEngine::query_exec_stats() const {
+  std::vector<QueryExecStats> out(routes_.size());
+  auto accumulate = [](QueryExecStats* acc, const QueryExecStats& s) {
+    acc->windows_closed += s.windows_closed;
+    acc->events_routed += s.events_routed;
+    acc->vertices_created += s.vertices_created;
+    acc->edges_traversed += s.edges_traversed;
+    acc->rows_emitted += s.rows_emitted;
+    acc->emit_ns += s.emit_ns;
+  };
+  for (size_t qid = 0; qid < routes_.size(); ++qid) {
+    const Route& route = routes_[qid];
+    const ClusterState& c = *clusters_[route.cluster];
+    QueryExecStats& acc = out[qid];
+    acc.query_id = qid;
+    const std::vector<QueryExecStats>& live =
+        EngineFor(c, route.slot)->query_exec_stats();
+    const size_t live_slot = EngineSlot(c, route.slot);
+    if (live_slot < live.size()) accumulate(&acc, live[live_slot]);
+    if (c.handover_active()) {
+      const GretaEngine* old_unit = c.retiring_merged
+                                        ? c.retiring[0].get()
+                                        : c.retiring[route.slot].get();
+      const size_t old_slot = c.retiring_merged ? route.slot : 0;
+      const std::vector<QueryExecStats>& old = old_unit->query_exec_stats();
+      if (old_slot < old.size()) accumulate(&acc, old[old_slot]);
+    }
+    if (route.slot < c.retired_query_stats.size()) {
+      accumulate(&acc, c.retired_query_stats[route.slot]);
+    }
+  }
+  return out;
 }
 
 std::vector<AdaptationStats> SharedWorkloadEngine::adaptation_states() const {

@@ -123,6 +123,13 @@ class SharedWorkloadEngine : public EngineInterface {
   const SharingPlan& sharing_plan() const { return plan_; }
   const AggPlan& agg_plan_for(size_t query_id) const;
 
+  /// Per-query EXPLAIN ANALYZE tallies for every query of the workload, in
+  /// query-id order: the owning unit runtime's tallies (cluster-attributed
+  /// under sharing — see QueryExecStats) plus any in-flight handover
+  /// engine's and the retired accumulator's, so migrations never lose
+  /// observed work. O(queries); read at snapshot points, not per event.
+  std::vector<QueryExecStats> query_exec_stats() const;
+
   /// Adaptation telemetry, one entry per plan cluster (in cluster order):
   /// current mode, applied migrations, observed rates and cost estimates.
   /// Clusters outside the loop (dedicated-only, unbounded windows,
@@ -182,6 +189,9 @@ class SharedWorkloadEngine : public EngineInterface {
 
     size_t migrations = 0;
     EngineStats retired_stats;  // cumulative counters of retired engines
+    // Per-slot EXPLAIN tallies of retired engines (query_ids order),
+    // accumulated by RetireOld alongside retired_stats.
+    std::vector<QueryExecStats> retired_query_stats;
 
     // Per-cluster telemetry series (null when disarmed): execution mode
     // (0 = merged, 1 = dedicated) and the calibrated cost-model

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <ctime>
 
 namespace greta::telemetry {
 
@@ -39,24 +40,69 @@ std::string FormatDouble(double v) {
 }
 
 // Labeled instrument names embed `"` (name{key="value"}); JSON keys must
-// escape them.
+// escape them, and adversarial names (newlines, tabs) must not break the
+// document.
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(&out, "\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }
 
 }  // namespace
 
+std::string FormatIso8601(int64_t system_ns) {
+  if (system_ns <= 0) return "-";
+  const time_t secs = static_cast<time_t>(system_ns / 1000000000);
+  const int millis = static_cast<int>((system_ns % 1000000000) / 1000000);
+  struct tm utc {};
+  gmtime_r(&secs, &utc);
+  char buf[72];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+  return buf;
+}
+
+std::string EscapeLabelBlock(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  bool in_quote = false;
+  for (char c : labels) {
+    if (c == '"') {
+      in_quote = !in_quote;
+      out += c;
+    } else if (in_quote && c == '\\') {
+      out += "\\\\";
+    } else if (in_quote && c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string ExportPrometheus(const MetricRegistry& registry) {
   std::string out;
   for (const MetricRegistry::CounterSample& c : registry.ScrapeCounters()) {
     std::string base, labels;
     SplitLabels(c.name, &base, &labels);
+    labels = EscapeLabelBlock(labels);
     AppendF(&out, "# TYPE %s counter\n", base.c_str());
     AppendF(&out, "%s%s %" PRIu64 "\n", base.c_str(), labels.c_str(),
             c.value);
@@ -64,6 +110,7 @@ std::string ExportPrometheus(const MetricRegistry& registry) {
   for (const MetricRegistry::GaugeSample& g : registry.ScrapeGauges()) {
     std::string base, labels;
     SplitLabels(g.name, &base, &labels);
+    labels = EscapeLabelBlock(labels);
     AppendF(&out, "# TYPE %s gauge\n", base.c_str());
     AppendF(&out, "%s%s %s\n", base.c_str(), labels.c_str(),
             FormatDouble(g.value).c_str());
@@ -72,6 +119,7 @@ std::string ExportPrometheus(const MetricRegistry& registry) {
        registry.ScrapeHistograms()) {
     std::string base, labels;
     SplitLabels(h.name, &base, &labels);
+    labels = EscapeLabelBlock(labels);
     // Labels of the series merge with the `le` bucket label.
     std::string inner =
         labels.empty() ? "" : labels.substr(1, labels.size() - 2) + ",";
@@ -124,20 +172,25 @@ std::string ExportJson(MetricRegistry& registry, bool include_trace) {
   }
   out += "}";
   if (include_trace) {
+    const ClockAnchor anchor = registry.clock_anchor();
     out += ",\"trace\":[";
     first = true;
     for (const TraceEvent& e : registry.trace().Snapshot()) {
+      const int64_t wall = (e.when_ns != 0 && anchor.valid())
+                               ? anchor.ToSystemNs(e.when_ns)
+                               : 0;
       AppendF(&out,
               "%s{\"seq\":%" PRIu64
               ",\"kind\":\"%s\",\"shard\":%u,\"cluster\":%u,\"ts\":%lld,"
               "\"wid\":%lld,\"a\":%" PRIu64 ",\"b\":%" PRIu64
-              ",\"x\":%s,\"y\":%s}",
+              ",\"x\":%s,\"y\":%s,\"when_ns\":%" PRIu64 ",\"time\":\"%s\"}",
               first ? "" : ",", e.seq, TraceKindName(e.kind),
               static_cast<unsigned>(e.shard),
               static_cast<unsigned>(e.cluster),
               static_cast<long long>(e.ts), static_cast<long long>(e.wid),
               e.a, e.b, FormatDouble(e.x).c_str(),
-              FormatDouble(e.y).c_str());
+              FormatDouble(e.y).c_str(), e.when_ns,
+              FormatIso8601(wall).c_str());
       first = false;
     }
     out += "]";
@@ -168,6 +221,7 @@ std::string ExplainTelemetry(MetricRegistry& registry, size_t trace_tail) {
             h.snap.Quantile(0.99));
   }
   std::vector<TraceEvent> trace = registry.trace().Snapshot();
+  const ClockAnchor anchor = registry.clock_anchor();
   AppendF(&out, "-- trace (%zu of %" PRIu64 " lifecycle events) --\n",
           trace.size() < trace_tail ? trace.size() : trace_tail,
           registry.trace().total_emitted());
@@ -175,13 +229,16 @@ std::string ExplainTelemetry(MetricRegistry& registry, size_t trace_tail) {
       trace.size() > trace_tail ? trace.size() - trace_tail : 0;
   for (size_t i = start; i < trace.size(); ++i) {
     const TraceEvent& e = trace[i];
+    const int64_t wall = (e.when_ns != 0 && anchor.valid())
+                             ? anchor.ToSystemNs(e.when_ns)
+                             : 0;
     AppendF(&out,
-            "  #%-8" PRIu64 " %-18s shard=%u cluster=%u ts=%lld wid=%lld "
-            "a=%" PRIu64 " b=%" PRIu64 " x=%s y=%s\n",
-            e.seq, TraceKindName(e.kind), static_cast<unsigned>(e.shard),
-            static_cast<unsigned>(e.cluster), static_cast<long long>(e.ts),
-            static_cast<long long>(e.wid), e.a, e.b,
-            FormatDouble(e.x).c_str(), FormatDouble(e.y).c_str());
+            "  #%-8" PRIu64 " %-24s %-18s shard=%u cluster=%u ts=%lld "
+            "wid=%lld a=%" PRIu64 " b=%" PRIu64 " x=%s y=%s\n",
+            e.seq, FormatIso8601(wall).c_str(), TraceKindName(e.kind),
+            static_cast<unsigned>(e.shard), static_cast<unsigned>(e.cluster),
+            static_cast<long long>(e.ts), static_cast<long long>(e.wid),
+            e.a, e.b, FormatDouble(e.x).c_str(), FormatDouble(e.y).c_str());
   }
   return out;
 }

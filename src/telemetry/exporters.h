@@ -26,6 +26,19 @@ std::string ExportJson(MetricRegistry& registry, bool include_trace = true);
 std::string ExplainTelemetry(MetricRegistry& registry,
                              size_t trace_tail = 32);
 
+/// Renders a system-clock nanosecond timestamp as UTC ISO-8601 with
+/// millisecond precision ("2026-08-08T12:34:56.789Z"). Returns "-" for
+/// non-positive inputs (no anchor / unstamped event).
+std::string FormatIso8601(int64_t system_ns);
+
+/// Escapes a Prometheus label block ("{k=\"v\",...}") per the text
+/// exposition format: inside quoted values, `\` -> `\\` and newline ->
+/// `\n`. Raw `"` inside a value is inherently ambiguous in our
+/// name-embeds-labels convention and is left untouched — instrument names
+/// are code-authored, so this guards against pathological values (paths,
+/// query text), not hostile ones.
+std::string EscapeLabelBlock(const std::string& labels);
+
 }  // namespace greta::telemetry
 
 #endif  // GRETA_TELEMETRY_EXPORTERS_H_

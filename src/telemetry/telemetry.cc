@@ -1,6 +1,7 @@
 #include "telemetry/telemetry.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace greta::telemetry {
 
@@ -9,6 +10,27 @@ size_t ThreadSlot() noexcept {
   thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
   return slot;
 }
+
+uint64_t SteadyNowNs() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+ClockAnchor CaptureAnchor() {
+  ClockAnchor anchor;
+  anchor.steady_ns = static_cast<int64_t>(SteadyNowNs());
+  anchor.system_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  return anchor;
+}
+
+}  // namespace
 
 uint64_t Histogram::Snapshot::Quantile(double q) const {
   if (count == 0) return 0;
@@ -81,6 +103,10 @@ void TraceRing::Emit(const TraceEvent& e) noexcept {
   slot.w[4].store(e.b, std::memory_order_relaxed);
   slot.w[5].store(PackDouble(e.x), std::memory_order_relaxed);
   slot.w[6].store(PackDouble(e.y), std::memory_order_relaxed);
+  // Emission-time wall-clock stamp: traces are lifecycle-rate (window
+  // closes, plan decisions), never per-event, so one clock read is cheap.
+  slot.w[7].store(e.when_ns != 0 ? e.when_ns : SteadyNowNs(),
+                  std::memory_order_relaxed);
   slot.seq.store((ticket + 1) * 2, std::memory_order_release);
 }
 
@@ -107,6 +133,7 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     e.b = slot.w[4].load(std::memory_order_relaxed);
     e.x = UnpackDouble(slot.w[5].load(std::memory_order_relaxed));
     e.y = UnpackDouble(slot.w[6].load(std::memory_order_relaxed));
+    e.when_ns = slot.w[7].load(std::memory_order_relaxed);
     // Re-validate: if the slot moved underneath us the payload may mix
     // generations — drop it.
     if (slot.seq.load(std::memory_order_acquire) != (ticket + 1) * 2) {
@@ -128,7 +155,8 @@ void TraceRing::Reset() noexcept {
 }
 
 MetricRegistry::MetricRegistry()
-    : trace_(std::make_unique<TraceRing>(TelemetryOptions{}.trace_capacity)) {}
+    : trace_(std::make_unique<TraceRing>(TelemetryOptions{}.trace_capacity)),
+      anchor_(CaptureAnchor()) {}
 
 MetricRegistry& MetricRegistry::Default() {
   static MetricRegistry* registry = new MetricRegistry();
@@ -171,9 +199,15 @@ void MetricRegistry::Configure(const TelemetryOptions& options) {
   sample_every_.store(std::max<size_t>(options.sample_every, 1),
                       std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
+  anchor_ = CaptureAnchor();
   if (RoundUpPow2(options.trace_capacity, 8) != trace_->capacity()) {
     trace_ = std::make_unique<TraceRing>(options.trace_capacity);
   }
+}
+
+ClockAnchor MetricRegistry::clock_anchor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anchor_;
 }
 
 TraceRing& MetricRegistry::trace() {

@@ -37,6 +37,33 @@ struct TelemetryOptions {
   /// record every Nth sample (1 = record all). Counters and gauges are
   /// never sampled — they are O(1) relaxed atomics.
   size_t sample_every = 1;
+  /// Host the live observability endpoint (telemetry/http_server.h): when
+  /// true, servers/examples arm an HttpServer over the default registry
+  /// serving /metrics, /snapshot, /trace, /explain, /queries and /healthz.
+  bool serve = false;
+  /// TCP port of the endpoint on 127.0.0.1; 0 binds an ephemeral port
+  /// (the bound port is reported by HttpServer::port()).
+  uint16_t http_port = 0;
+};
+
+/// Steady-clock now in nanoseconds — the time base of arrival stamps, e2e
+/// latency histograms and trace wall-clock stamps. Mapped to system time
+/// through the registry's ClockAnchor at export time.
+uint64_t SteadyNowNs() noexcept;
+
+/// A (steady, system) clock pair captured at the same instant, recorded by
+/// MetricRegistry::Configure: system_ns + (steady_sample - steady_ns) maps
+/// any steady-clock stamp to wall-clock time for ISO-8601 rendering in the
+/// exporters. Zero-initialized until the first Configure.
+struct ClockAnchor {
+  int64_t steady_ns = 0;
+  int64_t system_ns = 0;
+
+  bool valid() const noexcept { return system_ns != 0; }
+  /// Maps a steady-clock stamp (ns) onto the system clock (ns since epoch).
+  int64_t ToSystemNs(uint64_t steady_sample_ns) const noexcept {
+    return system_ns + (static_cast<int64_t>(steady_sample_ns) - steady_ns);
+  }
 };
 
 // ----------------------------------------------------------- instruments
@@ -220,6 +247,10 @@ struct TraceEvent {
   uint64_t b = 0;
   double x = 0.0;
   double y = 0.0;
+  /// Steady-clock emission stamp (SteadyNowNs), filled by TraceRing::Emit —
+  /// callers never set it. Exporters map it to wall-clock ISO-8601 through
+  /// the registry's ClockAnchor.
+  uint64_t when_ns = 0;
 };
 
 class TraceRing {
@@ -244,11 +275,12 @@ class TraceRing {
   void Reset() noexcept;
 
  private:
-  // 8 atomic words: [0] seq, [1] kind|shard|cluster, [2] ts, [3] wid,
-  // [4] a, [5] b, [6] bits(x), [7] bits(y). 64 bytes, one cache line.
+  // 9 atomic words: [0] seq, [1] kind|shard|cluster, [2] ts, [3] wid,
+  // [4] a, [5] b, [6] bits(x), [7] bits(y), [8] when_ns. 72 bytes,
+  // alignas pads to two cache lines — fine for a lifecycle-rate ring.
   struct alignas(64) Slot {
     std::atomic<uint64_t> seq{0};  // 0 = never written
-    std::array<std::atomic<uint64_t>, 7> w{};
+    std::array<std::atomic<uint64_t>, 8> w{};
   };
 
   std::vector<Slot> slots_;
@@ -307,6 +339,10 @@ class MetricRegistry {
     return sample_every_.load(std::memory_order_relaxed);
   }
 
+  /// The steady→system mapping captured at construction and re-captured by
+  /// every Configure() — the wall-clock base of trace timestamps.
+  ClockAnchor clock_anchor() const;
+
   TraceRing& trace();
 
   /// Zeroes every instrument and the trace ring (benches and tests isolate
@@ -344,6 +380,7 @@ class MetricRegistry {
   std::deque<Named<Gauge>> gauges_;
   std::deque<Named<Histogram>> histograms_;
   std::unique_ptr<TraceRing> trace_;
+  ClockAnchor anchor_;  // guarded by mu_
   std::atomic<bool> enabled_{true};
   std::atomic<size_t> sample_every_{1};
 };

@@ -413,13 +413,22 @@ Status ReadIngest(const Json& block, IngestOptions* options) {
 }
 
 Status ReadTelemetry(const Json& block, telemetry::TelemetryOptions* options) {
-  Status keys = ExpectKeys(block, "\"telemetry\"",
-                           {"enabled", "trace_capacity", "sample_every"});
+  Status keys = ExpectKeys(
+      block, "\"telemetry\"",
+      {"enabled", "trace_capacity", "sample_every", "serve", "http_port"});
   if (!keys.ok()) return keys;
   Status s = ReadBool(block, "enabled", &options->enabled);
   if (s.ok()) s = ReadSize(block, "trace_capacity", &options->trace_capacity);
   if (s.ok()) s = ReadSize(block, "sample_every", &options->sample_every);
+  if (s.ok()) s = ReadBool(block, "serve", &options->serve);
+  size_t port = options->http_port;
+  if (s.ok()) s = ReadSize(block, "http_port", &port);
   if (!s.ok()) return s;
+  if (port > 65535) {
+    return Status::InvalidArgument(
+        "workload spec: telemetry.http_port must be <= 65535");
+  }
+  options->http_port = static_cast<uint16_t>(port);
   if (options->sample_every == 0) {
     return Status::InvalidArgument(
         "workload spec: telemetry.sample_every must be >= 1");

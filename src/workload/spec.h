@@ -51,7 +51,8 @@ namespace greta::workload {
 ///       "batch_size": 256, "sort_within_batch": false
 ///     },
 ///     "telemetry": {
-///       "enabled": true, "trace_capacity": 1024, "sample_every": 1
+///       "enabled": true, "trace_capacity": 1024, "sample_every": 1,
+///       "serve": false, "http_port": 0
 ///     },
 ///     "dataset": {
 ///       "kind": "stock", "seed": 42, "rate": 200, "duration": 60,
@@ -65,7 +66,9 @@ namespace greta::workload {
 /// The "adaptive" block configures the stats-driven re-planning loop
 /// (sharing/adaptive_planner.h); "bursts" gives the stock dataset a
 /// deterministic phase schedule of per-type rate multipliers — the load
-/// shifts that trigger re-planning.
+/// shifts that trigger re-planning. "telemetry.serve" asks the driver to
+/// start the embedded observability endpoint (telemetry/http_server.h) on
+/// "http_port" (0 = ephemeral; the driver prints the bound port).
 ///
 /// Unknown keys are rejected (typos in a workload file must not silently
 /// fall back to defaults). A "dataset" of kind "stock" registers the stock

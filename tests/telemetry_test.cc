@@ -6,7 +6,9 @@
 // validity including escaping of the quotes labeled names embed.
 
 #include <atomic>
+#include <cctype>
 #include <cstdint>
+#include <cstring>
 #include <set>
 #include <string>
 #include <thread>
@@ -366,6 +368,222 @@ TEST(TelemetryExporters, ExplainReportSmoke) {
     ++lines;
   }
   EXPECT_EQ(lines, 8u);
+}
+
+// Minimal strict JSON acceptor (RFC 8259 grammar, no semantic decoding):
+// proves the exporter emits one complete parseable document even when
+// instrument names carry quotes, control characters and backslashes.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool Object() {
+    ++pos_;
+    SkipWs();
+    if (Peek('}')) return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Peek(':')) return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      if (Peek('}')) return ++pos_, true;
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;
+    SkipWs();
+    if (Peek(']')) return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      if (Peek(']')) return ++pos_, true;
+      return false;
+    }
+  }
+  bool String() {
+    if (!Peek('"')) return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') return ++pos_, true;
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(TelemetryExporters, PrometheusEscapesAdversarialLabelValues) {
+  MetricRegistry reg;
+  // A label value smuggling a backslash and a newline: both must render as
+  // escape sequences, or the scrape format breaks at this line.
+  reg.GetCounter("greta_bad_total{path=\"a\\b\nc\"}")->Add(1);
+  std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("greta_bad_total{path=\"a\\\\b\\nc\"} 1\n"),
+            std::string::npos)
+      << text;
+  // No sample line may contain a raw newline mid-line: every '\n' is
+  // followed by a '#', a name character, or end-of-document.
+  for (size_t pos = text.find('\n'); pos != std::string::npos;
+       pos = text.find('\n', pos + 1)) {
+    if (pos + 1 == text.size()) break;
+    const char next = text[pos + 1];
+    EXPECT_TRUE(next == '#' || std::isalpha(static_cast<unsigned char>(next)))
+        << "raw newline mid-sample at offset " << pos;
+  }
+}
+
+TEST(TelemetryExporters, PrometheusRendersEmptyHistogram) {
+  MetricRegistry reg;
+  reg.GetHistogram("greta_empty_ns");  // registered, never recorded
+  std::string text = ExportPrometheus(reg);
+  // All value buckets are sparse-skipped; the +Inf cap, sum and count must
+  // still frame a complete (zero) histogram.
+  EXPECT_NE(text.find("greta_empty_ns_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("greta_empty_ns_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("greta_empty_ns_count 0\n"), std::string::npos);
+}
+
+TEST(TelemetryExporters, PrometheusRendersOverflowOnlyHistogram) {
+  MetricRegistry reg;
+  reg.GetHistogram("greta_sat_ns")->Record(UINT64_MAX);
+  std::string text = ExportPrometheus(reg);
+  // The saturating bucket's upper bound is UINT64_MAX, then the +Inf cap.
+  EXPECT_NE(text.find("greta_sat_ns_bucket{le=\"18446744073709551615\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("greta_sat_ns_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("greta_sat_ns_count 1\n"), std::string::npos);
+}
+
+TEST(TelemetryExporters, JsonRoundTripsAdversarialNames) {
+  MetricRegistry reg;
+  reg.GetCounter("greta_evil\ntotal{k=\"a\tb\"}")->Add(1);
+  reg.GetGauge(std::string("greta_ctl_") + '\x01' + "gauge")->Set(2.0);
+  reg.GetHistogram("greta_\"quoted\"_hist")->Record(5);
+  reg.trace().Emit(MakeTrace(TraceKind::kWindowClose, 9));
+  std::string json = ExportJson(reg, /*include_trace=*/true);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  std::string no_trace = ExportJson(reg, /*include_trace=*/false);
+  EXPECT_TRUE(JsonChecker(no_trace).Valid()) << no_trace;
+}
+
+TEST(TelemetryExporters, FormatIso8601KnownInstants) {
+  EXPECT_EQ(FormatIso8601(0), "-");
+  EXPECT_EQ(FormatIso8601(-5), "-");
+  EXPECT_EQ(FormatIso8601(1000000000LL), "1970-01-01T00:00:01.000Z");
+  EXPECT_EQ(FormatIso8601(1700000000123000000LL),
+            "2023-11-14T22:13:20.123Z");
+}
+
+TEST(TelemetryRegistry, ClockAnchorMapsSteadyToSystem) {
+  MetricRegistry reg;
+  const ClockAnchor anchor = reg.clock_anchor();
+  ASSERT_TRUE(anchor.valid());
+  // Identity at the anchor point, then linear in the steady delta.
+  EXPECT_EQ(anchor.ToSystemNs(static_cast<uint64_t>(anchor.steady_ns)),
+            anchor.system_ns);
+  EXPECT_EQ(anchor.ToSystemNs(static_cast<uint64_t>(anchor.steady_ns) + 5),
+            anchor.system_ns + 5);
+  // Configure re-captures the pair; the new anchor cannot move backwards.
+  reg.Configure(TelemetryOptions{});
+  const ClockAnchor again = reg.clock_anchor();
+  ASSERT_TRUE(again.valid());
+  EXPECT_GE(again.steady_ns, anchor.steady_ns);
+  EXPECT_GE(again.system_ns, 0);
+}
+
+TEST(TelemetryTraceRing, StampsWallClockOnEmit) {
+  TraceRing ring(8);
+  ring.Emit(MakeTrace(TraceKind::kWindowClose, 1));
+  std::vector<TraceEvent> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_NE(snap[0].when_ns, 0u);  // stamped at emission
+  // An explicit caller stamp is preserved verbatim.
+  TraceEvent e = MakeTrace(TraceKind::kWindowClose, 2);
+  e.when_ns = 1234;
+  ring.Emit(e);
+  snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[1].when_ns, 1234u);
 }
 
 TEST(TelemetryTraceKinds, AllNamed) {
