@@ -25,24 +25,47 @@
 
 #include "bench_util/harness.h"
 #include "bench_util/metrics.h"
+#include "common/simd.h"
 #include "query/parser.h"
 #include "workload/stock.h"
 
 namespace greta::bench {
 namespace {
 
-enum Workload { kQ1, kSliding, kSum, kPartial };
+enum Workload { kQ1, kSliding, kSum, kPartial, kFilter, kResidual };
 
 QuerySpec MakeQuery(Catalog* catalog, const std::string& agg, Ts within,
-                    Ts slide, bool next_pred) {
+                    Ts slide, bool next_pred,
+                    const std::string& extra_where = "") {
   std::string text = "RETURN sector, " + agg +
                      " PATTERN Stock S+ WHERE [company, sector]" +
                      (next_pred ? " AND S.price > NEXT(S).price" : "") +
-                     " GROUP-BY sector WITHIN " + std::to_string(within) +
-                     " seconds SLIDE " + std::to_string(slide) + " seconds";
+                     extra_where + " GROUP-BY sector WITHIN " +
+                     std::to_string(within) + " seconds SLIDE " +
+                     std::to_string(slide) + " seconds";
   auto spec = ParseQuery(text, catalog);
   GRETA_CHECK(spec.ok());
   return std::move(spec).value();
+}
+
+// Filter-heavy: three const vertex predicates (the vector filter kernel's
+// fast shape) on top of the equivalence keys, selective enough (~10% of
+// rows survive) that throughput tracks the filter loop, not propagation.
+// Timed on the one-company stream: a single partition makes each row group
+// batch-sized, so the filter kernels sweep long consecutive lanes — the
+// dense-scan regime this workload exists to measure.
+QuerySpec MakeFilterQuery(Catalog* catalog, Ts within, Ts slide) {
+  return MakeQuery(catalog, "COUNT(*)", within, slide, /*next_pred=*/false,
+                   " AND S.volume > 100 AND S.volume <= 200"
+                   " AND S.price > 50.0");
+}
+
+// Residual-predicate: two NEXT comparisons; the tree key range enforces one,
+// the other stays residual and runs per (entry, event) pair through the
+// compiled edge filter — the vectorized re-filter hot loop.
+QuerySpec MakeResidualQuery(Catalog* catalog, Ts within, Ts slide) {
+  return MakeQuery(catalog, "COUNT(*)", within, slide, /*next_pred=*/true,
+                   " AND S.volume >= NEXT(S).volume");
 }
 
 // The partial cluster: same Kleene core (type, predicates, keys), window
@@ -57,9 +80,11 @@ std::vector<QuerySpec> MakePartialSpecs(Catalog* catalog, Ts within) {
 
 std::unique_ptr<GretaEngine> MakeEngine(Catalog* catalog,
                                         const QuerySpec& spec,
-                                        bool batch_kernels) {
+                                        bool batch_kernels,
+                                        bool simd = true) {
   EngineOptions options;
   options.enable_batch_kernels = batch_kernels;
+  options.enable_simd = simd;
   auto built = GretaEngine::Create(catalog, spec, options);
   GRETA_CHECK(built.ok());
   return std::move(built).value();
@@ -170,22 +195,41 @@ int Run(const Flags& flags) {
       "batch256_rowwise forces the row-at-a-time fallback through the batch "
       "entry point. sliding_* is a 5-panes-per-event COUNT (suffix-merge "
       "strategy), sum_* a tumbling SUM (shared-fold), partial_* a two-query "
-      "partial-sharing cluster (batched snapshot kernel).",
+      "partial-sharing cluster (batched snapshot kernel). filter_* stacks "
+      "three const vertex predicates (vector filter kernel) on a "
+      "one-company stream (single partition, batch-sized row groups), "
+      "residual_* two "
+      "NEXT comparisons (vectorized edge re-filter); *_nosimd twins force "
+      "the scalar kernels on the same batch path. The simd column reports "
+      "the dispatched ISA and the fraction of batch rows that ran "
+      "vectorized.",
       "Throughput should rise with the batch size until every "
       "same-timestamp run fits in one batch; each *_batch256 row should "
       "clearly beat its *_scalar twin now that sliding windows, attribute "
-      "aggregates and partial sharing run amortized kernels.");
+      "aggregates and partial sharing run amortized kernels — and each "
+      "*_nosimd twin on an AVX2 host, now that the hot loops dispatch "
+      "vector kernels.");
 
   Catalog catalog;
   StockConfig stock;
   stock.rate = static_cast<int>(rate);
   stock.duration = duration;
   Stream stream = GenerateStockStream(&catalog, stock);
+  // One-company twin for the filter workload: a single partition makes row
+  // groups batch-sized (256 consecutive filter lanes instead of ~26
+  // company-strided ones), which is the dense-scan shape the vector filter
+  // kernels are built for.
+  StockConfig hot = stock;
+  hot.num_companies = 1;
+  hot.num_sectors = 1;
+  Stream hot_stream = GenerateStockStream(&catalog, hot);
   QuerySpec q1 = MakeQuery(&catalog, "COUNT(*)", within, slide, true);
   QuerySpec sliding =
       MakeQuery(&catalog, "COUNT(*)", within, /*slide=*/2, true);
   QuerySpec sum = MakeQuery(&catalog, "SUM(S.price)", within, within, false);
   std::vector<QuerySpec> partial = MakePartialSpecs(&catalog, within);
+  QuerySpec filter_q = MakeFilterQuery(&catalog, within, slide);
+  QuerySpec residual_q = MakeResidualQuery(&catalog, within, slide);
 
   // Correctness first, on a smaller stream so the check stays cheap.
   {
@@ -202,6 +246,8 @@ int Run(const Flags& flags) {
         {"sliding", MakeQuery(&check_catalog, "COUNT(*)", within, 2, true)},
         {"sum", MakeQuery(&check_catalog, "SUM(S.price)", within, within,
                           false)},
+        {"filter", MakeFilterQuery(&check_catalog, within, slide)},
+        {"residual", MakeResidualQuery(&check_catalog, within, slide)},
     };
     for (const Check& check : checks) {
       auto scalar_engine = MakeEngine(&check_catalog, check.spec, true);
@@ -220,7 +266,33 @@ int Run(const Flags& flags) {
           scalar_rows,
           CollectRows(rowwise_engine.get(), check_stream, 256),
           (std::string(check.name) + " batch256_rowwise").c_str());
+      // SIMD ablation twin: same batch path, vector kernels forced off —
+      // rows must match the dispatched-ISA run bit for bit.
+      auto nosimd_engine =
+          MakeEngine(&check_catalog, check.spec, true, /*simd=*/false);
+      CheckIdenticalRows(
+          scalar_rows,
+          CollectRows(nosimd_engine.get(), check_stream, 256),
+          (std::string(check.name) + " batch256_nosimd").c_str());
     }
+    // The filter workload is timed on the one-company stream (single
+    // partition, batch-sized row groups); verify that path too.
+    StockConfig small_hot = small;
+    small_hot.num_companies = 1;
+    small_hot.num_sectors = 1;
+    Stream check_hot = GenerateStockStream(&check_catalog, small_hot);
+    QuerySpec filter_hot = MakeFilterQuery(&check_catalog, within, slide);
+    auto fh_scalar = MakeEngine(&check_catalog, filter_hot, true);
+    std::vector<ResultRow> fh_rows =
+        CollectRows(fh_scalar.get(), check_hot, 0);
+    auto fh_batched = MakeEngine(&check_catalog, filter_hot, true);
+    CheckIdenticalRows(fh_rows,
+                       CollectRows(fh_batched.get(), check_hot, 256),
+                       "filter_hot batch256");
+    auto fh_nosimd = MakeEngine(&check_catalog, filter_hot, true, false);
+    CheckIdenticalRows(fh_rows,
+                       CollectRows(fh_nosimd.get(), check_hot, 256),
+                       "filter_hot batch256_nosimd");
     // Partial cluster: per-slot drains (TakeResults would mix the slots).
     std::vector<QuerySpec> check_partial =
         MakePartialSpecs(&check_catalog, within);
@@ -243,6 +315,7 @@ int Run(const Flags& flags) {
     size_t batch_size;
     bool batch_kernels;
     Workload workload;
+    bool simd = true;
   };
   const Config configs[] = {
       {"scalar", 0, true, kQ1},
@@ -251,15 +324,26 @@ int Run(const Flags& flags) {
       {"batch256", 256, true, kQ1},
       {"batch1024", 1024, true, kQ1},
       {"batch256_rowwise", 256, false, kQ1},
+      {"batch256_nosimd", 256, true, kQ1, false},
       {"sliding_scalar", 0, true, kSliding},
       {"sliding_batch256", 256, true, kSliding},
       {"sum_scalar", 0, true, kSum},
       {"sum_batch256", 256, true, kSum},
       {"partial_scalar", 0, true, kPartial},
       {"partial_batch256", 256, true, kPartial},
+      {"filter_scalar", 0, true, kFilter},
+      {"filter_batch256", 256, true, kFilter},
+      {"filter_batch256_nosimd", 256, true, kFilter, false},
+      {"residual_scalar", 0, true, kResidual},
+      {"residual_batch256", 256, true, kResidual},
+      {"residual_batch256_nosimd", 256, true, kResidual, false},
   };
 
-  Table table({"config", "events/s", "peak memory", "edges"});
+  // The dispatched ISA is process-wide (cpuid + GRETA_SIMD override); the
+  // per-config cell reports it alongside the fraction of batch rows whose
+  // kernels actually ran vectorized for that engine configuration.
+  const char* isa = simd::IsaName(simd::DispatchedIsa());
+  Table table({"config", "events/s", "peak memory", "edges", "simd"});
   for (const Config& config : configs) {
     IngestOptions ingest;
     ingest.batch_size = config.batch_size;
@@ -268,31 +352,61 @@ int Run(const Flags& flags) {
       std::unique_ptr<GretaEngine> engine;
       switch (config.workload) {
         case kQ1:
-          engine = MakeEngine(&catalog, q1, config.batch_kernels);
+          engine = MakeEngine(&catalog, q1, config.batch_kernels,
+                              config.simd);
           break;
         case kSliding:
-          engine = MakeEngine(&catalog, sliding, config.batch_kernels);
+          engine = MakeEngine(&catalog, sliding, config.batch_kernels,
+                              config.simd);
           break;
         case kSum:
-          engine = MakeEngine(&catalog, sum, config.batch_kernels);
+          engine = MakeEngine(&catalog, sum, config.batch_kernels,
+                              config.simd);
           break;
         case kPartial:
           engine = MakePartialEngine(&catalog, partial, config.batch_kernels);
           break;
+        case kFilter:
+          engine = MakeEngine(&catalog, filter_q, config.batch_kernels,
+                              config.simd);
+          break;
+        case kResidual:
+          engine = MakeEngine(&catalog, residual_q, config.batch_kernels,
+                              config.simd);
+          break;
       }
-      RunResult r = RunStreamBatched(engine.get(), stream, ingest);
+      const Stream& timed =
+          config.workload == kFilter ? hot_stream : stream;
+      RunResult r = RunStreamBatched(engine.get(), timed, ingest);
       if (rep == 0 || r.throughput_eps > best.throughput_eps) best = r;
+    }
+    const size_t timed_events =
+        config.workload == kFilter ? hot_stream.size() : stream.size();
+    const size_t batch_rows =
+        best.stats.batch_rows_fast + best.stats.batch_rows_fallback;
+    const double simd_frac =
+        batch_rows > 0
+            ? static_cast<double>(best.stats.simd_rows) / batch_rows
+            : 0.0;
+    char simd_cell[48];
+    if (best.stats.simd_rows > 0) {
+      std::snprintf(simd_cell, sizeof(simd_cell), "%s (%.2f)", isa,
+                    simd_frac);
+    } else {
+      std::snprintf(simd_cell, sizeof(simd_cell), "off");
     }
     table.AddRow({config.name, best.ThroughputCell(), best.MemoryCell(),
                   FormatCount(
-                      static_cast<double>(best.stats.edges_traversed))});
+                      static_cast<double>(best.stats.edges_traversed)),
+                  simd_cell});
     std::printf(
         "{\"bench\":\"batch\",\"config\":\"%s\",\"events\":%zu,"
         "\"events_per_sec\":%.1f,\"peak_bytes\":%zu,\"edges\":%zu,"
-        "\"rows\":%zu}\n",
-        config.name, stream.size(), best.throughput_eps,
+        "\"rows\":%zu,\"simd\":\"%s\",\"simd_rows_frac\":%.4f}\n",
+        config.name, timed_events, best.throughput_eps,
         best.peak_memory_bytes, best.stats.edges_traversed,
-        best.rows_emitted);
+        best.rows_emitted, best.stats.simd_rows > 0 ? isa : "off",
+        simd_frac);
   }
   std::printf("\n");
   table.Print();

@@ -105,7 +105,7 @@ RunResult RunStreamBatched(EngineInterface* engine, const Stream& stream,
   LatencySamples latency;
   Clock::time_point run_start = Clock::now();
   EventBatch batch;
-  batch.reserve(ingest.batch_size);
+  batch.Reserve(ingest.batch_size);
   const std::vector<Event>& events = stream.events();
   size_t i = 0;
   bool failed = false;

@@ -125,6 +125,15 @@ class EventBatch {
     attrs_.reserve(rows * attrs_per_row);
   }
 
+  /// Pre-sizes every column — including the optional arrival-clock column —
+  /// for `rows` rows of about `attrs_per_row` attributes each, so a
+  /// steady-state refill at the ingest boundary (shard router pending
+  /// batches, the batched bench drivers) never reallocates mid-fill.
+  void Reserve(size_t rows, size_t attrs_per_row = 4) {
+    reserve(rows, attrs_per_row);
+    arrivals_.reserve(rows);
+  }
+
   const std::vector<Ts>& times() const { return times_; }
   const std::vector<TypeId>& types() const { return types_; }
 

@@ -1,0 +1,175 @@
+#include "common/simd.h"
+#include "common/simd_scalar.inl.h"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+namespace greta::simd {
+namespace {
+
+// 2-wide admission mask; same predicate phrasing as the AVX2 TU (NaN keys
+// pass both bound tests, like the scalar continue-based loop).
+inline __m128d AdmitMask(__m128d k, __m128d lo, bool lo_strict, __m128d hi,
+                         bool hi_strict) {
+  const __m128d pass_lo = lo_strict ? _mm_cmpnle_pd(k, lo)
+                                    : _mm_cmpnlt_pd(k, lo);
+  const __m128d pass_hi = hi_strict ? _mm_cmpnge_pd(k, hi)
+                                    : _mm_cmpngt_pd(k, hi);
+  return _mm_and_pd(pass_lo, pass_hi);
+}
+
+size_t RangeSelect(const double* keys, uint32_t begin, uint32_t end,
+                   double lo, bool lo_strict, double hi, bool hi_strict,
+                   uint32_t* out) {
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vhi = _mm_set1_pd(hi);
+  size_t n = 0;
+  uint32_t j = begin;
+  for (; j + 2 <= end; j += 2) {
+    const __m128d k = _mm_loadu_pd(keys + j);
+    int m = _mm_movemask_pd(AdmitMask(k, vlo, lo_strict, vhi, hi_strict));
+    if (m & 1) out[n++] = j;
+    if (m & 2) out[n++] = j + 1;
+  }
+  for (; j < end; ++j) {
+    if (detail::KeyAdmitted(keys[j], lo, lo_strict, hi, hi_strict)) {
+      out[n++] = j;
+    }
+  }
+  return n;
+}
+
+MaskedSum MaskedCountSum(const double* keys, const uint64_t* counts,
+                         uint32_t begin, uint32_t end, double lo,
+                         bool lo_strict, double hi, bool hi_strict) {
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vhi = _mm_set1_pd(hi);
+  __m128i acc = _mm_setzero_si128();
+  MaskedSum r;
+  uint32_t j = begin;
+  for (; j + 2 <= end; j += 2) {
+    const __m128d k = _mm_loadu_pd(keys + j);
+    const __m128i admit =
+        _mm_castpd_si128(AdmitMask(k, vlo, lo_strict, vhi, hi_strict));
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + j));
+    acc = _mm_add_epi64(acc, _mm_and_si128(c, admit));
+    const __m128i nz = _mm_xor_si128(_mm_cmpeq_epi64(c, _mm_setzero_si128()),
+                                     _mm_set1_epi64x(-1));
+    const int m =
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_and_si128(admit, nz)));
+    r.lanes += static_cast<uint64_t>(__builtin_popcount(
+        static_cast<unsigned>(m)));
+  }
+  alignas(16) uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  r.sum = lanes[0] + lanes[1];
+  for (; j < end; ++j) {
+    if (!detail::KeyAdmitted(keys[j], lo, lo_strict, hi, hi_strict)) continue;
+    if (counts[j] == 0) continue;
+    r.sum += counts[j];
+    ++r.lanes;
+  }
+  return r;
+}
+
+int LeafSkip(const double* keys, int n, double lo, bool strict) {
+  const __m128d vlo = _mm_set1_pd(lo);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d k = _mm_loadu_pd(keys + i);
+    const __m128d below =
+        strict ? _mm_cmple_pd(k, vlo) : _mm_cmplt_pd(k, vlo);
+    const int stop = (~_mm_movemask_pd(below)) & 0x3;
+    if (stop != 0) return i + __builtin_ctz(static_cast<unsigned>(stop));
+  }
+  for (; i < n; ++i) {
+    if (!(strict ? keys[i] <= lo : keys[i] < lo)) return i;
+  }
+  return n;
+}
+
+int LeafStop(const double* keys, int i0, int n, double hi, bool strict) {
+  const __m128d vhi = _mm_set1_pd(hi);
+  int i = i0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d k = _mm_loadu_pd(keys + i);
+    const __m128d over =
+        strict ? _mm_cmpge_pd(k, vhi) : _mm_cmpgt_pd(k, vhi);
+    const int m = _mm_movemask_pd(over);
+    if (m != 0) return i + __builtin_ctz(static_cast<unsigned>(m));
+  }
+  for (; i < n; ++i) {
+    if (strict ? keys[i] >= hi : keys[i] > hi) return i;
+  }
+  return n;
+}
+
+size_t RunSplit(const int64_t* times, size_t i, size_t n) {
+  const __m128i ts = _mm_set1_epi64x(times[i]);
+  size_t j = i + 1;
+  for (; j + 2 <= n; j += 2) {
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(times + j));
+    const int eq = _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(t, ts)));
+    if (eq != 0x3) {
+      return j + __builtin_ctz(static_cast<unsigned>(~eq & 0x3));
+    }
+  }
+  for (; j < n; ++j) {
+    if (times[j] != times[i]) return j;
+  }
+  return n;
+}
+
+inline __m128i MulLo64(__m128i a, __m128i b) {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i t1 = _mm_mul_epu32(_mm_srli_epi64(a, 32), b);
+  const __m128i t2 = _mm_mul_epu32(a, _mm_srli_epi64(b, 32));
+  const __m128i cross = _mm_add_epi64(t1, t2);
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+void SplitMixBulk(uint64_t* h, size_t n) {
+  const __m128i c1 =
+      _mm_set1_epi64x(static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m128i c2 =
+      _mm_set1_epi64x(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i));
+    v = _mm_xor_si128(v, _mm_srli_epi64(v, 33));
+    v = MulLo64(v, c1);
+    v = _mm_xor_si128(v, _mm_srli_epi64(v, 33));
+    v = MulLo64(v, c2);
+    v = _mm_xor_si128(v, _mm_srli_epi64(v, 33));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(h + i), v);
+  }
+  for (; i < n; ++i) h[i] = detail::SplitMix(h[i]);
+}
+
+}  // namespace
+
+const Kernels& Sse42Kernels() {
+  // No gathers below AVX2, so the projected-column filter keeps its scalar
+  // form; the dense-key kernels run 2-wide.
+  static const Kernels k = {
+      &detail::FilterSel, &RangeSelect, &MaskedCountSum, &LeafSkip,
+      &LeafStop,          &RunSplit,    &SplitMixBulk,
+  };
+  return k;
+}
+
+bool Sse42Compiled() { return true; }
+
+}  // namespace greta::simd
+
+#else  // !__SSE4_2__
+
+namespace greta::simd {
+const Kernels& Sse42Kernels() { return ScalarKernels(); }
+bool Sse42Compiled() { return false; }
+}  // namespace greta::simd
+
+#endif

@@ -79,6 +79,9 @@ struct EngineStats {
   // bounds). Zero for scalar engines.
   size_t batch_rows_fast = 0;
   size_t batch_rows_fallback = 0;
+  // Rows whose batch kernels ran through the dispatched vector ISA (zero
+  // under scalar dispatch, GRETA_SIMD=scalar, or enable_simd=false).
+  size_t simd_rows = 0;
 };
 
 /// Common interface of the GRETA engine and the two-step baselines (SASE,

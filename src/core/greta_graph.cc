@@ -6,6 +6,7 @@
 #include <new>
 #include <numeric>
 
+#include "common/simd.h"
 #include "storage/window.h"
 
 namespace greta {
@@ -71,8 +72,23 @@ GretaGraph::GretaGraph(const GraphPlan* plan, const ExecPlan* exec,
   }
   if (batch_plan_ok_) {
     state_filters_.reserve(plan_->states.size());
+    std::vector<AttrId> fast_uses;
     for (const StatePlan& sp : plan_->states) {
       state_filters_.emplace_back(sp.local_preds);
+      state_filters_.back().AppendFastAttrUses(&fast_uses);
+    }
+    // Cost-based projection policy: decomposing a column costs one pass
+    // over every group row, so it only pays when enough filter kernel
+    // passes read it back (several predicates on the attr, or several
+    // states of the same type re-filtering the same rows). Attrs below the
+    // threshold keep the compiled scalar loops, which read the tagged
+    // union in place for free.
+    for (AttrId a : fast_uses) {
+      size_t uses = 0;
+      for (AttrId b : fast_uses) uses += b == a ? 1 : 0;
+      bool seen = false;
+      for (AttrId b : proj_attrs_) seen = seen || b == a;
+      if (uses >= kMinProjectedAttrUses && !seen) proj_attrs_.push_back(a);
     }
     edge_filters_.reserve(plan_->transitions.size());
     for (const TransitionPlan& tp : plan_->transitions) {
@@ -522,6 +538,8 @@ bool GretaGraph::InsertAtStatePartial(const EventRef& e, StateId s) {
 void GretaGraph::InsertBatch(const EventBatch& batch, const uint32_t* rows,
                              size_t n) {
   if (n == 0) return;
+  batch_simd_ =
+      exec_->enable_simd && simd::DispatchedIsa() != simd::Isa::kScalar;
   if (!BatchFastPathEligible()) {
     const BatchFallbackReason reason =
         !exec_->enable_batch_kernels ? BatchFallbackReason::kDisabled
@@ -532,6 +550,13 @@ void GretaGraph::InsertBatch(const EventBatch& batch, const uint32_t* rows,
     for (size_t i = 0; i < n; ++i) Insert(batch.ref(rows[i]));
     return;
   }
+  // Decompose this group's fast-predicate attrs once, group-dense: lane k
+  // holds batch row rows[k], so the per-run selections below are runs of
+  // consecutive positions and the filter kernels load contiguously instead
+  // of gathering partition-strided batch rows.
+  group_proj_ready_ = batch_simd_ && !proj_attrs_.empty();
+  if (group_proj_ready_) group_proj_.ProjectRows(batch, proj_attrs_, rows, n);
+  group_rows_ = rows;
   // Split into equal-timestamp runs: within a run the strict trend order
   // (Def. 1, u.time < e.time) makes the predecessor set identical for every
   // event, so the run shares one collection and one window-id range.
@@ -540,6 +565,7 @@ void GretaGraph::InsertBatch(const EventBatch& batch, const uint32_t* rows,
     Ts ts = batch.time(rows[i]);
     size_t j = i + 1;
     while (j < n && batch.time(rows[j]) == ts) ++j;
+    run_base_ = i;
     (this->*insert_run_fn_)(batch, rows + i, j - i, ts);
     i = j;
   }
@@ -647,13 +673,29 @@ void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
     // Selection vector: run rows of this state's type passing its local
     // predicates (column loops; see predicate/batch_filter.h).
     run_sel_.clear();
-    for (size_t r = 0; r < n; ++r) {
-      if (batch.type(rows[r]) == sp.type) run_sel_.push_back(rows[r]);
+    size_t m;
+    if (group_proj_ready_) {
+      // Select by consecutive projection lane, filter through the vector
+      // kernels, then map surviving positions back to batch rows.
+      run_pos_.clear();
+      for (size_t r = 0; r < n; ++r) {
+        if (batch.type(rows[r]) == sp.type) {
+          run_pos_.push_back(static_cast<uint32_t>(run_base_ + r));
+        }
+      }
+      if (run_pos_.empty()) continue;
+      m = state_filters_[si].Filter(batch, group_proj_, group_rows_,
+                                    run_pos_.data(), run_pos_.size());
+      run_sel_.resize(m);
+      for (size_t k = 0; k < m; ++k) run_sel_[k] = group_rows_[run_pos_[k]];
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        if (batch.type(rows[r]) == sp.type) run_sel_.push_back(rows[r]);
+      }
+      if (run_sel_.empty()) continue;
+      m = state_filters_[si].Filter(batch, run_sel_.data(), run_sel_.size());
+      run_sel_.resize(m);
     }
-    if (run_sel_.empty()) continue;
-    size_t m = state_filters_[si].Filter(batch, run_sel_.data(),
-                                         run_sel_.size());
-    run_sel_.resize(m);
     if (m == 0) continue;
     if (!any_seen || run_sel_.back() > last_seen_row) {
       last_seen_row = run_sel_.back();
@@ -891,6 +933,47 @@ void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
       // bounds (plain value comparisons; exact for real keys) and the
       // transition's compiled residual filter, then folds the survivors in
       // the scalar scan's exact order — bit-identical even for SUM.
+      //
+      // SIMD lanes (dispatched ISA only): the entry keys are copied into a
+      // dense column once per (state, run) so each event's re-filter is one
+      // vector range-select; transitions with fast-shape residuals get
+      // prev-side predicate columns; and the single-window modular COUNT
+      // shape with no residuals fuses re-filter and fold into one masked
+      // wrapping sum (associative, so lane order cannot change the result).
+      const simd::Kernels& kd = simd::Dispatch();
+      const size_t num_entries = run_entries_.size();
+      [[maybe_unused]] bool fuse_counts = false;
+      if (batch_simd_) {
+        run_keys_.resize(num_entries);
+        for (size_t j = 0; j < num_entries; ++j) {
+          run_keys_[j] = run_entries_[j].key;
+        }
+        run_prev_built_.assign(nt, 0);
+        run_prev_cols_.resize(nt);
+        for (size_t t = 0; t < nt; ++t) {
+          const size_t begin = run_spans_[t];
+          const size_t end = run_spans_[t + 1];
+          const CompiledEdgeFilter& ef = edge_filters_[run_tidx_[t]];
+          if (begin != end && ef.has_fast()) {
+            ef.BuildPrevColumns(run_views_.data() + begin, end - begin,
+                                &run_prev_cols_[t]);
+            run_prev_built_[t] = 1;
+          }
+        }
+        if constexpr (K == PropKernel::kCountModular) {
+          if (k == 1 && nq == 1) {
+            fuse_counts = true;
+            run_counts_.resize(num_entries);
+            for (size_t j = 0; j < num_entries; ++j) {
+              // k == 1: the collection kept only entries live in THE
+              // window, so this cell exists and the fused fold adds the
+              // same nonzero counts the scalar IsZero test admits.
+              run_counts_[j] =
+                  run_entries_[j].u->cell(first_wid)->count.ModularValue();
+            }
+          }
+        }
+      }
       for (size_t i = 0; i < m; ++i) {
         const EventView e_view = batch.view(run_sel_[i]);
         AggCell* vrow = run_cells_.data() + i * cell_stride;
@@ -904,18 +987,46 @@ void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
           const double hi = run_hi_[at];
           const bool lo_strict = run_lo_strict_[at] != 0;
           const bool hi_strict = run_hi_strict_[at] != 0;
-          run_filtered_.clear();
-          for (size_t j = begin; j < end; ++j) {
-            const double key = run_entries_[j].key;
-            if (lo_strict ? key <= lo : key < lo) continue;
-            if (hi_strict ? key >= hi : key > hi) continue;
-            run_filtered_.push_back(static_cast<uint32_t>(j));
-          }
-          size_t cnt = run_filtered_.size();
           const CompiledEdgeFilter& ef = edge_filters_[run_tidx_[t]];
+          if constexpr (K == PropKernel::kCountModular) {
+            if (fuse_counts && ef.trivial()) {
+              const simd::MaskedSum ms = kd.masked_count_sum(
+                  run_keys_.data(), run_counts_.data(),
+                  static_cast<uint32_t>(begin), static_cast<uint32_t>(end),
+                  lo, lo_strict, hi, hi_strict);
+              if (ms.lanes != 0) {
+                vrow[0].count.AddRaw(ms.sum);
+                found = true;
+                edges_ += ms.lanes;
+              }
+              continue;
+            }
+          }
+          size_t cnt;
+          if (batch_simd_) {
+            run_filtered_.resize(end - begin);
+            cnt = kd.range_select(
+                run_keys_.data(), static_cast<uint32_t>(begin),
+                static_cast<uint32_t>(end), lo, lo_strict, hi, hi_strict,
+                run_filtered_.data());
+          } else {
+            run_filtered_.clear();
+            for (size_t j = begin; j < end; ++j) {
+              const double key = run_entries_[j].key;
+              if (lo_strict ? key <= lo : key < lo) continue;
+              if (hi_strict ? key >= hi : key > hi) continue;
+              run_filtered_.push_back(static_cast<uint32_t>(j));
+            }
+            cnt = run_filtered_.size();
+          }
           if (cnt != 0 && !ef.trivial()) {
-            cnt = ef.Filter(e_view, run_views_.data(), run_filtered_.data(),
-                            cnt);
+            cnt = batch_simd_ && run_prev_built_[t] != 0
+                      ? ef.Filter(e_view, run_views_.data(),
+                                  run_prev_cols_[t],
+                                  static_cast<uint32_t>(begin),
+                                  run_filtered_.data(), cnt)
+                      : ef.Filter(e_view, run_views_.data(),
+                                  run_filtered_.data(), cnt);
           }
           for (size_t fj = 0; fj < cnt; ++fj) {
             const GraphVertex* u = run_entries_[run_filtered_[fj]].u;
@@ -949,6 +1060,7 @@ void GretaGraph::InsertRunFast(const EventBatch& batch, const uint32_t* rows,
       }
     }
     batch_strategy_rows_[static_cast<size_t>(strat)] += m;
+    if (batch_simd_) simd_rows_ += m;
 
     // Finish + store, in arrival order. Bulk-reserve the pane arena first so
     // the stores bump-allocate without mid-run chunk growth.
@@ -1036,13 +1148,29 @@ void GretaGraph::InsertRunFastPartial(const EventBatch& batch,
     const StatePlan& sp = plan_->states[si];
 
     run_sel_.clear();
-    for (size_t r = 0; r < n; ++r) {
-      if (batch.type(rows[r]) == sp.type) run_sel_.push_back(rows[r]);
+    size_t m;
+    if (group_proj_ready_) {
+      // Select by consecutive projection lane, filter through the vector
+      // kernels, then map surviving positions back to batch rows.
+      run_pos_.clear();
+      for (size_t r = 0; r < n; ++r) {
+        if (batch.type(rows[r]) == sp.type) {
+          run_pos_.push_back(static_cast<uint32_t>(run_base_ + r));
+        }
+      }
+      if (run_pos_.empty()) continue;
+      m = state_filters_[si].Filter(batch, group_proj_, group_rows_,
+                                    run_pos_.data(), run_pos_.size());
+      run_sel_.resize(m);
+      for (size_t k = 0; k < m; ++k) run_sel_[k] = group_rows_[run_pos_[k]];
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        if (batch.type(rows[r]) == sp.type) run_sel_.push_back(rows[r]);
+      }
+      if (run_sel_.empty()) continue;
+      m = state_filters_[si].Filter(batch, run_sel_.data(), run_sel_.size());
+      run_sel_.resize(m);
     }
-    if (run_sel_.empty()) continue;
-    size_t m = state_filters_[si].Filter(batch, run_sel_.data(),
-                                         run_sel_.size());
-    run_sel_.resize(m);
     if (m == 0) continue;
     if (!any_seen || run_sel_.back() > last_seen_row) {
       last_seen_row = run_sel_.back();
@@ -1191,6 +1319,28 @@ void GretaGraph::InsertRunFastPartial(const EventBatch& batch,
         }
       }
     } else {
+      // Same SIMD lanes as InsertRunFast's per-event strategy (no fused
+      // count fold here — snapshot cells interleave with per-query folds).
+      const simd::Kernels& kd = simd::Dispatch();
+      if (batch_simd_) {
+        const size_t num_entries = run_entries_.size();
+        run_keys_.resize(num_entries);
+        for (size_t j = 0; j < num_entries; ++j) {
+          run_keys_[j] = run_entries_[j].key;
+        }
+        run_prev_built_.assign(nt, 0);
+        run_prev_cols_.resize(nt);
+        for (size_t t = 0; t < nt; ++t) {
+          const size_t begin = run_spans_[t];
+          const size_t end = run_spans_[t + 1];
+          const CompiledEdgeFilter& ef = edge_filters_[run_tidx_[t]];
+          if (begin != end && ef.has_fast()) {
+            ef.BuildPrevColumns(run_views_.data() + begin, end - begin,
+                                &run_prev_cols_[t]);
+            run_prev_built_[t] = 1;
+          }
+        }
+      }
       for (size_t i = 0; i < m; ++i) {
         const EventView e_view = batch.view(run_sel_[i]);
         AggCell* vrow = run_cells_.data() + i * cell_stride;
@@ -1204,18 +1354,32 @@ void GretaGraph::InsertRunFastPartial(const EventBatch& batch,
           const double hi = run_hi_[at];
           const bool lo_strict = run_lo_strict_[at] != 0;
           const bool hi_strict = run_hi_strict_[at] != 0;
-          run_filtered_.clear();
-          for (size_t j = begin; j < end; ++j) {
-            const double key = run_entries_[j].key;
-            if (lo_strict ? key <= lo : key < lo) continue;
-            if (hi_strict ? key >= hi : key > hi) continue;
-            run_filtered_.push_back(static_cast<uint32_t>(j));
+          size_t cnt;
+          if (batch_simd_) {
+            run_filtered_.resize(end - begin);
+            cnt = kd.range_select(
+                run_keys_.data(), static_cast<uint32_t>(begin),
+                static_cast<uint32_t>(end), lo, lo_strict, hi, hi_strict,
+                run_filtered_.data());
+          } else {
+            run_filtered_.clear();
+            for (size_t j = begin; j < end; ++j) {
+              const double key = run_entries_[j].key;
+              if (lo_strict ? key <= lo : key < lo) continue;
+              if (hi_strict ? key >= hi : key > hi) continue;
+              run_filtered_.push_back(static_cast<uint32_t>(j));
+            }
+            cnt = run_filtered_.size();
           }
-          size_t cnt = run_filtered_.size();
           const CompiledEdgeFilter& ef = edge_filters_[run_tidx_[t]];
           if (cnt != 0 && !ef.trivial()) {
-            cnt = ef.Filter(e_view, run_views_.data(), run_filtered_.data(),
-                            cnt);
+            cnt = batch_simd_ && run_prev_built_[t] != 0
+                      ? ef.Filter(e_view, run_views_.data(),
+                                  run_prev_cols_[t],
+                                  static_cast<uint32_t>(begin),
+                                  run_filtered_.data(), cnt)
+                      : ef.Filter(e_view, run_views_.data(),
+                                  run_filtered_.data(), cnt);
           }
           for (size_t fj = 0; fj < cnt; ++fj) {
             const GraphVertex* u = run_entries_[run_filtered_[fj]].u;
@@ -1235,6 +1399,7 @@ void GretaGraph::InsertRunFastPartial(const EventBatch& batch,
       }
     }
     batch_strategy_rows_[static_cast<size_t>(strat)] += m;
+    if (batch_simd_) simd_rows_ += m;
 
     size_t stored_count = 0;
     if (is_start) {

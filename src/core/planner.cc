@@ -256,6 +256,7 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPlan(const QuerySpec& spec,
   plan->mode = options.counter_mode;
   plan->enable_pruning = options.enable_pruning;
   plan->enable_batch_kernels = options.enable_batch_kernels;
+  plan->enable_simd = options.enable_simd;
   plan->agg_specs = spec.aggs;
 
   if (!spec.window.unbounded() &&
@@ -499,6 +500,7 @@ StatusOr<std::unique_ptr<ExecPlan>> BuildPartialSharedPlan(
   plan->mode = options.counter_mode;
   plan->enable_pruning = options.enable_pruning;
   plan->enable_batch_kernels = options.enable_batch_kernels;
+  plan->enable_simd = options.enable_simd;
 
   // Decompose every query and re-validate cluster agreement.
   std::vector<PartialQuery> queries(specs.size());

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/column_projection.h"
 #include "common/event_batch.h"
+#include "common/simd.h"
 #include "predicate/expr.h"
 
 namespace greta {
@@ -29,6 +31,28 @@ class CompiledVertexFilter {
   /// predicate; returns the surviving count. Rows keep their relative order.
   size_t Filter(const EventBatch& batch, uint32_t* rows, size_t n) const;
 
+  /// Vectorized variant over a group-dense projection: `pos[i]` is a lane
+  /// index into `proj`'s columns (built with ProjectRows), and
+  /// `pos_to_row[pos[i]]` is the batch row it stands for. Fast predicates
+  /// whose attribute is projected run through the dispatched filter kernel
+  /// (positions within an equal-timestamp run are consecutive, so the
+  /// kernels' contiguous-load paths apply); the rest map positions back to
+  /// batch rows and take the scalar loops. Compacts `pos` in place and
+  /// returns the surviving count; selection is bit-identical to
+  /// Filter(batch, ...) over the corresponding rows.
+  size_t Filter(const EventBatch& batch, const ColumnProjection& proj,
+                const uint32_t* pos_to_row, uint32_t* pos, size_t n) const;
+
+  /// Appends the attribute positions of the fast predicates (deduplicated
+  /// against `attrs`' existing contents) — the candidate projection set.
+  void AppendFastAttrs(std::vector<AttrId>* attrs) const;
+
+  /// Appends one entry per fast predicate, duplicates included — the use
+  /// counts behind the graphs' cost-based projection policy (decomposing a
+  /// column costs one pass over every row; it only pays when enough kernel
+  /// passes read it back).
+  void AppendFastAttrUses(std::vector<AttrId>* attrs) const;
+
   bool trivial() const { return fast_.empty() && general_.empty(); }
 
  private:
@@ -37,6 +61,7 @@ class CompiledVertexFilter {
     ExprOp op = ExprOp::kEq;
     Value rhs;
     bool attr_on_left = true;
+    simd::CmpConst cmp;  // plan-time normalized form for the kernels
   };
 
   std::vector<AttrCmpConst> fast_;
@@ -60,6 +85,28 @@ class CompiledVertexFilter {
 /// is bit-identical to the scalar scan's inline residual checks.
 class CompiledEdgeFilter {
  public:
+  /// Dense prev-side columns for the fast predicates, built once per
+  /// (transition, equal-timestamp run) span and reused across every event
+  /// in the run. Slot s holds fast predicate s's prev_attr column.
+  class PrevColumns {
+   public:
+    simd::NumColumn column(size_t slot) const {
+      const size_t base = slot * rows_;
+      simd::NumColumn col;
+      col.dval = dval_.data() + base;
+      col.ival = ival_.data() + base;
+      col.tag = tag_.data() + base;
+      return col;
+    }
+
+   private:
+    friend class CompiledEdgeFilter;
+    std::vector<double> dval_;  // slot-major [slot][row]
+    std::vector<int64_t> ival_;
+    std::vector<uint8_t> tag_;
+    size_t rows_ = 0;
+  };
+
   CompiledEdgeFilter() = default;
   explicit CompiledEdgeFilter(const std::vector<const Expr*>& preds);
 
@@ -70,7 +117,20 @@ class CompiledEdgeFilter {
   size_t Filter(const EventView next, const EventView* prevs, uint32_t* idx,
                 size_t n) const;
 
+  /// Decomposes prevs[0..count) into `out`'s fast-predicate columns.
+  void BuildPrevColumns(const EventView* prevs, size_t count,
+                        PrevColumns* out) const;
+
+  /// Vectorized variant: fast predicates run through the dispatched filter
+  /// kernel over `cols` (lane = idx[i] - rebase; NEXT-attr operands are
+  /// decomposed once per call), general predicates fall back to
+  /// Expr::EvalEdge over prevs[idx[i]]. Bit-identical to the scalar Filter.
+  size_t Filter(const EventView next, const EventView* prevs,
+                const PrevColumns& cols, uint32_t rebase, uint32_t* idx,
+                size_t n) const;
+
   bool trivial() const { return fast_.empty() && general_.empty(); }
+  bool has_fast() const { return !fast_.empty(); }
 
  private:
   struct PrevCmp {
@@ -79,6 +139,7 @@ class CompiledEdgeFilter {
     AttrId next_attr = kInvalidAttr;  // kInvalidAttr: compare against rhs
     Value rhs;
     bool prev_on_left = true;
+    simd::CmpConst cmp;  // valid for the const-rhs shape only
   };
 
   std::vector<PrevCmp> fast_;

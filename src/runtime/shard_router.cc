@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
+
 namespace greta::runtime {
 
 StatusOr<ShardRouter> ShardRouter::Create(
@@ -63,6 +65,42 @@ StatusOr<ShardRouter> ShardRouter::Create(
     }
   }
   return router;
+}
+
+void ShardRouter::ShardOfRows(const EventBatch& batch, int* out) const {
+  const size_t n = batch.size();
+  hash_scratch_.clear();
+  row_scratch_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const TypeId type = batch.type(i);
+    if (static_cast<size_t>(type) >= routes_.size() ||
+        !routes_[type].relevant) {
+      out[i] = kDrop;
+      continue;
+    }
+    if (num_shards_ == 1) {
+      out[i] = 0;
+      continue;
+    }
+    const TypeRoute& route = routes_[type];
+    if (!route.full) {
+      out[i] = kBroadcast;
+      continue;
+    }
+    const EventRef e = batch.ref(i);
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (AttrId id : route.ids) {
+      h = h * 1099511628211ULL ^ e.attr(id).Hash();
+    }
+    hash_scratch_.push_back(h);
+    row_scratch_.push_back(static_cast<uint32_t>(i));
+  }
+  if (hash_scratch_.empty()) return;
+  simd::Dispatch().splitmix_bulk(hash_scratch_.data(), hash_scratch_.size());
+  for (size_t k = 0; k < hash_scratch_.size(); ++k) {
+    out[row_scratch_[k]] =
+        static_cast<int>(hash_scratch_[k] % num_shards_);
+  }
 }
 
 std::string ShardRouter::ToString(const Catalog& catalog) const {

@@ -6,6 +6,7 @@
 
 #include "common/catalog.h"
 #include "common/event.h"
+#include "common/event_batch.h"
 #include "common/status.h"
 #include "core/plan.h"
 #include "query/query.h"
@@ -78,6 +79,14 @@ class ShardRouter {
     return static_cast<int>(h % num_shards_);
   }
 
+  /// Batch variant of ShardOf: writes one decision per row of `batch` into
+  /// `out[0..batch.size())` — exactly ShardOf(batch.ref(i)) for every row.
+  /// The per-key mixing stays scalar (it walks variant-typed Values), but
+  /// the splitmix64 avalanche finalization runs through the dispatched
+  /// 4-wide kernel over all hashed rows at once. Reuses internal scratch,
+  /// so calls must come from one thread at a time (the ingest thread).
+  void ShardOfRows(const EventBatch& batch, int* out) const;
+
   /// Effective shard count (1 when the workload is not partitionable).
   size_t num_shards() const { return num_shards_; }
 
@@ -103,6 +112,10 @@ class ShardRouter {
   bool partitioned_ = false;
   std::vector<std::string> shard_key_attrs_;
   std::vector<TypeRoute> routes_;  // indexed by TypeId
+  // ShardOfRows scratch: pre-finalization hashes of the rows that need one
+  // (dense, so the bulk kernel runs gap-free) and their row indices.
+  mutable std::vector<uint64_t> hash_scratch_;
+  mutable std::vector<uint32_t> row_scratch_;
 };
 
 }  // namespace greta::runtime

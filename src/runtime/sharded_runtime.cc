@@ -64,7 +64,7 @@ StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
     }
     shard->queue = std::make_unique<SpscQueue<Batch>>(
         std::max<size_t>(options.queue_capacity, 2));
-    shard->pending.reserve(rt->options_.batch_size);
+    shard->pending.Reserve(rt->options_.batch_size);
     rt->shards_.push_back(std::move(shard));
   }
 
@@ -161,16 +161,27 @@ Status ShardedRuntime::ProcessBatch(const EventBatch& batch) {
   const bool stamped = batch.has_arrivals();
   const uint64_t now_ns =
       (!stamped && tm_stamp_arrivals_) ? telemetry::SteadyNowNs() : 0;
+  // Resolve every row's shard up front: the router hashes the shard keys
+  // row-wise but runs the avalanche finalization through the dispatched
+  // bulk kernel over the whole batch (ShardOfRows == ShardOf per row).
+  route_scratch_.resize(batch.size());
+  router_.ShardOfRows(batch, route_scratch_.data());
   for (size_t i = 0; i < batch.size(); ++i) {
     clock_ = batch.time(i);
     ++events_processed_;
-    RouteOne(batch.ref(i), stamped ? batch.arrival_ns(i) : now_ns);
+    DeliverRouted(batch.ref(i), stamped ? batch.arrival_ns(i) : now_ns,
+                  route_scratch_[i]);
     MaybeHeartbeat();
   }
   return Status::Ok();
 }
 
 void ShardedRuntime::RouteOne(const EventRef& e, uint64_t arrival_ns) {
+  DeliverRouted(e, arrival_ns, router_.ShardOf(e));
+}
+
+void ShardedRuntime::DeliverRouted(const EventRef& e, uint64_t arrival_ns,
+                                   int target) {
   // The arrival column must stay row-aligned even if stamping toggles
   // between fills: a pending batch is stamped iff its FIRST row carried a
   // stamp, and a stamped batch records every later row (0 = unknown).
@@ -180,7 +191,6 @@ void ShardedRuntime::RouteOne(const EventRef& e, uint64_t arrival_ns) {
     pending->Append(e);
     if (stamp) pending->AppendArrival(arrival_ns);
   };
-  int target = router_.ShardOf(e);
   if (target == ShardRouter::kBroadcast) {
     for (size_t s = 0; s < shards_.size(); ++s) {
       append_row(&shards_[s]->pending);
@@ -253,7 +263,7 @@ void ShardedRuntime::FlushShardBatch(size_t shard_index, bool flush) {
   // next fill, keeping the router side allocation-free at steady state.
   if (!shard.pending.empty()) {
     batch.events = std::move(shard.pending);
-    shard.pending.reserve(options_.batch_size);
+    shard.pending.Reserve(options_.batch_size);
   }
   batch.watermark = clock_;
   batch.flush = flush;

@@ -227,6 +227,10 @@ class ShardedRuntime : public EngineInterface {
   // shard(s)' pending batch, flushing any batch that reached batch_size.
   // Shared by Process and ProcessBatch.
   void RouteOne(const EventRef& e, uint64_t arrival_ns);
+  // Same, with the routing decision (ShardOf's result) precomputed —
+  // ProcessBatch resolves the whole batch up front through the router's
+  // bulk-finalized ShardOfRows and feeds the decisions here row by row.
+  void DeliverRouted(const EventRef& e, uint64_t arrival_ns, int target);
   void MaybeHeartbeat();
   void FlushShardBatch(size_t shard_index, bool flush);
   Status FirstShardError() const;
@@ -237,6 +241,7 @@ class ShardedRuntime : public EngineInterface {
   const Catalog* catalog_ = nullptr;
   ShardRouter router_;
   ShardedOptions options_;
+  std::vector<int> route_scratch_;  // per-row ShardOfRows decisions
 
   // Destruction order matters: workers reference shards_ and merger_, so
   // pool_ (declared last) is destroyed first — the destructor closes every

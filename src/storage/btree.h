@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "predicate/range.h"
 
 namespace greta {
@@ -64,25 +65,22 @@ class BPlusTree {
     // Skip phase: advance past keys below the lower bound. Keys equal to a
     // strict bound can fill whole leaves (duplicates), so the skip spans
     // leaves; once one key passes, every later key passes too.
+    const simd::Kernels& k = simd::Dispatch();
     const Leaf* leaf = FindLeaf(bounds.lo);
     int i = 0;
     while (leaf != nullptr) {
-      while (i < leaf->count &&
-             (bounds.lo_strict ? leaf->keys[i] <= bounds.lo
-                               : leaf->keys[i] < bounds.lo)) {
-        ++i;
-      }
+      i = k.leaf_skip(leaf->keys, leaf->count, bounds.lo, bounds.lo_strict);
       if (i < leaf->count) break;
       leaf = leaf->next;
-      i = 0;
     }
-    // Emit phase: only the upper bound remains to test.
+    // Emit phase: only the upper bound remains to test. The stop index is
+    // found by a bulk bound check over the leaf's key array; everything
+    // before it emits unconditionally.
     while (leaf != nullptr) {
-      for (; i < leaf->count; ++i) {
-        double k = leaf->keys[i];
-        if (bounds.hi_strict ? k >= bounds.hi : k > bounds.hi) return;
-        fn(leaf->values[i]);
-      }
+      const int stop =
+          k.leaf_stop(leaf->keys, i, leaf->count, bounds.hi, bounds.hi_strict);
+      for (; i < stop; ++i) fn(leaf->values[i]);
+      if (stop < leaf->count) return;
       leaf = leaf->next;
       i = 0;
     }
@@ -94,24 +92,19 @@ class BPlusTree {
   template <typename Fn>
   void ScanWithKey(const KeyBounds& bounds, Fn&& fn) const {
     if (root_ == nullptr) return;
+    const simd::Kernels& k = simd::Dispatch();
     const Leaf* leaf = FindLeaf(bounds.lo);
     int i = 0;
     while (leaf != nullptr) {
-      while (i < leaf->count &&
-             (bounds.lo_strict ? leaf->keys[i] <= bounds.lo
-                               : leaf->keys[i] < bounds.lo)) {
-        ++i;
-      }
+      i = k.leaf_skip(leaf->keys, leaf->count, bounds.lo, bounds.lo_strict);
       if (i < leaf->count) break;
       leaf = leaf->next;
-      i = 0;
     }
     while (leaf != nullptr) {
-      for (; i < leaf->count; ++i) {
-        double k = leaf->keys[i];
-        if (bounds.hi_strict ? k >= bounds.hi : k > bounds.hi) return;
-        fn(k, leaf->values[i]);
-      }
+      const int stop =
+          k.leaf_stop(leaf->keys, i, leaf->count, bounds.hi, bounds.hi_strict);
+      for (; i < stop; ++i) fn(leaf->keys[i], leaf->values[i]);
+      if (stop < leaf->count) return;
       leaf = leaf->next;
       i = 0;
     }
